@@ -1,0 +1,101 @@
+"""Ablations — the design choices DESIGN.md §4 calls out, measured.
+
+A1. Anchor disqualification (Appendix C's "no wider Block-Update after
+    B"): drop it and the Lemma 28 correspondence collapses — the rule is
+    load-bearing, and the checker detects its absence.
+A2. Normal-form purity: the same schedule replayed over the pure
+    configuration space versus executed through the full runtime gives
+    identical decisions; the pure replay is the fast path that makes
+    exhaustive model checking feasible.
+A3. Space accounting: components actually written per execution versus the
+    declared m versus the Theorem 3 bound — space complexity is a max over
+    executions, which is why adversarial constructions are needed at all.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis import measure_protocol_space, replay_schedule
+from repro.core import check_correspondence, kset_space_lower_bound, run_simulation
+from repro.protocols import RacingConsensus, RotatingWrites, run_protocol
+from repro.runtime import RandomScheduler
+
+
+def test_a1_anchor_rule_is_load_bearing(benchmark, table):
+    def sweep(unsafe):
+        broken = 0
+        for seed in range(10):
+            protocol = RotatingWrites(7, 3, rounds=8)
+            outcome = run_simulation(
+                protocol, k=2, x=1, inputs=[5, 2, 8],
+                scheduler=RandomScheduler(seed), max_steps=600_000,
+                unsafe_anchor=unsafe,
+            )
+            if not check_correspondence(outcome).ok:
+                broken += 1
+        return broken
+
+    broken_unsafe = benchmark.pedantic(
+        sweep, args=(True,), rounds=1, iterations=1
+    )
+    broken_safe = sweep(False)
+    table(
+        "A1: dropping the anchor disqualification rule",
+        ["variant", "runs", "Lemma 28 violations"],
+        [("paper rule", 10, broken_safe),
+         ("ablated (no disqualification)", 10, broken_unsafe)],
+    )
+    assert broken_safe == 0
+    assert broken_unsafe == 10
+
+
+def test_a2_pure_replay_matches_runtime(benchmark, table):
+    protocol = RacingConsensus(3)
+    inputs = [0, 1, 1]
+    rng = random.Random(4)
+    schedules = []
+    for seed in range(10):
+        system, result = run_protocol(
+            protocol, inputs, RandomScheduler(seed), max_steps=50_000
+        )
+        schedule = [event.pid for event in system.trace.steps()]
+        schedules.append((schedule, result.outputs))
+
+    def replay_all():
+        agree = 0
+        for schedule, outputs in schedules:
+            if replay_schedule(protocol, inputs, schedule) == outputs:
+                agree += 1
+        return agree
+
+    agree = benchmark(replay_all)
+    table(
+        "A2: pure replay vs runtime execution (same schedules)",
+        ["schedules", "identical decisions"],
+        [(len(schedules), agree)],
+    )
+    assert agree == len(schedules)
+
+
+@pytest.mark.parametrize("n", [3, 4, 6])
+def test_a3_space_used_vs_declared_vs_bound(benchmark, table, n):
+    protocol = RacingConsensus(n)
+    inputs = [i % 2 for i in range(n)]
+    rng = random.Random(n)
+    schedules = [[0] * 30] + [
+        [rng.randrange(n) for _ in range(120)] for _ in range(10)
+    ]
+
+    report = benchmark(measure_protocol_space, protocol, inputs, schedules)
+    bound = kset_space_lower_bound(n, 1, 1)
+    table(
+        f"A3: components written, racing consensus n={n}",
+        ["declared m", "Theorem 3 bound", "min per run (solo)",
+         "max per run", "mean"],
+        [(report.declared_m, bound, report.min_used, report.max_used,
+          round(report.mean_used, 2))],
+    )
+    assert report.declared_m == bound == n
+    assert report.min_used == 1  # the solo run touches one component
+    assert report.max_used <= n

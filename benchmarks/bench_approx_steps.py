@@ -1,0 +1,84 @@
+"""E6 — approximate-agreement step complexity vs the Hoest–Shavit bound.
+
+Measures the per-process step counts of the two upper-bound protocols as ε
+shrinks and compares them to the Theorem 2 lower bound log₃(1/ε): both
+protocols track Θ(log₂(1/ε)), a constant factor above the bound."""
+
+import math
+
+import pytest
+
+from repro.protocols import (
+    ApproxAgreementTask,
+    AveragingApprox,
+    BisectionApprox,
+    run_protocol,
+)
+from repro.runtime import RandomScheduler, RoundRobinScheduler
+
+
+def steps_of(protocol, inputs, scheduler):
+    system, result = run_protocol(protocol, inputs, scheduler, max_steps=200_000)
+    assert result.completed
+    return max(process.steps_taken for process in system.processes.values())
+
+
+@pytest.mark.parametrize("exponent", [4, 8, 16, 24])
+def test_bisection_steps(benchmark, table, exponent):
+    eps = 2.0 ** -exponent
+
+    def run():
+        return steps_of(BisectionApprox(eps), [0, 1], RoundRobinScheduler())
+
+    steps = benchmark(run)
+    lower = math.log(1 / eps, 3)
+    table(
+        f"E6: bisection protocol steps (ε=2^-{exponent})",
+        ["ε", "log3(1/ε) lower bound", "measured steps", "ratio"],
+        [(f"2^-{exponent}", round(lower, 1), steps, round(steps / lower, 2))],
+    )
+    assert steps >= lower  # Theorem 2 holds on the implementation
+    assert steps <= 4 * exponent  # Θ(log 1/ε) upper shape
+
+
+@pytest.mark.parametrize("exponent", [4, 8, 16, 24])
+def test_averaging_steps(benchmark, table, exponent):
+    eps = 2.0 ** -exponent
+
+    def run():
+        return steps_of(AveragingApprox(2, eps), [0, 1], RoundRobinScheduler())
+
+    steps = benchmark(run)
+    lower = math.log(1 / eps, 3)
+    table(
+        f"E6b: averaging protocol steps (ε=2^-{exponent})",
+        ["ε", "log3(1/ε) lower bound", "measured steps"],
+        [(f"2^-{exponent}", round(lower, 1), steps)],
+    )
+    assert steps >= lower
+
+
+def test_outputs_respect_epsilon(benchmark, table):
+    """Safety sweep attached to the measurement: random schedules, ε gaps."""
+
+    def sweep():
+        worst = 0.0
+        eps = 2.0 ** -10
+        for seed in range(10):
+            protocol = AveragingApprox(3, eps)
+            inputs = [0, 1, seed % 2]
+            system, result = run_protocol(
+                protocol, inputs, RandomScheduler(seed), max_steps=200_000
+            )
+            assert ApproxAgreementTask(eps).check(inputs, result.outputs) == []
+            values = list(result.outputs.values())
+            worst = max(worst, max(values) - min(values))
+        return worst
+
+    worst = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table(
+        "E6c: worst observed output gap (ε=2^-10)",
+        ["ε", "worst gap"],
+        [("2^-10", worst)],
+    )
+    assert worst <= 2.0 ** -10

@@ -1,0 +1,88 @@
+"""E1 (Figure 1) — augmented snapshot correctness and cost.
+
+Runs mixed Scan/Block-Update workloads across (k+1, m) shapes and random
+schedules, measuring operation throughput and validating the Appendix B
+lemmas on every execution; reports atomic-vs-☡ Block-Update rates per rank
+(rank 0 must never yield — Lemma 16)."""
+
+import pytest
+
+from repro.augmented import AugmentedSnapshot
+from repro.augmented.linearization import check_all, linearize
+from repro.runtime import RandomScheduler, System
+
+
+def workload(k_plus_1, m, rounds, seed):
+    system = System()
+    aug = AugmentedSnapshot("M", components=m, pids=list(range(k_plus_1)))
+
+    def body(proc):
+        for r in range(rounds):
+            comps = [(proc.pid + r) % m]
+            yield from aug.block_update(proc.pid, comps, [f"{proc.pid}.{r}"])
+            yield from aug.scan(proc.pid)
+
+    for _ in range(k_plus_1):
+        system.add_process(body)
+    result = system.run(RandomScheduler(seed), max_steps=1_000_000)
+    assert result.completed
+    return system, aug
+
+
+@pytest.mark.parametrize("k_plus_1,m", [(2, 2), (3, 3), (5, 4)])
+def test_augmented_workload(benchmark, table, k_plus_1, m):
+    system, aug = benchmark(workload, k_plus_1, m, 4, 12345)
+    violations = check_all(system.trace, aug)
+    assert violations == []
+    lin = linearize(system.trace, aug)
+    rows = [
+        (rank, aug.atomic_counts[rank], aug.yield_counts[rank])
+        for rank in range(k_plus_1)
+    ]
+    table(
+        f"E1: Block-Update outcomes by rank (k+1={k_plus_1}, m={m})",
+        ["rank", "atomic", "yield ☡"],
+        rows,
+    )
+    assert aug.yield_counts[0] == 0  # Lemma 16 for the lowest identifier
+
+
+def test_appendix_b_checker_over_many_seeds(benchmark, table):
+    """The E1 validation sweep: thousands of linearization checks."""
+
+    def sweep():
+        clean = 0
+        for seed in range(40):
+            system, aug = workload(3, 3, 3, seed)
+            if check_all(system.trace, aug) == []:
+                clean += 1
+        return clean
+
+    clean = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert clean == 40
+    table(
+        "E1b: Appendix B lemma checks over random schedules",
+        ["schedules checked", "violations"],
+        [(40, 0)],
+    )
+
+
+@pytest.mark.parametrize("k_plus_1", [2, 3, 4, 6])
+def test_block_update_step_cost(benchmark, table, k_plus_1):
+    """Block-Updates are wait-free with cost linear in k (4 H-steps plus
+    up to rank helping writes plus k L-reads)."""
+    system, aug = workload(k_plus_1, 2, 3, 7)
+    per_op = {}
+    steps = [e for e in system.trace.steps()]
+    total_ops = sum(aug.atomic_counts.values()) + sum(aug.yield_counts.values())
+
+    def measure():
+        return len(steps) / max(total_ops, 1)
+
+    ratio = benchmark(measure)
+    table(
+        f"E1c: primitive steps per operation (k+1={k_plus_1})",
+        ["k+1", "total primitive steps", "ops", "steps/op"],
+        [(k_plus_1, len(steps), total_ops, round(ratio, 1))],
+    )
+    assert ratio < 10 * k_plus_1

@@ -1,0 +1,60 @@
+"""E11 — the BG simulation baseline (the paper's point of contrast).
+
+Measures the cooperative (BG) simulation on the same workloads as the
+revisionist one: completion, agreement-per-process, crash tolerance (f
+crashes strand at most f simulated processes), and the safe-agreement
+register overhead."""
+
+import pytest
+
+from repro.core import run_bg_simulation
+from repro.protocols import MinSeen, RotatingWrites
+from repro.runtime import RandomScheduler
+
+
+@pytest.mark.parametrize("simulators", [1, 2, 3, 4])
+def test_bg_completion(benchmark, table, simulators):
+    inputs = [5, 2, 8, 1]
+    protocol = RotatingWrites(4, 3, rounds=3)
+
+    def run():
+        return run_bg_simulation(
+            protocol, inputs, simulators=simulators,
+            scheduler=RandomScheduler(13), max_steps=500_000,
+        )
+
+    outcome = benchmark(run)
+    assert outcome.completed_processes == len(inputs)
+    table(
+        f"E11: BG simulation ({simulators} simulators, 4 processes)",
+        ["simulators", "processes completed", "primitive steps",
+         "safe-agreement registers"],
+        [(simulators, outcome.completed_processes, outcome.result.steps,
+          outcome.system.total_registers())],
+    )
+
+
+def test_bg_crash_tolerance_sweep(benchmark, table):
+    """f = 1 crashed simulator strands at most 1 simulated process."""
+    from tests.core.test_bg import TestBGCrashTolerance
+
+    def sweep():
+        stranded = []
+        for after in (1, 2, 3, 5, 8):
+            scheduler = TestBGCrashTolerance.CrashAfterScheduler(
+                seed=3, victim=0, after=after
+            )
+            outcome = run_bg_simulation(
+                RotatingWrites(4, 3, rounds=3), [5, 2, 8, 1], simulators=3,
+                scheduler=scheduler, max_steps=500_000, give_up_after=60,
+            )
+            stranded.append(4 - outcome.completed_processes)
+        return stranded
+
+    stranded = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table(
+        "E11b: simulated processes stranded by one simulator crash",
+        ["crash points tried", "max stranded", "bound (f=1)"],
+        [(len(stranded), max(stranded), 1)],
+    )
+    assert max(stranded) <= 1

@@ -1,0 +1,77 @@
+"""E2 — the Theorem 3 bound table.
+
+Regenerates the lower-vs-upper bound grid across (n, k, x): who needs how
+many registers, where the bounds meet (consensus; asymptotically for
+constant k, x), and the simulation-arithmetic pivot (m simulatable iff
+strictly below the bound).
+"""
+
+from repro.core import (
+    bound_table,
+    kset_space_lower_bound,
+    kset_space_upper_bound,
+    max_simulatable_registers,
+    simulated_process_count,
+)
+
+
+def test_bound_grid(benchmark, table):
+    rows = benchmark(
+        bound_table, ns=range(2, 65), ks=range(1, 9), xs=range(1, 9)
+    )
+    assert rows
+    # Print the headline slice: x = 1 (obstruction-free), selected n.
+    display = [
+        (r.n, r.k, r.x, r.lower, r.upper, r.gap, "yes" if r.tight else "")
+        for r in rows
+        if r.x == 1 and r.n in (4, 8, 16, 32, 64) and r.k in (1, 2, 4, 8)
+    ]
+    table(
+        "E2: space bounds for x-obstruction-free k-set agreement (x=1 slice)",
+        ["n", "k", "x", "lower ⌊(n-x)/(k+1-x)⌋+1", "upper n-k+x", "gap", "tight"],
+        display,
+    )
+    # Consensus rows are tight everywhere.
+    assert all(r.tight for r in rows if r.k == 1)
+
+
+def test_consensus_tightness_series(benchmark, table):
+    def series():
+        return [
+            (n, kset_space_lower_bound(n, 1, 1), kset_space_upper_bound(n, 1, 1))
+            for n in range(2, 513)
+        ]
+
+    rows = benchmark(series)
+    assert all(low == up == n for n, low, up in rows)
+    table(
+        "E2b: consensus bounds meet at exactly n registers",
+        ["n", "lower", "upper"],
+        [row for row in rows if row[0] in (2, 8, 64, 512)],
+    )
+
+
+def test_simulation_pivot(benchmark, table):
+    """m registers are simulatable iff m < lower bound — the proof's hinge."""
+
+    def pivot_rows():
+        rows = []
+        for k in (1, 2, 4):
+            for x in range(1, k + 1):
+                for m in (1, 2, 4, 8):
+                    n = simulated_process_count(m, k, x)
+                    rows.append(
+                        (k, x, m, n, max_simulatable_registers(n, k, x),
+                         kset_space_lower_bound(n, k, x))
+                    )
+        return rows
+
+    rows = benchmark(pivot_rows)
+    for k, x, m, n, max_m, lower in rows:
+        assert max_m >= m
+        assert lower >= m + 1
+    table(
+        "E2c: simulation pivot — n processes needed to simulate m registers",
+        ["k", "x", "m", "n=(k+1-x)m+x", "max simulatable m", "Thm 3 bound"],
+        rows,
+    )

@@ -1,0 +1,125 @@
+"""E10 — the classical baselines the paper builds on and contrasts with.
+
+* FLP valence: bivalent initial configurations exist for real consensus
+  protocols, and witness schedules replay.
+* Burns–Lynch covering: processes can be driven to cover all components.
+* Exhaustive small-scope checking: the engine behind the protocol safety
+  results, timed.
+"""
+
+import pytest
+
+from repro.analysis import (
+    bivalent_initial_configurations,
+    build_covering,
+    classify_valence,
+    explore_protocol,
+)
+from repro.analysis.covering import release_covering
+from repro.protocols import (
+    KSetAgreementTask,
+    RacingConsensus,
+    TruncatedProtocol,
+)
+
+
+def test_bivalence_classification(benchmark, table):
+    report = benchmark(classify_valence, RacingConsensus(2), [0, 1])
+    assert report.bivalent
+    table(
+        "E10: FLP valence of racing consensus, inputs (0, 1)",
+        ["reachable decisions", "bivalent", "witness for 0", "witness for 1"],
+        [(sorted(report.values), "yes",
+          report.witnesses.get(0), report.witnesses.get(1))],
+    )
+
+
+def test_bivalent_initial_grid(benchmark, table):
+    vectors = [(a, b) for a in (0, 1) for b in (0, 1)]
+    results = benchmark(
+        bivalent_initial_configurations, RacingConsensus(2), vectors
+    )
+    table(
+        "E10b: bivalent initial input vectors (FLP Lemma 2 shape)",
+        ["bivalent vectors"],
+        [(sorted(vector for vector, _ in results),)],
+    )
+    assert {v for v, _ in results} == {(0, 1), (1, 0)}
+
+
+@pytest.mark.parametrize("n", [2, 3, 4])
+def test_covering_construction(benchmark, table, n):
+    report = benchmark(build_covering, RacingConsensus(n), [i % 2 for i in range(n)])
+    assert report.size == n
+    contents = release_covering(report)
+    table(
+        f"E10c: Burns-Lynch covering of n={n} components",
+        ["covered", "steps used", "block write obliterates"],
+        [(report.size, report.steps_used,
+          "yes" if all(c is not None for c in contents) else "no")],
+    )
+
+
+def test_commit_adopt_certification(benchmark, table):
+    """The commit-adopt object is certified exhaustively (finite space):
+    the engine inside the cited obstruction-free consensus constructions."""
+    from repro.protocols.commit_adopt import CommitAdopt, CommitAdoptTask
+
+    def certify():
+        total = 0
+        for inputs in ((0, 1), (1, 0), (0, 0), (1, 1)):
+            report = explore_protocol(
+                CommitAdopt(2), list(inputs), CommitAdoptTask(),
+                max_configs=2_000_000,
+            )
+            assert report.safe and not report.truncated
+            total += report.configurations
+        return total
+
+    configurations = benchmark.pedantic(certify, rounds=1, iterations=1)
+    table(
+        "E10e: commit-adopt certified exhaustively (n=2, all input pairs)",
+        ["input vectors", "configurations", "violations"],
+        [(4, configurations, 0)],
+    )
+
+
+def test_commit_adopt_consensus_space_tradeoff(benchmark, table):
+    """Rounds of commit-adopt need fresh registers: space grows linearly
+    with the round budget — the trap the paper's n-register bound avoids."""
+    from repro.protocols.commit_adopt import CommitAdoptConsensus
+
+    def rows():
+        return [
+            (rounds, CommitAdoptConsensus(2, max_rounds=rounds).m)
+            for rounds in (1, 2, 4, 8, 16)
+        ]
+
+    data = benchmark(rows)
+    table(
+        "E10f: CA-consensus register count vs round budget (n=2)",
+        ["round budget", "registers (2n per round)"],
+        data,
+    )
+    assert data[-1][1] == 64
+
+
+def test_exhaustive_checking_cost(benchmark, table):
+    """The model-checker sweep that validated every protocol, timed on the
+    1-register impossibility instance [DGFKR15's k-set 1-register result,
+    in the small]."""
+    broken = TruncatedProtocol(RacingConsensus(3), 1)
+
+    def run():
+        return explore_protocol(
+            broken, [0, 1, 2], KSetAgreementTask(1),
+            max_configs=300_000, max_steps=40,
+        )
+
+    report = benchmark(run)
+    assert not report.safe
+    table(
+        "E10d: exhaustive falsification of 3-process consensus on 1 register",
+        ["configurations", "violation found", "counterexample length"],
+        [(report.configurations, "yes", len(report.counterexample))],
+    )

@@ -1,0 +1,81 @@
+"""E4 — Theorem 3 as a falsifier.
+
+Feeds the simulation protocols squeezed below the space bound and reports
+what breaks — the mechanically observable content of "no such protocol
+exists".  The headline row: consensus on fewer than n registers loses
+agreement in essentially every schedule."""
+
+from collections import Counter
+
+import pytest
+
+from repro.core import (
+    check_correspondence,
+    kset_space_lower_bound,
+    run_simulation,
+    simulated_process_count,
+)
+from repro.protocols import KSetAgreementTask, RacingConsensus, TruncatedProtocol
+from repro.runtime import RandomScheduler
+
+
+def falsify(k, x, m, seeds):
+    n = simulated_process_count(m, k, x)
+    task = KSetAgreementTask(k)
+    tally = Counter()
+    for seed in seeds:
+        protocol = TruncatedProtocol(RacingConsensus(n), m)
+        outcome = run_simulation(
+            protocol, k=k, x=x, inputs=list(range(k + 1)),
+            scheduler=RandomScheduler(seed), max_steps=400_000,
+        )
+        if outcome.task_violations(task):
+            tally["safety"] += 1
+        elif outcome.result.diverged:
+            tally["diverged"] += 1
+        else:
+            tally["clean"] += 1
+    return n, tally
+
+
+@pytest.mark.parametrize("k,x,m", [(1, 1, 1), (2, 1, 1), (2, 1, 2)])
+def test_falsifier_sweep(benchmark, table, k, x, m):
+    n, tally = benchmark.pedantic(
+        falsify, args=(k, x, m, range(15)), rounds=1, iterations=1
+    )
+    bound = kset_space_lower_bound(n, k, x)
+    assert m < bound
+    table(
+        f"E4: outcomes below the bound (k={k}, x={x}, m={m}, n={n}, "
+        f"bound={bound})",
+        ["safety violations", "divergences", "clean runs"],
+        [(tally["safety"], tally["diverged"], tally["clean"])],
+    )
+    if (k, x, m) in ((1, 1, 1), (2, 1, 1)):
+        # Far below the bound, random schedules break safety every time.
+        assert tally["safety"] == 15
+
+
+def test_machinery_faithful_on_broken_protocols(benchmark, table):
+    """Even while falsifying, the Lemma 28 correspondence holds: the
+    violation belongs to the protocol, never to the simulation."""
+
+    def sweep():
+        faithful = 0
+        for seed in range(10):
+            protocol = TruncatedProtocol(RacingConsensus(3), 1)
+            outcome = run_simulation(
+                protocol, k=1, x=1, inputs=[0, 1],
+                scheduler=RandomScheduler(seed), max_steps=300_000,
+            )
+            if check_correspondence(outcome).ok:
+                faithful += 1
+        return faithful
+
+    faithful = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert faithful == 10
+    table(
+        "E4b: correspondence on falsifier runs",
+        ["runs", "faithful"],
+        [(10, faithful)],
+    )

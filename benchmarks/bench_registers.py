@@ -1,0 +1,95 @@
+"""E12 — the full stack on raw registers.
+
+Measures the cost of lowering everything to atomic reads/writes via the
+[AAD+93] constructions: protocols over the m-register multi-writer
+snapshot, and the complete revisionist reduction with H built from
+registers.  The interesting ratio is "register steps per high-level
+operation" — the concrete price of the paper's w.l.o.g. assumption.
+"""
+
+import pytest
+
+from repro.core import run_simulation
+from repro.protocols import (
+    KSetAgreementTask,
+    MinSeen,
+    RacingConsensus,
+    RotatingWrites,
+    TruncatedProtocol,
+    run_protocol,
+)
+from repro.protocols.registers_runtime import run_protocol_on_registers
+from repro.runtime import RandomScheduler
+
+
+@pytest.mark.parametrize("n", [2, 3, 4])
+def test_protocol_lowering_cost(benchmark, table, n):
+    inputs = list(range(n))
+    protocol = MinSeen(n, rounds=2)
+
+    def run():
+        return run_protocol_on_registers(
+            protocol, inputs, RandomScheduler(5), max_steps=1_000_000
+        )
+
+    system, result, snapshot = benchmark(run)
+    assert result.completed
+    native_system, native_result = run_protocol(
+        protocol, inputs, RandomScheduler(5)
+    )
+    table(
+        f"E12: register-level lowering (min-seen, n={n})",
+        ["native snapshot steps", "register steps", "blow-up",
+         "registers used"],
+        [(native_result.steps, result.steps,
+          round(result.steps / native_result.steps, 1),
+          snapshot.register_count())],
+    )
+    assert snapshot.register_count() == protocol.m
+
+
+def test_simulation_on_registers(benchmark, table):
+    inputs = [4, 7]
+
+    def run():
+        return run_simulation(
+            RotatingWrites(5, 2, rounds=3), k=1, x=1, inputs=inputs,
+            scheduler=RandomScheduler(2), max_steps=1_000_000,
+            register_level=True,
+        )
+
+    outcome = benchmark(run)
+    assert outcome.all_decided
+    native = run_simulation(
+        RotatingWrites(5, 2, rounds=3), k=1, x=1, inputs=inputs,
+        scheduler=RandomScheduler(2), max_steps=1_000_000,
+    )
+    table(
+        "E12b: the whole reduction on raw registers",
+        ["native steps", "register steps", "registers (H + helping)"],
+        [(native.result.steps, outcome.result.steps,
+          outcome.aug.register_count())],
+    )
+
+
+def test_falsifier_on_registers(benchmark, table):
+    def sweep():
+        hits = 0
+        for seed in range(5):
+            broken = TruncatedProtocol(RacingConsensus(2), 1)
+            outcome = run_simulation(
+                broken, k=1, x=1, inputs=[0, 1],
+                scheduler=RandomScheduler(seed), max_steps=800_000,
+                register_level=True,
+            )
+            if outcome.task_violations(KSetAgreementTask(1)):
+                hits += 1
+        return hits
+
+    hits = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table(
+        "E12c: Theorem 3 falsified on raw registers",
+        ["runs", "agreement violations"],
+        [(5, hits)],
+    )
+    assert hits == 5

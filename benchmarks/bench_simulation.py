@@ -1,0 +1,86 @@
+"""E3 — the revisionist simulation, positive runs.
+
+Feeds the simulation correct wait-free (weak-task) protocols and measures:
+every simulator decides (wait-freedom), validity holds, the amount of
+covering machinery exercised (Block-Updates, revisions), and wall time
+across (k, x, m)."""
+
+import pytest
+
+from repro.core import run_simulation
+from repro.protocols import MinSeen, RotatingWrites, TruncatedProtocol
+from repro.runtime import RandomScheduler
+
+
+@pytest.mark.parametrize("k,x,m", [(1, 1, 2), (2, 1, 3), (3, 1, 2), (3, 2, 2)])
+def test_simulation_positive(benchmark, table, k, x, m):
+    n = (k + 1 - x) * m + x
+    protocol = RotatingWrites(n, m, rounds=4)
+    inputs = list(range(10, 10 + k + 1))
+
+    def run():
+        return run_simulation(
+            protocol, k=k, x=x, inputs=inputs,
+            scheduler=RandomScheduler(31), max_steps=600_000,
+        )
+
+    outcome = benchmark(run)
+    assert outcome.result.completed
+    assert outcome.all_decided
+    for value in outcome.decisions.values():
+        assert value in inputs  # validity
+    table(
+        f"E3: simulation run (k={k}, x={x}, m={m}, n={n})",
+        ["simulators", "decided", "Block-Updates", "revisions",
+         "primitive steps"],
+        [(k + 1, len(outcome.decisions), outcome.block_update_count(),
+          outcome.revision_count(), outcome.result.steps)],
+    )
+
+
+def test_simulation_wait_freedom_across_seeds(benchmark, table):
+    """Lemma 30's conclusion, measured: across schedules, all simulators
+    decide within a bounded number of operations."""
+    protocol = RotatingWrites(7, 3, rounds=5)
+
+    def sweep():
+        decided, max_steps = 0, 0
+        for seed in range(15):
+            outcome = run_simulation(
+                protocol, k=2, x=1, inputs=[7, 8, 9],
+                scheduler=RandomScheduler(seed), max_steps=600_000,
+            )
+            if outcome.all_decided:
+                decided += 1
+            max_steps = max(max_steps, outcome.result.steps)
+        return decided, max_steps
+
+    decided, max_steps = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert decided == 15
+    table(
+        "E3b: wait-freedom sweep (k=2, x=1, m=3)",
+        ["schedules", "all-decided", "max primitive steps"],
+        [(15, decided, max_steps)],
+    )
+
+
+@pytest.mark.parametrize("m", [2, 3, 4])
+def test_covering_work_grows_with_m(benchmark, table, m):
+    """Lemma 30's counting: a covering simulator needs more Block-Updates
+    to grow blocks as m rises."""
+    n = 2 * m + 1
+    protocol = RotatingWrites(n, m, rounds=2 * m + 2)
+
+    def run():
+        return run_simulation(
+            protocol, k=2, x=1, inputs=[1, 2, 3],
+            scheduler=RandomScheduler(11), max_steps=800_000,
+        )
+
+    outcome = benchmark(run)
+    table(
+        f"E3c: covering work vs m (m={m})",
+        ["m", "Block-Updates", "revisions", "steps"],
+        [(m, outcome.block_update_count(), outcome.revision_count(),
+          outcome.result.steps)],
+    )

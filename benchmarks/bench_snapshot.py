@@ -1,0 +1,88 @@
+"""E9 — the [AAD+93] snapshot-from-registers substrate.
+
+Measures scan/update cost of the wait-free constructions as the number of
+processes grows, and machine-checks linearizability of the generated
+histories — the justification for the paper's "assume an atomic snapshot
+w.l.o.g."."""
+
+import pytest
+
+from repro.analysis.linearizability import (
+    SnapshotSpec,
+    check_linearizable,
+    history_from_trace,
+)
+from repro.memory import AfekSnapshot
+from repro.memory.afek import AfekMWSnapshot
+from repro.runtime import RandomScheduler, System
+
+
+def run_single_writer(n, rounds, seed):
+    writers = list(range(n))
+    snapshot = AfekSnapshot("S", writers=writers, initial=None)
+    system = System()
+
+    def body(proc):
+        for r in range(rounds):
+            yield from snapshot.update(proc.pid, (proc.pid, r))
+            yield from snapshot.scan(proc.pid)
+
+    for _ in writers:
+        system.add_process(body)
+    result = system.run(RandomScheduler(seed), max_steps=2_000_000)
+    assert result.completed
+    return system
+
+
+@pytest.mark.parametrize("n", [2, 4, 8, 12])
+def test_single_writer_cost(benchmark, table, n):
+    system = benchmark(run_single_writer, n, 3, 99)
+    steps = len(system.trace.steps())
+    ops = n * 3 * 2
+    table(
+        f"E9: AADGMS single-writer snapshot cost (n={n})",
+        ["n", "ops", "register steps", "steps/op"],
+        [(n, ops, steps, round(steps / ops, 1))],
+    )
+    # Wait-free: the whole run is bounded by O(ops * n^2) register steps.
+    assert steps <= ops * (4 * n * n + 4 * n + 4)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_single_writer_linearizable(benchmark, table, seed):
+    system = run_single_writer(3, 2, seed)
+    history = history_from_trace(system.trace, "S")
+
+    ok, witness = benchmark(check_linearizable, history, SnapshotSpec(3))
+    assert ok
+    table(
+        f"E9b: linearizability check (seed={seed})",
+        ["operations", "linearizable"],
+        [(len(history), "yes")],
+    )
+
+
+@pytest.mark.parametrize("writers,m", [(3, 2), (4, 3), (6, 3)])
+def test_multi_writer_cost(benchmark, table, writers, m):
+    def run():
+        snapshot = AfekMWSnapshot("MW", components=m, initial=None)
+        system = System()
+
+        def body(proc):
+            for r in range(2):
+                yield from snapshot.update(proc.pid, (proc.pid + r) % m, r)
+                yield from snapshot.scan(proc.pid)
+
+        for _ in range(writers):
+            system.add_process(body)
+        result = system.run(RandomScheduler(5), max_steps=2_000_000)
+        assert result.completed
+        return system, snapshot
+
+    system, snapshot = benchmark(run)
+    assert snapshot.register_count() == m
+    table(
+        f"E9c: multi-writer snapshot from m registers ({writers} writers)",
+        ["writers", "m", "registers used", "primitive steps"],
+        [(writers, m, snapshot.register_count(), len(system.trace.steps()))],
+    )

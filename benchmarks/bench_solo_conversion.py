@@ -1,0 +1,119 @@
+"""E5 — the Appendix A conversion (Theorem 4).
+
+Measures the shortest-solo-path policy construction, verifies the
+space-preservation and obstruction-freedom claims on the example machines,
+and quantifies the solo-step blowup the paper's Future Work section warns
+about (the conversion preserves space, not solo step complexity)."""
+
+import random
+
+import pytest
+
+from repro.runtime import RandomScheduler, System
+from repro.solo import (
+    ConvertedMachine,
+    SpinOrCommit,
+    TokenRace,
+    converted_body,
+    nondet_body,
+    shortest_solo_path,
+)
+from repro.solo.conversion import make_registers, solo_run_machine
+
+
+@pytest.mark.parametrize("machine_factory,value", [
+    (SpinOrCommit, "v"),
+    (TokenRace, 1),
+])
+def test_policy_construction_cost(benchmark, table, machine_factory, value):
+    machine = machine_factory()
+
+    def build():
+        converted = ConvertedMachine(machine)
+        output, measures, _covered = solo_run_machine(converted, value)
+        return converted, output, measures
+
+    converted, output, measures = benchmark(build)
+    assert output is not None
+    table(
+        f"E5: conversion of {machine.name}",
+        ["registers before", "registers after", "solo steps", "decided"],
+        [(machine.registers, converted.registers, len(measures),
+          repr(output))],
+    )
+    assert converted.registers == machine.registers
+
+
+def test_obstruction_freedom_probe(benchmark, table):
+    """Converted machines terminate solo from adversarial contents."""
+    machine = TokenRace()
+    converted = ConvertedMachine(machine)
+    contents_grid = [
+        {0: a, 1: b}
+        for a in (None, 0, 1)
+        for b in (None, 0, 1)
+    ]
+
+    def sweep():
+        worst = 0
+        for contents in contents_grid:
+            _out, measures, _cov = solo_run_machine(
+                converted, 1, initial_contents=dict(contents)
+            )
+            worst = max(worst, len(measures))
+        return worst
+
+    worst = benchmark(sweep)
+    table(
+        "E5b: solo termination from all 9 register contents",
+        ["configurations probed", "worst solo steps"],
+        [(len(contents_grid), worst)],
+    )
+    assert worst <= 20
+
+
+def test_solo_blowup_vs_lucky_chooser(benchmark, table):
+    """The conversion can take more solo steps than the luckiest
+    nondeterministic chooser — the open problem the paper's Future Work
+    flags (bounding the solo step complexity of converted protocols)."""
+    machine = TokenRace()
+    converted = ConvertedMachine(machine)
+
+    def measure():
+        lucky = len(shortest_solo_path(machine, machine.initial_state(1), {}))
+        _out, measures, _cov = solo_run_machine(
+            converted, 1, initial_contents={0: 0, 1: 0}
+        )
+        return lucky, len(measures)
+
+    lucky, converted_steps = benchmark(measure)
+    table(
+        "E5c: solo steps — luckiest chooser vs converted machine",
+        ["luckiest nondeterministic", "converted (adversarial contents)"],
+        [(lucky, converted_steps)],
+    )
+    assert converted_steps >= lucky
+
+
+def test_concurrent_converted_runs(benchmark, table):
+    machine = TokenRace()
+    converted = ConvertedMachine(machine)
+
+    def sweep():
+        finished = 0
+        for seed in range(10):
+            registers = make_registers(machine, prefix=f"R{seed}")
+            system = System()
+            for value in (0, 1):
+                system.add_process(converted_body(converted, registers, value))
+            result = system.run(RandomScheduler(seed), max_steps=3_000)
+            finished += len(result.outputs)
+        return finished
+
+    finished = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table(
+        "E5d: concurrent converted processes over 10 schedules",
+        ["process runs", "decided"],
+        [(20, finished)],
+    )
+    assert finished >= 15  # obstruction-free, not wait-free

@@ -1,0 +1,34 @@
+"""Shared helpers for the experiment benchmarks.
+
+Each ``bench_*.py`` module regenerates one experiment from DESIGN.md's
+per-experiment index (E1-E10).  Benchmarks both *time* the workload (via
+pytest-benchmark) and *print* the experiment's table rows, so running
+
+    pytest benchmarks/ --benchmark-only -s
+
+reproduces every table of EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def print_table(title, headers, rows):
+    """Render one experiment table to stdout (captured unless -s)."""
+    widths = [
+        max(len(str(header)), *(len(str(row[i])) for row in rows)) if rows
+        else len(str(header))
+        for i, header in enumerate(headers)
+    ]
+    print()
+    print(f"### {title}")
+    print(" | ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    print("-+-".join("-" * w for w in widths))
+    for row in rows:
+        print(" | ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+
+
+@pytest.fixture
+def table():
+    return print_table

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Theorem 3 as an experiment: run the reduction against protocols that
+"use too few registers" and watch it surface the violations whose
+impossibility the theorem rests on.
+
+For each register count m below the bound, the script
+  * instantiates racing consensus for n = (k+1-x)m + x processes truncated
+    to m registers,
+  * runs the revisionist simulation among k+1 simulators with distinct
+    inputs under many schedules, and
+  * reports what broke: k-agreement, validity, or liveness.
+
+If the truncated protocol were a correct x-obstruction-free k-set
+agreement protocol, the simulation would be a deterministic wait-free k-set
+agreement protocol for k+1 processes — impossible by
+Borowsky-Gafni/Herlihy-Shavit/Saks-Zaharoglou.  So something must break,
+and this script shows you exactly what does.
+
+Usage:  python examples/falsify_underprovisioned_consensus.py
+"""
+
+from collections import Counter
+
+from repro.core import (
+    check_correspondence,
+    kset_space_lower_bound,
+    run_simulation,
+    simulated_process_count,
+)
+from repro.protocols import KSetAgreementTask, RacingConsensus, TruncatedProtocol
+from repro.runtime import RandomScheduler
+
+SEEDS = range(20)
+
+
+def falsify(k: int, x: int, m: int) -> Counter:
+    n = simulated_process_count(m, k, x)
+    bound = kset_space_lower_bound(n, k, x)
+    assert m < bound, "this demo only makes sense below the bound"
+    task = KSetAgreementTask(k)
+    tally: Counter = Counter()
+    print(f"k={k}, x={x}: simulating n={n} processes on m={m} registers "
+          f"(Theorem 3 bound: {bound})")
+    for seed in SEEDS:
+        protocol = TruncatedProtocol(RacingConsensus(n), m)
+        outcome = run_simulation(
+            protocol, k=k, x=x, inputs=list(range(k + 1)),
+            scheduler=RandomScheduler(seed), max_steps=300_000,
+        )
+        violations = outcome.task_violations(task)
+        if violations:
+            kind = "validity" if any("validity" in v for v in violations) \
+                else "agreement"
+            tally[f"safety:{kind}"] += 1
+        elif outcome.result.diverged:
+            tally["liveness:diverged"] += 1
+        else:
+            tally["no violation observed"] += 1
+        # The machinery itself stays faithful even on broken protocols:
+        correspondence = check_correspondence(outcome)
+        if not correspondence.ok:
+            tally["SIMULATION BUG"] += 1
+    return tally
+
+
+def main():
+    print(__doc__.split("Usage:")[0])
+    for k, x, m in [(1, 1, 1), (2, 1, 1), (2, 1, 2)]:
+        tally = falsify(k, x, m)
+        for kind, count in sorted(tally.items()):
+            print(f"    {kind:>24}: {count}/{len(list(SEEDS))} runs")
+        print()
+    print("Every safety hit above is a concrete execution in which the")
+    print("'impossible' protocol misbehaves — the constructive content of")
+    print("the lower bound.  Runs labelled 'no violation observed' are not")
+    print("counterevidence: the theorem promises SOME bad execution exists,")
+    print("and the closer m sits to the bound, the rarer those executions")
+    print("are under random schedules (see benchmarks/bench_falsifier.py")
+    print("for the systematic sweep).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""BG vs revisionist: the paper's central contrast, side by side.
+
+The paper's Section 1: "in the BG simulation, different steps of simulated
+processes can be performed by different simulators" — which is why BG can
+never revise a simulated past — "in our simulation ... each process is
+simulated by a single simulator", which is exactly what makes revision
+possible.
+
+This script runs both simulations on the same protocol and prints what
+each can and cannot do:
+
+  * BG: k+1 simulators cooperatively push ALL n simulated processes
+    forward; a crashed simulator strands at most one of them; pasts are
+    immutable and shared.
+  * Revisionist: each simulator owns its processes outright; covering
+    simulators insert hidden steps into their processes' pasts at views
+    returned by atomic Block-Updates.
+
+Usage:  python examples/two_simulations.py
+"""
+
+from repro.core import check_correspondence, run_bg_simulation, run_simulation
+from repro.protocols import RotatingWrites
+from repro.runtime import RandomScheduler
+
+
+def bg_side():
+    print("=" * 72)
+    print("BG simulation [BG93]: 3 simulators push all 7 processes")
+    print("=" * 72)
+    protocol = RotatingWrites(7, 3, rounds=3)
+    inputs = [5, 2, 8, 1, 9, 4, 6]
+    outcome = run_bg_simulation(
+        protocol, inputs, simulators=3,
+        scheduler=RandomScheduler(11), max_steps=500_000,
+    )
+    print(f"   simulated processes completed: "
+          f"{outcome.completed_processes}/{len(inputs)}")
+    print(f"   outputs: {dict(sorted(outcome.simulated_outputs.items()))}")
+    print(f"   safe-agreement registers spent by the reduction: "
+          f"{outcome.system.total_registers()}")
+    print("   every simulated step is shared work: any simulator may execute")
+    print("   any process's next step — so no one may rewrite anyone's past.")
+
+
+def revisionist_side():
+    print()
+    print("=" * 72)
+    print("Revisionist simulation (this paper): 3 simulators OWN 7 processes")
+    print("=" * 72)
+    protocol = RotatingWrites(7, 3, rounds=8)
+    inputs = [5, 2, 8]
+    for seed in range(40):
+        outcome = run_simulation(
+            protocol, k=2, x=1, inputs=inputs,
+            scheduler=RandomScheduler(seed), max_steps=500_000,
+        )
+        correspondence = check_correspondence(outcome)
+        assert correspondence.ok
+        if correspondence.hidden_steps:
+            break
+    print(f"   (seed {seed}) simulator decisions: {outcome.decisions}")
+    print(f"   Block-Updates: {outcome.block_update_count()}, "
+          f"revisions: {outcome.revision_count()}")
+    print(f"   hidden steps retroactively inserted into simulated pasts: "
+          f"{correspondence.hidden_steps}")
+    print("   ownership is what buys revision: only the owner simulates a")
+    print("   process, so rewriting its history is invisible to the rest —")
+    print("   the mechanism the space lower bound is built on.")
+
+
+if __name__ == "__main__":
+    bg_side()
+    revisionist_side()

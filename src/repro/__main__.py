@@ -1,0 +1,198 @@
+"""Command-line interface: the paper's results from a shell.
+
+Usage::
+
+    python -m repro bounds [--n-max 32] [--k-max 4]
+    python -m repro simulate [--k 2] [--x 1] [--m 3] [--seed 0]
+    python -m repro falsify [--k 1] [--x 1] [--m 1] [--runs 10]
+    python -m repro approx [--m 2] [--eps-exp 16]
+    python -m repro check [--seed 0]
+
+``bounds`` prints the Theorem 3 table; ``simulate`` runs the revisionist
+simulation on a correct workload and checks the Lemma 28 invariant;
+``falsify`` feeds it an under-provisioned consensus protocol and reports
+the violations; ``approx`` runs the Appendix D reduction and shows the
+ε-independent step count; ``check`` runs the Appendix B lemma checkers on
+a random augmented-snapshot execution.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+
+
+def cmd_bounds(args) -> int:
+    from repro.core import bound_table
+
+    rows = bound_table(
+        ns=range(2, args.n_max + 1),
+        ks=range(1, args.k_max + 1),
+        xs=range(1, args.k_max + 1),
+    )
+    print(f"{'n':>4} {'k':>3} {'x':>3} {'lower':>6} {'upper':>6} {'tight':>6}")
+    for row in rows:
+        print(
+            f"{row.n:>4} {row.k:>3} {row.x:>3} {row.lower:>6} "
+            f"{row.upper:>6} {'yes' if row.tight else '':>6}"
+        )
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    from repro.core import check_correspondence, run_simulation
+    from repro.protocols import RotatingWrites
+    from repro.runtime import RandomScheduler
+
+    n = (args.k + 1 - args.x) * args.m + args.x
+    protocol = RotatingWrites(n, args.m, rounds=2 * args.m + 2)
+    inputs = list(range(10, 11 + args.k))
+    outcome = run_simulation(
+        protocol, k=args.k, x=args.x, inputs=inputs,
+        scheduler=RandomScheduler(args.seed), max_steps=800_000,
+    )
+    print(f"protocol: {protocol.name}  simulators: {args.k + 1} "
+          f"(covering ranks {list(outcome.setup.covering_ranks)})")
+    print(f"decisions: {outcome.decisions}")
+    print(f"block-updates: {outcome.block_update_count()}  "
+          f"revisions: {outcome.revision_count()}")
+    correspondence = check_correspondence(outcome)
+    print(f"Lemma 28 correspondence: "
+          f"{'OK' if correspondence.ok else 'VIOLATED'} "
+          f"(σ length {len(correspondence.entries)}, "
+          f"{correspondence.hidden_steps} hidden)")
+    return 0 if correspondence.ok and outcome.all_decided else 1
+
+
+def cmd_falsify(args) -> int:
+    from repro.core import (
+        kset_space_lower_bound,
+        run_simulation,
+        simulated_process_count,
+    )
+    from repro.protocols import (
+        KSetAgreementTask,
+        RacingConsensus,
+        TruncatedProtocol,
+    )
+    from repro.runtime import RandomScheduler
+
+    n = simulated_process_count(args.m, args.k, args.x)
+    bound = kset_space_lower_bound(n, args.k, args.x)
+    # With n derived from m, m < bound always holds (the simulation pivot):
+    # there is always something to falsify.
+    assert args.m < bound
+    task = KSetAgreementTask(args.k)
+    hits = 0
+    for seed in range(args.runs):
+        protocol = TruncatedProtocol(RacingConsensus(n), args.m)
+        outcome = run_simulation(
+            protocol, k=args.k, x=args.x, inputs=list(range(args.k + 1)),
+            scheduler=RandomScheduler(seed), max_steps=400_000,
+        )
+        violations = outcome.task_violations(task)
+        if violations:
+            hits += 1
+            if hits == 1:
+                print(f"seed {seed}: {violations[0]}")
+    print(f"{hits}/{args.runs} runs exhibited a safety violation "
+          f"(n={n}, m={args.m}, Theorem 3 bound={bound})")
+    return 0
+
+
+def cmd_approx(args) -> int:
+    from repro.core import run_approx_simulation
+    from repro.protocols import AveragingApprox, TruncatedProtocol
+    from repro.runtime import RoundRobinScheduler
+
+    eps = 2.0 ** -args.eps_exp
+    protocol = TruncatedProtocol(AveragingApprox(2 * args.m, eps), args.m)
+    outcome = run_approx_simulation(protocol, [0, 1], RoundRobinScheduler())
+    hoest_shavit = math.log(1 / eps, 3)
+    print(f"ε = 2^-{args.eps_exp}; Hoest-Shavit bound log3(1/ε) = "
+          f"{hoest_shavit:.1f} steps")
+    print(f"simulator steps (m={args.m}): {outcome.max_steps_taken} "
+          f"— ε-independent")
+    print(f"decisions: {outcome.decisions}")
+    if outcome.max_steps_taken < hoest_shavit:
+        print("the simulation beats the lower bound: a correct protocol "
+              "with this m cannot exist (Appendix D)")
+    return 0
+
+
+def cmd_check(args) -> int:
+    from repro.augmented import AugmentedSnapshot
+    from repro.augmented.linearization import check_all
+    from repro.runtime import RandomScheduler, System
+
+    system = System()
+    aug = AugmentedSnapshot("M", components=3, pids=[0, 1, 2])
+
+    def body(proc):
+        for round_no in range(4):
+            yield from aug.block_update(
+                proc.pid, [(proc.pid + round_no) % 3], [round_no]
+            )
+            yield from aug.scan(proc.pid)
+
+    for _ in range(3):
+        system.add_process(body)
+    system.run(RandomScheduler(args.seed), max_steps=500_000)
+    violations = check_all(system.trace, aug)
+    print(f"steps: {len(system.trace.steps())}  "
+          f"atomic: {sum(aug.atomic_counts.values())}  "
+          f"yield: {sum(aug.yield_counts.values())}")
+    if violations:
+        for violation in violations:
+            print("VIOLATION:", violation)
+        return 1
+    print("all Appendix B lemma checks passed")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Revisionist Simulations (PODC 2018), executable.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    bounds = sub.add_parser("bounds", help="print the Theorem 3 bound table")
+    bounds.add_argument("--n-max", type=int, default=16)
+    bounds.add_argument("--k-max", type=int, default=3)
+    bounds.set_defaults(func=cmd_bounds)
+
+    simulate = sub.add_parser("simulate", help="run the simulation")
+    simulate.add_argument("--k", type=int, default=2)
+    simulate.add_argument("--x", type=int, default=1)
+    simulate.add_argument("--m", type=int, default=3)
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.set_defaults(func=cmd_simulate)
+
+    falsify = sub.add_parser("falsify", help="falsify below the bound")
+    falsify.add_argument("--k", type=int, default=1)
+    falsify.add_argument("--x", type=int, default=1)
+    falsify.add_argument("--m", type=int, default=1)
+    falsify.add_argument("--runs", type=int, default=10)
+    falsify.set_defaults(func=cmd_falsify)
+
+    approx = sub.add_parser("approx", help="Appendix D reduction")
+    approx.add_argument("--m", type=int, default=2)
+    approx.add_argument("--eps-exp", type=int, default=16)
+    approx.set_defaults(func=cmd_approx)
+
+    check = sub.add_parser("check", help="Appendix B lemma checks")
+    check.add_argument("--seed", type=int, default=0)
+    check.set_defaults(func=cmd_check)
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,66 @@
+"""Analysis tools: checkers and adversaries.
+
+* :mod:`repro.analysis.explore` — bounded-exhaustive model checking of
+  normal-form protocols: enumerate every interleaving of a small instance,
+  check task safety in every reachable configuration, and probe
+  obstruction-freedom by solo-extending reachable configurations.
+* :mod:`repro.analysis.linearizability` — a Wing–Gong-style checker for
+  concurrent histories against sequential object specifications (used to
+  machine-check the [AAD+93] snapshot constructions).
+* :mod:`repro.analysis.bivalence` — the FLP valence machinery: classify
+  configurations of a consensus protocol as bivalent/univalent and build the
+  classic adversarial extensions, made finite by step bounds.
+* :mod:`repro.analysis.covering` — Burns–Lynch covering machinery: drive a
+  protocol so that processes cover distinct components, the classical
+  technique the paper's simulation performs "inside" the reduction.
+"""
+
+from repro.analysis.bivalence import ValenceReport, classify_valence, bivalent_initial_configurations
+from repro.analysis.covering import CoveringReport, build_covering
+from repro.analysis.explore import (
+    ExplorationReport,
+    check_obstruction_freedom,
+    explore_protocol,
+)
+from repro.analysis.fuzz import FuzzReport, fuzz_protocol
+from repro.analysis.linearizability import (
+    CompletedOperation,
+    check_linearizable,
+    crossing_pairs,
+)
+from repro.analysis.shrink import (
+    ShrinkResult,
+    replay_schedule,
+    shrink_schedule,
+    violates,
+)
+from repro.analysis.space import (
+    SpaceReport,
+    components_written,
+    measure_protocol_space,
+    measure_system_registers,
+)
+
+__all__ = [
+    "ExplorationReport",
+    "explore_protocol",
+    "check_obstruction_freedom",
+    "CompletedOperation",
+    "check_linearizable",
+    "crossing_pairs",
+    "ValenceReport",
+    "classify_valence",
+    "bivalent_initial_configurations",
+    "CoveringReport",
+    "build_covering",
+    "ShrinkResult",
+    "shrink_schedule",
+    "replay_schedule",
+    "violates",
+    "SpaceReport",
+    "components_written",
+    "measure_protocol_space",
+    "measure_system_registers",
+    "FuzzReport",
+    "fuzz_protocol",
+]

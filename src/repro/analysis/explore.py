@@ -1,0 +1,189 @@
+"""Bounded-exhaustive model checking of normal-form protocols.
+
+Because protocol states are hashable and transitions pure, a whole system
+configuration is the pair ``(process states, M contents)`` and the
+asynchronous adversary is just "which undecided process moves next".  This
+module enumerates that choice tree with memoization, checking task safety
+(validity and agreement are monotone in the set of decisions, so they can
+be checked as decisions appear) and optionally probing progress by running
+solo extensions from reachable configurations.
+
+Protocols like racing consensus have unbounded round numbers, so the full
+configuration space is infinite; exploration is therefore *bounded*
+exhaustive: complete up to ``max_configs``/``max_steps`` and reported as
+truncated beyond.  A safety bug within the bound is a real counterexample
+(the discovered schedule is replayable); absence of bugs is evidence in the
+small-scope sense.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import DivergenceError, ValidationError
+from repro.protocols.base import DECIDE, SCAN, UPDATE, Protocol, solo_run
+
+
+@dataclass
+class ExplorationReport:
+    """Outcome of :func:`explore_protocol`.
+
+    Attributes:
+        violations: distinct safety violations found (empty = safe within
+            the explored space).
+        configurations: number of distinct configurations visited.
+        truncated: True if the bound cut exploration short.
+        fully_decided: number of configurations where every process decided.
+        counterexample: a schedule (list of process indices) reaching the
+            first violation, if any — replay it to debug the protocol.
+    """
+
+    violations: List[str] = field(default_factory=list)
+    configurations: int = 0
+    truncated: bool = False
+    fully_decided: int = 0
+    counterexample: Optional[List[int]] = None
+
+    @property
+    def safe(self) -> bool:
+        return not self.violations
+
+
+def _decisions(protocol: Protocol, states: Tuple) -> Dict[int, Any]:
+    out = {}
+    for index, state in enumerate(states):
+        kind, payload = protocol.poised(state)
+        if kind == DECIDE:
+            out[index] = payload
+    return out
+
+
+def explore_protocol(
+    protocol: Protocol,
+    inputs: Sequence[Any],
+    task,
+    max_configs: int = 200_000,
+    max_steps: Optional[int] = None,
+    stop_at_first_violation: bool = True,
+) -> ExplorationReport:
+    """Explore every interleaving of a protocol instance, checking safety.
+
+    Args:
+        protocol: the protocol under test.
+        inputs: one input per participating process (may be fewer than
+            ``protocol.n``).
+        task: a task checker with ``check(inputs, outputs) -> [violations]``
+            (see :mod:`repro.protocols.tasks`).
+        max_configs: visit budget; exceeded -> ``truncated``.
+        max_steps: optional per-run depth bound (schedule length).
+        stop_at_first_violation: stop early (with counterexample) or keep
+            collecting distinct violations.
+    """
+    if len(inputs) > protocol.n:
+        raise ValidationError(
+            f"{protocol.name} supports n={protocol.n}, got {len(inputs)} inputs"
+        )
+    initial_states = tuple(
+        protocol.initial_state(i, v) for i, v in enumerate(inputs)
+    )
+    initial_memory = (None,) * protocol.m
+    report = ExplorationReport()
+    seen = set()
+    # DFS stack: (states, memory, depth, schedule-so-far)
+    stack = [(initial_states, initial_memory, 0, ())]
+    while stack:
+        states, memory, depth, schedule = stack.pop()
+        key = (states, memory)
+        if key in seen:
+            continue
+        seen.add(key)
+        report.configurations += 1
+        if report.configurations >= max_configs:
+            report.truncated = True
+            break
+
+        decided = _decisions(protocol, states)
+        if decided:
+            for violation in task.check(list(inputs), decided):
+                if violation not in report.violations:
+                    report.violations.append(violation)
+                    if report.counterexample is None:
+                        report.counterexample = list(schedule)
+            if report.violations and stop_at_first_violation:
+                break
+        if len(decided) == len(inputs):
+            report.fully_decided += 1
+            continue
+        if max_steps is not None and depth >= max_steps:
+            report.truncated = True
+            continue
+
+        for index in range(len(inputs)):
+            if index in decided:
+                continue
+            kind, payload = protocol.poised(states[index])
+            if kind == SCAN:
+                new_state = protocol.advance(states[index], memory)
+                new_memory = memory
+            elif kind == UPDATE:
+                component, value = payload
+                new_state = protocol.advance(states[index], None)
+                as_list = list(memory)
+                as_list[component] = value
+                new_memory = tuple(as_list)
+            else:  # pragma: no cover - decided handled above
+                continue
+            new_states = states[:index] + (new_state,) + states[index + 1:]
+            stack.append((new_states, new_memory, depth + 1, schedule + (index,)))
+    return report
+
+
+def check_obstruction_freedom(
+    protocol: Protocol,
+    inputs: Sequence[Any],
+    sample_schedules: Sequence[Sequence[int]],
+    solo_budget: int = 10_000,
+) -> List[str]:
+    """Probe obstruction-freedom: from each configuration reached by a given
+    schedule, every process run solo must decide within ``solo_budget``.
+
+    Returns violations (empty = obstruction-free on all probes).  The
+    schedules are lists of process indices; steps by decided processes are
+    skipped.
+    """
+    violations = []
+    for schedule in sample_schedules:
+        states = [protocol.initial_state(i, v) for i, v in enumerate(inputs)]
+        memory: List[Any] = [None] * protocol.m
+        for index in schedule:
+            kind, payload = protocol.poised(states[index])
+            if kind == DECIDE:
+                continue
+            if kind == SCAN:
+                states[index] = protocol.advance(states[index], tuple(memory))
+            else:
+                component, value = payload
+                memory[component] = value
+                states[index] = protocol.advance(states[index], None)
+        for index in range(len(inputs)):
+            kind, _payload = protocol.poised(states[index])
+            if kind == DECIDE:
+                continue
+            try:
+                _state, _mem, _pending, decision = solo_run(
+                    protocol, states[index], tuple(memory), max_steps=solo_budget
+                )
+            except DivergenceError:
+                violations.append(
+                    f"{protocol.name}: process {index} ran solo for "
+                    f"{solo_budget} steps without deciding after schedule "
+                    f"{list(schedule)[:20]}..."
+                )
+                continue
+            if decision is None:
+                violations.append(
+                    f"{protocol.name}: process {index} solo run stopped "
+                    "without a decision"
+                )
+    return violations

@@ -1,0 +1,140 @@
+"""Human-readable renderings of executions and analyses.
+
+Everything the library computes — raw traces, Appendix B linearizations,
+reconstructed simulated executions with hidden steps, bound tables — can be
+rendered to fixed-width text for inspection, logging, or the experiment
+write-ups.  All functions are pure string builders (no printing), so they
+compose with whatever output channel the caller has.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+from repro.augmented.linearization import Linearization
+from repro.core.bounds import BoundRow
+from repro.core.invariant import Correspondence
+from repro.runtime.system import System
+
+
+def _table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(str(header)), *(len(row[i]) for row in cells)) if cells
+        else len(str(header))
+        for i, header in enumerate(headers)
+    ]
+    lines = [
+        " | ".join(str(h).ljust(w) for h, w in zip(headers, widths)),
+        "-+-".join("-" * w for w in widths),
+    ]
+    for row in cells:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_trace(system: System, limit: Optional[int] = None) -> str:
+    """The raw step trace: seq, process, object, operation, result."""
+    steps = system.trace.steps()
+    if limit is not None:
+        steps = steps[:limit]
+    rows = [
+        (event.seq, f"p{event.pid}", event.obj_name, event.op,
+         repr(event.args), repr(event.result))
+        for event in steps
+    ]
+    return _table(
+        ["seq", "proc", "object", "op", "args", "result"], rows
+    )
+
+
+def render_linearization(lin: Linearization) -> str:
+    """The Appendix B linearization σ: one row per Update/Scan point."""
+    rows = []
+    for point in lin.sigma:
+        if point.kind == "scan":
+            rows.append(
+                (point.seq, "Scan", f"q{point.scan.rank}", "", "",
+                 point.scan.op_id, "")
+            )
+        else:
+            record = point.block_update
+            rows.append(
+                (point.seq, "Update", f"q{record.rank}", point.component,
+                 repr(point.value), record.op_id,
+                 "atomic" if record.atomic else "☡")
+            )
+    return _table(
+        ["lin.seq", "kind", "rank", "component", "value", "operation",
+         "block"],
+        rows,
+    )
+
+
+def render_correspondence(
+    correspondence: Correspondence, mark_hidden: str = ">>"
+) -> str:
+    """The reconstructed simulated execution, hidden steps flagged."""
+    rows = []
+    for position, entry in enumerate(correspondence.entries):
+        step = (
+            "scan"
+            if entry.kind == "scan"
+            else f"update({entry.component}, {entry.value!r})"
+        )
+        if entry.hidden:
+            origin = "HIDDEN (revised past)"
+        elif entry.bu_op_id:
+            origin = f"block-update {entry.bu_op_id}" + (
+                "" if entry.bu_atomic else " ☡"
+            )
+        else:
+            origin = "direct"
+        rows.append(
+            (mark_hidden if entry.hidden else "", position,
+             f"p{entry.process}", step, origin)
+        )
+    header = _table(["", "#", "proc", "step", "origin"], rows)
+    summary = (
+        f"{len(correspondence.entries)} simulated steps, "
+        f"{correspondence.hidden_steps} hidden; "
+        f"{'no violations' if correspondence.ok else 'VIOLATIONS:'}"
+    )
+    body = header + "\n" + summary
+    if not correspondence.ok:
+        body += "\n" + "\n".join(
+            f"  - {violation}" for violation in correspondence.violations
+        )
+    return body
+
+
+def render_bound_table(rows: Sequence[BoundRow]) -> str:
+    """The Theorem 3 lower/upper bound grid."""
+    return _table(
+        ["n", "k", "x", "lower ⌊(n-x)/(k+1-x)⌋+1", "upper n-k+x", "gap",
+         "tight"],
+        [
+            (row.n, row.k, row.x, row.lower, row.upper, row.gap,
+             "yes" if row.tight else "")
+            for row in rows
+        ],
+    )
+
+
+def render_decisions(outcome) -> str:
+    """One line per simulator decision of a SimulationOutcome."""
+    lines = []
+    for rank in sorted(outcome.decisions):
+        lines.append(
+            f"q{rank} (input {outcome.setup.inputs[rank]!r}) decided "
+            f"{outcome.decisions[rank]!r}"
+        )
+    undecided = [
+        rank
+        for rank in range(outcome.setup.simulator_count)
+        if rank not in outcome.decisions
+    ]
+    for rank in undecided:
+        lines.append(f"q{rank} (input {outcome.setup.inputs[rank]!r}) — "
+                     "undecided")
+    return "\n".join(lines)

@@ -1,0 +1,89 @@
+"""Space measurement: the paper's complexity measure, observed.
+
+The space complexity of a protocol is the maximum number of registers used
+in any execution.  This module measures the observable proxy on concrete
+executions — how many distinct components of M are actually written — and
+aggregates it over schedule families, so the E2 bound tables can be set
+against what executions genuinely touch.
+
+Two subtleties the reports surface:
+
+* a protocol's *declared* m is an upper bound; particular executions
+  (e.g. solo runs) may touch far fewer components — space complexity is a
+  max over executions, which is why lower-bound proofs must construct
+  adversarial ones;
+* the simulation's own space (the augmented snapshot's H plus the touched
+  helping cells) is an implementation cost of the *reduction*, not of the
+  protocol — reported separately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence, Set
+
+from repro.protocols.base import DECIDE, SCAN, UPDATE, Protocol
+from repro.runtime.scheduler import Scheduler
+from repro.runtime.system import System
+
+
+@dataclass
+class SpaceReport:
+    """Aggregated space usage over a family of executions."""
+
+    declared_m: int
+    per_run: List[int] = field(default_factory=list)
+
+    @property
+    def max_used(self) -> int:
+        return max(self.per_run, default=0)
+
+    @property
+    def min_used(self) -> int:
+        return min(self.per_run, default=0)
+
+    @property
+    def mean_used(self) -> float:
+        return sum(self.per_run) / len(self.per_run) if self.per_run else 0.0
+
+
+def components_written(
+    protocol: Protocol, inputs: Sequence[Any], schedule: Sequence[int]
+) -> Set[int]:
+    """The set of components written when replaying ``schedule``."""
+    states = [protocol.initial_state(i, v) for i, v in enumerate(inputs)]
+    memory: List[Any] = [None] * protocol.m
+    written: Set[int] = set()
+    for index in schedule:
+        kind, payload = protocol.poised(states[index])
+        if kind == DECIDE:
+            continue
+        if kind == SCAN:
+            states[index] = protocol.advance(states[index], tuple(memory))
+        else:
+            component, value = payload
+            written.add(component)
+            memory[component] = value
+            states[index] = protocol.advance(states[index], None)
+    return written
+
+
+def measure_protocol_space(
+    protocol: Protocol,
+    inputs: Sequence[Any],
+    schedules: Sequence[Sequence[int]],
+) -> SpaceReport:
+    """Components written across a family of replayed schedules."""
+    report = SpaceReport(declared_m=protocol.m)
+    for schedule in schedules:
+        report.per_run.append(
+            len(components_written(protocol, inputs, schedule))
+        )
+    return report
+
+
+def measure_system_registers(system: System) -> Dict[str, int]:
+    """Registers used per shared object in a finished system run."""
+    return {
+        name: obj.register_count() for name, obj in system.objects.items()
+    }

@@ -1,0 +1,40 @@
+"""The augmented snapshot object (Section 3, Figure 1) and its analysis.
+
+An m-component augmented multi-writer snapshot ``M`` shared by k+1 processes
+supports ``Scan`` and ``Block-Update``.  A Block-Update writes several
+components (as a sequence of individually-linearizable ``Update``\\ s) and
+either
+
+* is **atomic** — its Updates linearize consecutively — and returns a view of
+  ``M`` from a point before it with no Scans or other atomic Block-Updates in
+  between (the view a covering simulator uses to *revise the past*), or
+* returns the **yield sign** ☡, which may happen only when a lower-identifier
+  process's Block-Update ran concurrently.
+
+:mod:`repro.augmented.object` is a line-by-line implementation of Figure 1;
+:mod:`repro.augmented.views` holds the local functions (New-timestamp,
+Get-view, prefix tests); :mod:`repro.augmented.linearization` implements the
+Appendix B linearization rules and the checkable forms of Lemmas 13–23.
+"""
+
+from repro.augmented.object import AugmentedSnapshot
+from repro.augmented.views import (
+    YIELD,
+    get_view,
+    history_counts,
+    history_count,
+    is_prefix,
+    is_proper_prefix,
+    new_timestamp,
+)
+
+__all__ = [
+    "AugmentedSnapshot",
+    "YIELD",
+    "get_view",
+    "history_count",
+    "history_counts",
+    "is_prefix",
+    "is_proper_prefix",
+    "new_timestamp",
+]

@@ -1,0 +1,190 @@
+"""The *partially* augmented snapshot: Block-Updates by q_0 only.
+
+Appendix B alludes to a staged construction: "In the partially augmented
+snapshot, only q_0 performed Block-Update operations and we ensured that
+the return values of Block-Updates were consistent with the return values
+of Scan operations."  This module implements that stage.  Because q_0 has
+no lower-identifier rival, *every* one of its Block-Updates is atomic, so
+the object needs none of Figure 1's conflict machinery: no yield sign, no
+helping writes on the Block-Update path (lines 26–31 vanish).  What
+remains is the essential core —
+
+* Scans publish their first collect to helping registers so a concurrent
+  Block-Update can return a view consistent with them (Figure 1 lines
+  16–18 / 32–37), and
+* Updates carry fresh lexicographic timestamps so Get-view is well defined.
+
+The class also supports a deliberately *unsafe* mode
+(``unsafe_allow_any_rank=True``) that lets every process Block-Update
+without the yield check.  Tests use it to exhibit the inconsistent views
+that the full object's ☡ mechanism exists to prevent — the constructive
+answer to "why is Figure 1 so careful?".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Sequence, Tuple
+
+from repro.augmented.views import (
+    get_view,
+    history_counts,
+    is_proper_prefix,
+    new_timestamp,
+)
+from repro.errors import ModelError, ValidationError
+from repro.memory.registers import RegisterArray
+from repro.memory.snapshot import SingleWriterSnapshot
+from repro.runtime.events import Annotate, Invoke
+
+PARTIAL_OP_TAG = "partial.op"
+
+
+class PartialAugmentedSnapshot:
+    """m-component snapshot with Scans for all, Block-Updates for q_0.
+
+    Processes other than q_0 may perform single-component ``update``
+    operations (one-triple appends, trivially atomic).  q_0's
+    ``block_update`` returns a view of the object at a point before its
+    updates such that no Scan linearizes in between — the property the
+    revisionist machinery needs, obtained here without any possibility of
+    ☡ because no rival Block-Updates exist.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        components: int,
+        pids: Sequence[int],
+        unsafe_allow_any_rank: bool = False,
+    ) -> None:
+        if components < 1:
+            raise ValidationError("need at least one component")
+        if not pids:
+            raise ValidationError("need at least one process")
+        self.name = name
+        self.m = components
+        self.pids = list(pids)
+        self._rank = {pid: i for i, pid in enumerate(self.pids)}
+        if len(self._rank) != len(self.pids):
+            raise ValidationError("duplicate pids")
+        self.unsafe_allow_any_rank = unsafe_allow_any_rank
+        self.H = SingleWriterSnapshot(f"{name}.H", writers=self.pids, initial=())
+        # Helping registers: scanner i helps block-updater j (normally only
+        # j = 0 is read, but the unsafe mode reads them all).
+        self.L: Dict[Tuple[int, int], RegisterArray] = {}
+        for i, pid_i in enumerate(self.pids):
+            for j, pid_j in enumerate(self.pids):
+                if i != j:
+                    self.L[(i, j)] = RegisterArray(
+                        f"{name}.L[{i},{j}]", initial=None,
+                        writer=pid_i, reader=pid_j,
+                    )
+        self._op_counter = 0
+
+    def rank_of(self, pid: int) -> int:
+        """The identifier (priority) of ``pid`` within this object."""
+        try:
+            return self._rank[pid]
+        except KeyError:
+            raise ModelError(f"pid {pid} does not share {self.name}") from None
+
+    def register_count(self) -> int:
+        """Registers used: H's components plus touched helping cells."""
+        return self.H.register_count() + sum(
+            arr.register_count() for arr in self.L.values()
+        )
+
+    def _next_op_id(self, kind: str) -> str:
+        self._op_counter += 1
+        return f"{kind}{self._op_counter}"
+
+    # ------------------------------------------------------------------
+    def scan(self, pid: int) -> Generator[Any, Any, Tuple[Any, ...]]:
+        """Double-collect scan with helping, as in Figure 1 lines 14–21."""
+        rank = self.rank_of(pid)
+        op_id = self._next_op_id("S")
+        yield Annotate(PARTIAL_OP_TAG, {
+            "object": self.name, "kind": "scan", "phase": "begin",
+            "op_id": op_id, "rank": rank,
+        })
+        while True:
+            h = yield Invoke(self.H, "scan")
+            counts = history_counts(h)
+            for j in range(len(self.pids)):
+                if j != rank:
+                    yield Invoke(self.L[(rank, j)], "write", (counts[j], h))
+            f = yield Invoke(self.H, "scan")
+            if h == f:
+                break
+        view = get_view(h, self.m)
+        yield Annotate(PARTIAL_OP_TAG, {
+            "object": self.name, "kind": "scan", "phase": "end",
+            "op_id": op_id, "rank": rank, "view": view,
+        })
+        return view
+
+    def update(
+        self, pid: int, component: int, value: Any
+    ) -> Generator[Any, Any, None]:
+        """A single-component update by any process (atomic at its append)."""
+        rank = self.rank_of(pid)
+        if not 0 <= component < self.m:
+            raise ValidationError(f"component {component} out of range")
+        h = yield Invoke(self.H, "scan")
+        stamp = new_timestamp(h, rank)
+        yield Invoke(
+            self.H, "update", (rank, h[rank] + ((component, value, stamp),))
+        )
+        return None
+
+    def block_update(
+        self,
+        pid: int,
+        components: Sequence[int],
+        values: Sequence[Any],
+    ) -> Generator[Any, Any, Tuple[Any, ...]]:
+        """q_0's always-atomic Block-Update; returns a pre-update view.
+
+        Figure 1 minus the conflict machinery: scan H, stamp, append all
+        triples, then choose the latest of {own collect} ∪ {views published
+        by concurrent Scans} (lines 32–37).  Never returns ☡.
+        """
+        rank = self.rank_of(pid)
+        if rank != 0 and not self.unsafe_allow_any_rank:
+            raise ModelError(
+                f"{self.name}: only q_0 may Block-Update the partially "
+                "augmented snapshot"
+            )
+        comps = list(components)
+        vals = list(values)
+        if not comps or len(comps) != len(vals) or len(set(comps)) != len(comps):
+            raise ValidationError("malformed Block-Update arguments")
+        for c in comps:
+            if not 0 <= c < self.m:
+                raise ValidationError(f"component {c} out of range")
+
+        op_id = self._next_op_id("B")
+        yield Annotate(PARTIAL_OP_TAG, {
+            "object": self.name, "kind": "block_update", "phase": "begin",
+            "op_id": op_id, "rank": rank, "components": tuple(comps),
+            "values": tuple(vals),
+        })
+        h = yield Invoke(self.H, "scan")
+        stamp = new_timestamp(h, rank)
+        triples = tuple((c, v, stamp) for c, v in zip(comps, vals))
+        yield Invoke(self.H, "update", (rank, h[rank] + triples))
+
+        h_counts = history_counts(h)
+        last = h
+        for j in range(len(self.pids)):
+            if j == rank:
+                continue
+            r_j = yield Invoke(self.L[(j, rank)], "read", (h_counts[rank],))
+            if r_j is not None and is_proper_prefix(last, r_j):
+                last = r_j
+        view = get_view(last, self.m)
+        yield Annotate(PARTIAL_OP_TAG, {
+            "object": self.name, "kind": "block_update", "phase": "end",
+            "op_id": op_id, "rank": rank, "timestamp": stamp, "view": view,
+        })
+        return view

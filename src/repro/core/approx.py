@@ -1,0 +1,112 @@
+"""The Appendix D simulation: approximate agreement in O(f(m)²) steps.
+
+Two simulators q_0, q_1 each own m processes of an ε-approximate-agreement
+protocol Π and both run the *covering* simulator algorithm (there are no
+direct simulators here).  Lemma 33 shows each decides within a number of
+shared-memory steps that depends only on m — not on ε.  Theorem 2
+(Hoest–Shavit) says wait-free 2-process ε-approximate agreement needs
+log₃(1/ε) steps, so if Π used m ≤ ⌊n/2⌋ registers the simulation would beat
+that bound for small ε: the Appendix D space lower bound ⌊n/2⌋+1.
+
+Experiment E7 runs this harness over the real
+:class:`~repro.protocols.approximate.AveragingApprox` protocol for varying
+ε and m and measures the simulators' step counts, exhibiting the
+ε-independence the contradiction rests on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence
+
+from repro.augmented.object import AugmentedSnapshot
+from repro.core.simulation import (
+    SIM_DECISION_TAG,
+    SimulationSetup,
+    covering_simulator_body,
+)
+from repro.errors import ValidationError
+from repro.protocols.base import Protocol
+from repro.runtime.scheduler import Scheduler
+from repro.runtime.system import ExecutionResult, System
+
+
+@dataclass
+class ApproxSimulationOutcome:
+    """Result of one Appendix D simulation run."""
+
+    setup: SimulationSetup
+    system: System
+    aug: AugmentedSnapshot
+    result: ExecutionResult
+    decisions: Dict[int, Any] = field(default_factory=dict)
+    steps_per_simulator: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def all_decided(self) -> bool:
+        return len(self.decisions) == 2
+
+    @property
+    def max_steps_taken(self) -> int:
+        return max(self.steps_per_simulator.values(), default=0)
+
+    def task_violations(self, task) -> List[str]:
+        """Check the simulators' outputs against a task specification."""
+        return task.check(list(self.setup.inputs), self.decisions)
+
+
+def run_approx_simulation(
+    protocol: Protocol,
+    inputs: Sequence[Any],
+    scheduler: Scheduler,
+    max_steps: int = 500_000,
+    solo_budget: int = 200_000,
+    object_name: str = "M",
+) -> ApproxSimulationOutcome:
+    """Run the two-covering-simulator reduction of Appendix D.
+
+    ``protocol`` must be specified for at least ``2 * protocol.m``
+    processes; each simulator owns m of them and inherits one of the two
+    ``inputs``.
+    """
+    if len(inputs) != 2:
+        raise ValidationError("the Appendix D simulation takes 2 inputs")
+    m = protocol.m
+    if protocol.n < 2 * m:
+        raise ValidationError(
+            f"{protocol.name} is specified for n={protocol.n} processes; "
+            f"the Appendix D simulation needs 2m = {2 * m}"
+        )
+    setup = SimulationSetup(
+        protocol=protocol,
+        k=1,
+        x=0,  # both simulators cover; no direct simulators
+        inputs=tuple(inputs),
+        covering_ranks=(0, 1),
+        direct_ranks=(),
+        process_map={0: tuple(range(m)), 1: tuple(range(m, 2 * m))},
+    )
+    aug = AugmentedSnapshot(object_name, components=m, pids=[0, 1])
+    system = System()
+    for rank in (0, 1):
+        system.add_process(
+            covering_simulator_body(setup, aug, rank, solo_budget),
+            pid=rank,
+            name=f"cover-q{rank}",
+        )
+    result = system.run(scheduler, max_steps=max_steps)
+    decisions = {
+        event.payload["rank"]: event.payload["value"]
+        for event in system.trace.annotations(SIM_DECISION_TAG)
+    }
+    steps = {
+        rank: system.processes[rank].steps_taken for rank in (0, 1)
+    }
+    return ApproxSimulationOutcome(
+        setup=setup,
+        system=system,
+        aug=aug,
+        result=result,
+        decisions=decisions,
+        steps_per_simulator=steps,
+    )

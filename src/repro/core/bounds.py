@@ -1,0 +1,112 @@
+"""The paper's space-bound formulas, as checked arithmetic.
+
+Theorem 3: any x-obstruction-free k-set agreement protocol for n > k
+processes uses at least ⌊(n−x)/(k+1−x)⌋ + 1 registers.  The corollaries and
+the upper bounds it chases are here too, plus the grid generator behind the
+E2 experiment table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+from repro.errors import ValidationError
+
+
+def _check_parameters(n: int, k: int, x: int) -> None:
+    if k < 1:
+        raise ValidationError("k must be at least 1")
+    if not 1 <= x <= k:
+        raise ValidationError(f"x must satisfy 1 <= x <= k (got x={x}, k={k})")
+    if n <= k:
+        raise ValidationError(f"need n > k (got n={n}, k={k})")
+
+
+def kset_space_lower_bound(n: int, k: int, x: int = 1) -> int:
+    """Theorem 3: ⌊(n−x)/(k+1−x)⌋ + 1 registers are necessary."""
+    _check_parameters(n, k, x)
+    return (n - x) // (k + 1 - x) + 1
+
+
+def kset_space_upper_bound(n: int, k: int, x: int = 1) -> int:
+    """The best known sufficient count: n − k + x registers [BRS15]."""
+    _check_parameters(n, k, x)
+    return n - k + x
+
+
+def consensus_space_bound(n: int) -> int:
+    """Consensus (k = x = 1): exactly n registers — the bounds meet."""
+    lower = kset_space_lower_bound(n, 1, 1)
+    upper = kset_space_upper_bound(n, 1, 1)
+    assert lower == upper == n
+    return n
+
+
+def approx_space_lower_bound(n: int) -> int:
+    """Appendix D: obstruction-free ε-approximate agreement needs at least
+    ⌊n/2⌋ + 1 registers, for sufficiently small ε."""
+    if n < 1:
+        raise ValidationError("n must be at least 1")
+    return n // 2 + 1
+
+
+def simulated_process_count(m: int, k: int, x: int = 1) -> int:
+    """Processes the simulation runs: (k+1−x)·m covering + x direct."""
+    if m < 1:
+        raise ValidationError("m must be at least 1")
+    if k < 1 or not 1 <= x <= k:
+        raise ValidationError("need k >= 1 and 1 <= x <= k")
+    return (k + 1 - x) * m + x
+
+
+def max_simulatable_registers(n: int, k: int, x: int = 1) -> int:
+    """The largest m for which k+1 simulators can partition n processes:
+    ⌊(n−x)/(k+1−x)⌋ — exactly one less than the Theorem 3 bound."""
+    _check_parameters(n, k, x)
+    return (n - x) // (k + 1 - x)
+
+
+@dataclass(frozen=True)
+class BoundRow:
+    """One row of the E2 bound table."""
+
+    n: int
+    k: int
+    x: int
+    lower: int
+    upper: int
+
+    @property
+    def gap(self) -> int:
+        return self.upper - self.lower
+
+    @property
+    def tight(self) -> bool:
+        return self.gap == 0
+
+
+def bound_table(
+    ns: Iterable[int], ks: Iterable[int], xs: Iterable[int] = (1,)
+) -> List[BoundRow]:
+    """The E2 grid: lower vs upper bound over (n, k, x) combinations.
+
+    Invalid combinations (x > k or n <= k) are skipped, matching the
+    theorem's hypotheses.
+    """
+    rows = []
+    for n in ns:
+        for k in ks:
+            for x in xs:
+                if x > k or n <= k:
+                    continue
+                rows.append(
+                    BoundRow(
+                        n=n,
+                        k=k,
+                        x=x,
+                        lower=kset_space_lower_bound(n, k, x),
+                        upper=kset_space_upper_bound(n, k, x),
+                    )
+                )
+    return rows

@@ -1,0 +1,134 @@
+"""Structured experiment sweeps: many seeds, one report.
+
+The experiments run the same harness across schedule seeds and aggregate
+what happened.  This module centralizes that pattern so benchmarks, the
+CLI, and user code produce consistent, comparable reports:
+
+* :func:`sweep_simulation` — the revisionist simulation across seeds, with
+  task checking and optional Lemma 28 verification per run;
+* :func:`sweep_protocol` — plain protocol executions across seeds;
+* :class:`SweepReport` — outcome tallies plus extremes (slowest run, first
+  violating seed) that the write-ups quote.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.core.invariant import check_correspondence
+from repro.core.simulation import run_simulation
+from repro.protocols.base import Protocol, run_protocol
+from repro.runtime.scheduler import RandomScheduler
+
+
+@dataclass
+class SweepReport:
+    """Aggregated outcomes of a seed sweep."""
+
+    runs: int = 0
+    completed: int = 0
+    all_decided: int = 0
+    safety_violations: int = 0
+    divergences: int = 0
+    correspondence_failures: int = 0
+    first_violating_seed: Optional[int] = None
+    max_steps_observed: int = 0
+    decisions_histogram: Dict[Any, int] = field(default_factory=dict)
+
+    @property
+    def clean(self) -> bool:
+        """No safety violations and no correspondence failures."""
+        return (
+            self.safety_violations == 0
+            and self.correspondence_failures == 0
+        )
+
+    def record_decisions(self, decisions: Dict[int, Any]) -> None:
+        """Fold one run's decided values into the histogram."""
+        for value in decisions.values():
+            self.decisions_histogram[value] = (
+                self.decisions_histogram.get(value, 0) + 1
+            )
+
+    def summary(self) -> str:
+        """One-line human summary."""
+        return (
+            f"{self.runs} runs: {self.all_decided} fully decided, "
+            f"{self.safety_violations} safety violations, "
+            f"{self.divergences} divergences, "
+            f"{self.correspondence_failures} correspondence failures"
+        )
+
+
+def sweep_simulation(
+    protocol: Protocol,
+    k: int,
+    x: int,
+    inputs: Sequence[Any],
+    seeds: Sequence[int],
+    task=None,
+    verify_correspondence: bool = False,
+    max_steps: int = 500_000,
+    **run_kwargs,
+) -> SweepReport:
+    """Run the revisionist simulation across seeds and aggregate outcomes.
+
+    ``task`` (optional) is checked against each run's decisions;
+    ``verify_correspondence`` additionally runs the Lemma 28 checker per
+    run (slower).  Extra keyword arguments go to
+    :func:`~repro.core.simulation.run_simulation`.
+    """
+    report = SweepReport()
+    for seed in seeds:
+        outcome = run_simulation(
+            protocol, k=k, x=x, inputs=list(inputs),
+            scheduler=RandomScheduler(seed), max_steps=max_steps,
+            **run_kwargs,
+        )
+        report.runs += 1
+        report.completed += outcome.result.completed
+        report.all_decided += outcome.all_decided
+        report.max_steps_observed = max(
+            report.max_steps_observed, outcome.result.steps
+        )
+        report.record_decisions(outcome.decisions)
+        if outcome.result.diverged:
+            report.divergences += 1
+        if task is not None and outcome.task_violations(task):
+            report.safety_violations += 1
+            if report.first_violating_seed is None:
+                report.first_violating_seed = seed
+        if verify_correspondence and not check_correspondence(outcome).ok:
+            report.correspondence_failures += 1
+    return report
+
+
+def sweep_protocol(
+    protocol: Protocol,
+    inputs: Sequence[Any],
+    seeds: Sequence[int],
+    task=None,
+    max_steps: int = 100_000,
+) -> SweepReport:
+    """Run a protocol instance across seeds and aggregate outcomes."""
+    report = SweepReport()
+    for seed in seeds:
+        _system, result = run_protocol(
+            protocol, list(inputs), RandomScheduler(seed),
+            max_steps=max_steps,
+        )
+        report.runs += 1
+        report.completed += result.completed
+        report.all_decided += len(result.outputs) == len(inputs)
+        report.max_steps_observed = max(
+            report.max_steps_observed, result.steps
+        )
+        report.record_decisions(result.outputs)
+        if result.diverged:
+            report.divergences += 1
+        if task is not None and task.check(list(inputs), result.outputs):
+            report.safety_violations += 1
+            if report.first_violating_seed is None:
+                report.first_violating_seed = seed
+    return report

@@ -1,0 +1,62 @@
+"""Exception hierarchy for the revisionist-simulations library.
+
+All exceptions raised by the library derive from :class:`ReproError`, so
+callers can catch everything from this package with a single handler while
+still being able to distinguish model violations (bugs in a *protocol under
+test*, which the library is designed to surface) from usage errors (bugs in
+the *caller's* code).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ModelError(ReproError):
+    """The shared-memory model was violated (e.g. a step applied out of turn)."""
+
+
+class ProtocolError(ReproError):
+    """A protocol under test misbehaved structurally.
+
+    Raised when a protocol breaks the alternating scan/update normal form,
+    updates a component outside the declared register range, or decides an
+    invalid value type.  This is distinct from a *safety violation* (wrong
+    outputs), which is reported by the analysis tools as data, not raised.
+    """
+
+
+class SchedulerError(ReproError):
+    """A scheduler requested a step from a crashed or terminated process."""
+
+
+class LinearizabilityError(ReproError):
+    """A history that was required to be linearizable is not."""
+
+
+class SimulationError(ReproError):
+    """The revisionist simulation reached a state the paper proves unreachable.
+
+    Seeing this exception on a *correct* protocol input indicates a bug in the
+    simulation machinery itself; seeing it on an under-provisioned protocol is
+    the expected falsifier outcome.
+    """
+
+
+class DivergenceError(ReproError):
+    """An execution exceeded its step budget without the required progress.
+
+    Used by falsifier experiments to report that a protocol (or a simulation
+    of it) failed to terminate within the configured bound, which is the
+    finite-run signature of a liveness violation.
+    """
+
+    def __init__(self, message: str, steps_taken: int = 0):
+        super().__init__(message)
+        self.steps_taken = steps_taken
+
+
+class ValidationError(ReproError):
+    """Invalid argument values supplied to a public API entry point."""

@@ -1,0 +1,23 @@
+"""Shared-memory objects.
+
+Primitive objects (:class:`~repro.memory.registers.Register`,
+:class:`~repro.memory.snapshot.AtomicSnapshot`, ...) have atomic operations:
+each operation is a single step in an execution.  Composed objects
+(:class:`~repro.memory.afek.AfekSnapshot`) are *implementations* built from
+primitive objects; their methods are generators that yield one primitive
+step at a time, so a scheduler can interleave them arbitrarily — which is
+what makes their linearizability a theorem to check rather than an
+assumption.
+"""
+
+from repro.memory.afek import AfekSnapshot
+from repro.memory.registers import Register, RegisterArray
+from repro.memory.snapshot import AtomicSnapshot, SingleWriterSnapshot
+
+__all__ = [
+    "Register",
+    "RegisterArray",
+    "AtomicSnapshot",
+    "SingleWriterSnapshot",
+    "AfekSnapshot",
+]

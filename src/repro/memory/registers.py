@@ -1,0 +1,130 @@
+"""Read/write registers, the base objects of the space-complexity model.
+
+The paper's space measure is "number of registers used in any execution";
+:meth:`Register.register_count` and :meth:`RegisterArray.register_count`
+report exactly that, with arrays lazily allocating cells so that the
+unbounded arrays ``L_{i,j}[b]`` of Figure 1 cost only what an execution
+actually touches.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import ModelError
+
+
+class Register:
+    """A multi-writer multi-reader atomic register.
+
+    Operations (via ``apply``):
+        * ``read()`` -> current contents
+        * ``write(v)`` -> writes ``v``; returns ``v`` (the paper's Appendix A
+          convention that writes return the value written).
+
+    Optional access control: ``writer`` restricts writes to one pid and
+    ``reader`` restricts reads to one pid, modelling the single-writer /
+    single-reader registers of Figure 1.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        initial: Any = None,
+        writer: Optional[int] = None,
+        reader: Optional[int] = None,
+    ) -> None:
+        self.name = name
+        self.value = initial
+        self.writer = writer
+        self.reader = reader
+        self.write_count = 0
+        self.read_count = 0
+
+    def __repr__(self) -> str:
+        return f"Register({self.name!r}, value={self.value!r})"
+
+    def apply(self, pid: int, op: str, args: Tuple[Any, ...]) -> Any:
+        """Atomically apply read()/write(v); enforces access control."""
+        if op == "read":
+            if self.reader is not None and pid != self.reader:
+                raise ModelError(
+                    f"register {self.name} is single-reader for pid "
+                    f"{self.reader}; pid {pid} tried to read"
+                )
+            self.read_count += 1
+            return self.value
+        if op == "write":
+            if self.writer is not None and pid != self.writer:
+                raise ModelError(
+                    f"register {self.name} is single-writer for pid "
+                    f"{self.writer}; pid {pid} tried to write"
+                )
+            (value,) = args
+            self.value = value
+            self.write_count += 1
+            return value
+        raise ModelError(f"register {self.name} has no operation {op!r}")
+
+    def register_count(self) -> int:
+        """A register is one register."""
+        return 1
+
+
+class RegisterArray:
+    """An unbounded array of registers, allocated lazily on first access.
+
+    Models objects like the helping arrays ``L_{i,j}[0..]`` of Figure 1:
+    semantically unbounded, but an execution only pays for the cells it
+    touches.  Cells may carry the same single-writer/single-reader
+    restrictions as :class:`Register`.
+
+    Operations:
+        * ``read(index)``
+        * ``write(index, value)``
+    """
+
+    def __init__(
+        self,
+        name: str,
+        initial: Any = None,
+        writer: Optional[int] = None,
+        reader: Optional[int] = None,
+    ) -> None:
+        self.name = name
+        self.initial = initial
+        self.writer = writer
+        self.reader = reader
+        self.cells: Dict[Any, Any] = {}
+        self.write_count = 0
+        self.read_count = 0
+
+    def __repr__(self) -> str:
+        return f"RegisterArray({self.name!r}, {len(self.cells)} cells touched)"
+
+    def apply(self, pid: int, op: str, args: Tuple[Any, ...]) -> Any:
+        """Atomically apply read(i)/write(i, v) on a lazily allocated cell."""
+        if op == "read":
+            if self.reader is not None and pid != self.reader:
+                raise ModelError(
+                    f"array {self.name} is single-reader for pid "
+                    f"{self.reader}; pid {pid} tried to read"
+                )
+            (index,) = args
+            self.read_count += 1
+            return self.cells.get(index, self.initial)
+        if op == "write":
+            if self.writer is not None and pid != self.writer:
+                raise ModelError(
+                    f"array {self.name} is single-writer for pid "
+                    f"{self.writer}; pid {pid} tried to write"
+                )
+            index, value = args
+            self.cells[index] = value
+            self.write_count += 1
+            return value
+        raise ModelError(f"array {self.name} has no operation {op!r}")
+
+    def register_count(self) -> int:
+        """Registers actually materialized (written at least once)."""
+        return len(self.cells)

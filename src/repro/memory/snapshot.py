@@ -1,0 +1,112 @@
+"""Atomic snapshot objects, used as single steps.
+
+The paper assumes (Section 2, "Atomic Snapshots") that protocols may use an
+m-component multi-writer atomic snapshot whose ``update`` and ``scan`` count
+as single steps, because [AAD+93] shows such an object is implementable
+wait-free from m registers.  :class:`AtomicSnapshot` is that assumed object;
+:class:`~repro.memory.afek.AfekSnapshot` is the implementation that justifies
+it (checked by the linearizability test suite).
+
+:class:`SingleWriterSnapshot` restricts component ``i`` to writer ``i`` —
+the flavour used for the history object ``H`` in Figure 1.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.errors import ModelError
+
+
+class AtomicSnapshot:
+    """An m-component multi-writer atomic snapshot.
+
+    Operations:
+        * ``update(j, v)`` — atomically set component ``j`` to ``v``.
+        * ``scan()`` — atomically read all components; returns a tuple.
+
+    Space: counts as ``m`` registers, per the [AAD+93] construction.
+    """
+
+    def __init__(self, name: str, components: int, initial: Any = None) -> None:
+        if components < 1:
+            raise ModelError("snapshot needs at least one component")
+        self.name = name
+        self.m = components
+        self.values: List[Any] = [initial] * components
+        self.update_count = 0
+        self.scan_count = 0
+
+    def __repr__(self) -> str:
+        return f"AtomicSnapshot({self.name!r}, m={self.m})"
+
+    def apply(self, pid: int, op: str, args: Tuple[Any, ...]) -> Any:
+        """Atomically apply scan()/update(j, v)."""
+        if op == "scan":
+            self.scan_count += 1
+            return tuple(self.values)
+        if op == "update":
+            index, value = args
+            self._check_index(index)
+            self.values[index] = value
+            self.update_count += 1
+            return None
+        raise ModelError(f"snapshot {self.name} has no operation {op!r}")
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < self.m:
+            raise ModelError(
+                f"component {index} out of range for {self.m}-component "
+                f"snapshot {self.name}"
+            )
+
+    def register_count(self) -> int:
+        """Counts as m registers, per the [AAD+93] construction."""
+        return self.m
+
+    def view(self) -> Tuple[Any, ...]:
+        """Current contents (test/analysis helper, not a model step)."""
+        return tuple(self.values)
+
+
+class SingleWriterSnapshot(AtomicSnapshot):
+    """An n-component snapshot where only process ``i`` updates component ``i``.
+
+    Components are indexed by pid via an explicit ``writers`` sequence, so a
+    subset of system pids can share the object (e.g. the k+1 simulators).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        writers: Sequence[int],
+        initial: Any = None,
+    ) -> None:
+        super().__init__(name, components=len(writers), initial=initial)
+        self.writers = list(writers)
+        self._slot = {pid: i for i, pid in enumerate(self.writers)}
+        if len(self._slot) != len(self.writers):
+            raise ModelError("duplicate writer pids")
+
+    def __repr__(self) -> str:
+        return f"SingleWriterSnapshot({self.name!r}, writers={self.writers})"
+
+    def slot_of(self, pid: int) -> int:
+        """The component index owned by ``pid``."""
+        try:
+            return self._slot[pid]
+        except KeyError:
+            raise ModelError(
+                f"pid {pid} has no component in snapshot {self.name}"
+            ) from None
+
+    def apply(self, pid: int, op: str, args: Tuple[Any, ...]) -> Any:
+        """Like AtomicSnapshot.apply, enforcing the single-writer rule."""
+        if op == "update":
+            index, _value = args
+            if self._slot.get(pid) != index:
+                raise ModelError(
+                    f"pid {pid} tried to update component {index} of "
+                    f"single-writer snapshot {self.name}"
+                )
+        return super().apply(pid, op, args)

@@ -1,0 +1,106 @@
+"""Anonymous multi-writer racing — a case study in why [BRS15] is hard.
+
+The paper's best upper bounds ([Zhu15, BRS15]) are *anonymous*: processes
+have no identifiers and run identical code over multi-writer registers.
+This module implements the natural anonymous algorithm — sweep your
+``(round, value)`` pair across all m components, adopt the strongest pair
+you see, decide on a clean sweep — with the pair order "higher round wins,
+then smaller value wins" and a configurable decision round threshold.
+
+Whether this natural algorithm is actually consensus is *not assumed*: the
+test suite puts it in front of the bounded-exhaustive model checker.  The
+outcome (see tests/protocols/test_anonymous.py) is itself a reproduction
+artifact: at small scopes the checker certifies safety, and the
+hand-constructible covering attack — a process that observed a full clean
+sweep of the losing value parks a higher-round write over a decided
+configuration — marks exactly the difficulty frontier that makes the
+register-optimal anonymous constructions of [BRS15] a real contribution
+rather than folklore.
+
+Unlike :class:`~repro.protocols.racing.RacingConsensus` (single-writer,
+verified), this protocol is **not** part of the verified upper-bound
+suite; it exists to be studied.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Tuple
+
+from repro.errors import ProtocolError, ValidationError
+from repro.protocols.base import DECIDE, SCAN, UPDATE, Protocol
+
+
+def _stronger(a: Tuple[int, Any], b: Tuple[int, Any]) -> Tuple[int, Any]:
+    """The adoption order: higher round wins; at equal rounds the smaller
+    value wins (a deterministic, anonymous tie-break)."""
+    if a[0] != b[0]:
+        return a if a[0] > b[0] else b
+    return a if a[1] <= b[1] else b
+
+
+class AnonymousSweepConsensus(Protocol):
+    """Anonymous sweep racing over m multi-writer components.
+
+    State: ``(phase, round, value)`` — deliberately *index-free*: two
+    processes with the same input are in identical states until they read
+    different values, the anonymity condition of [FHS98, AGM02].
+
+    Args:
+        n: number of processes (affects nothing but the declared width).
+        m: number of multi-writer components.
+        decision_round: a clean sweep decides only from this round on
+            (the analogue of racing consensus's ``r >= 2`` guard).
+    """
+
+    def __init__(self, n: int, m: Optional[int] = None,
+                 decision_round: int = 2) -> None:
+        if n < 1:
+            raise ValidationError("n must be at least 1")
+        if decision_round < 1:
+            raise ValidationError("decision_round must be at least 1")
+        self.n = n
+        self.m = m if m is not None else n
+        if self.m < 1:
+            raise ValidationError("m must be at least 1")
+        self.decision_round = decision_round
+        self.name = (
+            f"anonymous-sweep(n={n}, m={self.m}, d={decision_round})"
+        )
+
+    def initial_state(self, index: int, value: Any) -> Tuple:
+        # Anonymous: the index is validated but never stored.
+        self.check_index(index)
+        return ("scan", 1, value)
+
+    def poised(self, state: Any) -> Tuple[str, Any]:
+        phase, round_no, value = state
+        if phase == "scan":
+            return (SCAN, None)
+        if phase == "done":
+            return (DECIDE, value)
+        component = int(phase.split(":")[1])
+        return (UPDATE, (component, (round_no, value)))
+
+    def advance(self, state: Any, observation: Any = None) -> Any:
+        phase, round_no, value = state
+        if phase == "done":
+            raise ProtocolError(f"{self.name}: advance on decided state")
+        if phase.startswith("write:"):
+            return ("scan", round_no, value)
+
+        # phase == "scan": absorb the view.
+        pair = (round_no, value)
+        for entry in observation:
+            if entry is not None:
+                pair = _stronger(pair, entry)
+        round_no, value = pair
+        stale = [
+            component
+            for component, entry in enumerate(observation)
+            if entry != (round_no, value)
+        ]
+        if not stale:
+            if round_no >= self.decision_round:
+                return ("done", round_no, value)
+            return (f"write:0", round_no + 1, value)
+        return (f"write:{stale[0]}", round_no, value)

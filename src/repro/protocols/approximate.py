@@ -1,0 +1,135 @@
+"""ε-approximate agreement protocols (Appendix D's upper-bound side).
+
+Two wait-free protocols bracket the space/step trade-off the appendix's
+lower bound lives in:
+
+* :class:`AveragingApprox` — the n-single-writer-component protocol in the
+  style of [DLP+86, ALS94]: asynchronous rounds, each round writes
+  ``(round, value)`` and moves to the midpoint of the values seen at the
+  leading round.  Atomic snapshots make round-r values nested-subset
+  midpoints of round-(r-1) values, so the value range halves each round;
+  after ``ceil(log2(1/ε))`` rounds all outputs are within ε.
+* :class:`BisectionApprox` — the per-round-register protocol in the style
+  of Schenk's ⌈log₂(1/ε)⌉ upper bound [Sch96]: two processes, one pair of
+  single-writer components per round (our registers hold reals rather than
+  Schenk's single bits, hence the honest factor 2: m = 2⌈log₂(1/ε)⌉).
+  Whoever scans second in a round sees the other's value and moves to the
+  midpoint, halving the gap every round.
+
+Both decide after a fixed number of rounds, so their step complexity is
+Θ(log(1/ε)) — the quantity experiment E6 measures against the Hoest–Shavit
+log₃(1/ε) lower bound (Theorem 2), and the quantity the Appendix D
+simulation beats with its ε-independent O(f(m)²) steps.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Tuple
+
+from repro.errors import ProtocolError, ValidationError
+from repro.protocols.base import DECIDE, SCAN, UPDATE, Protocol
+
+
+def rounds_for(epsilon: float) -> int:
+    """Rounds needed to shrink a unit range below ``epsilon``: ⌈log₂(1/ε)⌉."""
+    if not 0 < epsilon:
+        raise ValidationError("epsilon must be positive")
+    if epsilon >= 1:
+        return 1
+    return max(1, math.ceil(math.log2(1.0 / epsilon)))
+
+
+class AveragingApprox(Protocol):
+    """Wait-free ε-approximate agreement on n single-writer components.
+
+    Component ``i`` holds process i's ``(round, value)``.  State:
+    ``(phase, index, round, value)``; the process decides once its round
+    exceeds the fixed round budget R = ⌈log₂(1/ε)⌉.
+    """
+
+    def __init__(self, n: int, epsilon: float) -> None:
+        if n < 1:
+            raise ValidationError("n must be at least 1")
+        self.n = n
+        self.m = n
+        self.epsilon = epsilon
+        self.rounds = rounds_for(epsilon)
+        self.name = f"averaging-approx(n={n}, eps={epsilon})"
+
+    def initial_state(self, index: int, value: Any) -> Tuple:
+        self.check_index(index)
+        if value not in (0, 1):
+            raise ValidationError("approximate agreement inputs must be 0 or 1")
+        return ("update", index, 1, float(value))
+
+    def poised(self, state: Any) -> Tuple[str, Any]:
+        phase, index, round_no, value = state
+        if round_no > self.rounds:
+            return (DECIDE, value)
+        if phase == "update":
+            return (UPDATE, (index, (round_no, value)))
+        return (SCAN, None)
+
+    def advance(self, state: Any, observation: Any = None) -> Any:
+        phase, index, round_no, value = state
+        if round_no > self.rounds:
+            raise ProtocolError(f"{self.name}: advance on decided state")
+        if phase == "update":
+            return ("scan", index, round_no, value)
+        entries = [entry for entry in observation if entry is not None]
+        max_round = max(entry[0] for entry in entries)  # own entry is present
+        leading = [v for r, v in entries if r == max_round]
+        midpoint = (min(leading) + max(leading)) / 2.0
+        if max_round > round_no:
+            # Behind: jump to the leading round, adopting its midpoint
+            # (a value inside the leading round's hull).
+            return ("update", index, max_round, midpoint)
+        # At the front: average the leading values and move up one round.
+        return ("update", index, round_no + 1, midpoint)
+
+
+class BisectionApprox(Protocol):
+    """Two-process ε-approximate agreement with one component pair per round.
+
+    Components ``2(r-1) + id`` hold process ``id``'s round-r value.  Each
+    round: write, scan; if the other process's round-r component is filled,
+    move to the midpoint.  In every interleaving at least one process's
+    scan follows both writes, so the gap halves every round; after
+    R = ⌈log₂(1/ε)⌉ rounds the processes decide.
+    """
+
+    def __init__(self, epsilon: float) -> None:
+        self.n = 2
+        self.epsilon = epsilon
+        self.rounds = rounds_for(epsilon)
+        self.m = 2 * self.rounds
+        self.name = f"bisection-approx(eps={epsilon})"
+
+    def initial_state(self, index: int, value: Any) -> Tuple:
+        self.check_index(index)
+        if value not in (0, 1):
+            raise ValidationError("approximate agreement inputs must be 0 or 1")
+        return ("update", index, 1, float(value))
+
+    def _component(self, round_no: int, index: int) -> int:
+        return 2 * (round_no - 1) + index
+
+    def poised(self, state: Any) -> Tuple[str, Any]:
+        phase, index, round_no, value = state
+        if round_no > self.rounds:
+            return (DECIDE, value)
+        if phase == "update":
+            return (UPDATE, (self._component(round_no, index), value))
+        return (SCAN, None)
+
+    def advance(self, state: Any, observation: Any = None) -> Any:
+        phase, index, round_no, value = state
+        if round_no > self.rounds:
+            raise ProtocolError(f"{self.name}: advance on decided state")
+        if phase == "update":
+            return ("scan", index, round_no, value)
+        other = observation[self._component(round_no, 1 - index)]
+        if other is not None:
+            value = (value + other) / 2.0
+        return ("update", index, round_no + 1, value)

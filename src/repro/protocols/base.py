@@ -1,0 +1,289 @@
+"""The scan/update normal-form protocol interface.
+
+A protocol specifies, for each of its ``n`` processes, a deterministic state
+machine over an ``m``-component snapshot ``M``:
+
+* :meth:`Protocol.initial_state` gives the state of process ``i`` on input
+  ``v``;
+* :meth:`Protocol.poised` says what the process is poised to do in a state —
+  ``(SCAN, None)``, ``(UPDATE, (j, value))``, or ``(DECIDE, output)``;
+* :meth:`Protocol.advance` applies the step: for a scan, it absorbs the
+  returned view; for an update, it moves past the write.
+
+States must be *immutable and hashable* and transitions must be *pure*.
+This buys three guarantees the rest of the library depends on:
+
+1. executions are replayable (the runtime drives the same machine);
+2. a covering simulator can re-run a process locally from a revised past
+   (Section 4's hidden steps) and get exactly what the process "would have"
+   done — see :func:`solo_run`;
+3. small instances can be exhaustively model-checked, because a
+   configuration (all states + M contents) is hashable.
+
+Protocols must also alternate: after a scan the machine must be poised to
+update or decide; after an update it must be poised to scan.  This is the
+paper's w.l.o.g. normal form and :func:`protocol_body` enforces it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Generator, List, Optional, Sequence, Tuple
+
+from repro.errors import DivergenceError, ProtocolError, ValidationError
+from repro.memory.snapshot import AtomicSnapshot
+from repro.runtime.events import Annotate, Invoke
+from repro.runtime.process import Process
+from repro.runtime.scheduler import Scheduler
+from repro.runtime.system import ExecutionResult, System
+
+SCAN = "scan"
+UPDATE = "update"
+DECIDE = "decide"
+
+#: Annotation tag recorded when a protocol process decides.
+DECISION_TAG = "protocol.decision"
+
+
+class Protocol:
+    """Base class for scan/update normal-form protocols.
+
+    Attributes:
+        n: number of processes the protocol is specified for.
+        m: number of components of the snapshot M it uses (its space).
+        name: human-readable protocol name.
+    """
+
+    n: int
+    m: int
+    name: str = "protocol"
+
+    def initial_state(self, index: int, value: Any) -> Any:
+        """State of process ``index`` with input ``value`` (poised to scan
+        or update, never decided)."""
+        raise NotImplementedError
+
+    def poised(self, state: Any) -> Tuple[str, Any]:
+        """What the process does next: ``(SCAN, None)``,
+        ``(UPDATE, (component, value))`` or ``(DECIDE, output)``."""
+        raise NotImplementedError
+
+    def advance(self, state: Any, observation: Any = None) -> Any:
+        """The state after performing the poised step.
+
+        ``observation`` is the scan's returned view for SCAN steps and must
+        be ``None`` for UPDATE steps.  Calling this on a decided state is a
+        :class:`~repro.errors.ProtocolError`.
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Conveniences shared by all protocols
+    # ------------------------------------------------------------------
+    def decision(self, state: Any) -> Optional[Any]:
+        """The decided value, or ``None`` if the state is not final."""
+        kind, payload = self.poised(state)
+        return payload if kind == DECIDE else None
+
+    def check_index(self, index: int) -> None:
+        """Validate a process index against n."""
+        if not 0 <= index < self.n:
+            raise ValidationError(
+                f"{self.name}: process index {index} out of range (n={self.n})"
+            )
+
+
+def protocol_body(
+    protocol: Protocol,
+    index: int,
+    value: Any,
+    snapshot: AtomicSnapshot,
+    max_own_steps: Optional[int] = None,
+) -> Callable[[Process], Generator]:
+    """Build a runtime process body that executes one protocol process.
+
+    The body alternates scans and updates on ``snapshot`` per the machine's
+    poised steps, annotates its decision, and returns the decided value.
+    ``max_own_steps`` bounds the process's own steps (used to surface
+    livelock as :class:`~repro.errors.DivergenceError` data, not a hang).
+    """
+    protocol.check_index(index)
+
+    def body(proc: Process) -> Generator:
+        state = protocol.initial_state(index, value)
+        taken = 0
+        previous_kind = None
+        while True:
+            kind, payload = protocol.poised(state)
+            if kind == DECIDE:
+                yield Annotate(
+                    DECISION_TAG,
+                    {"protocol": protocol.name, "index": index, "value": payload},
+                )
+                return payload
+            if kind == previous_kind:
+                raise ProtocolError(
+                    f"{protocol.name}: process {index} broke scan/update "
+                    f"alternation (two consecutive {kind} steps)"
+                )
+            if max_own_steps is not None and taken >= max_own_steps:
+                return None  # give up silently; the runner reports divergence
+            if kind == SCAN:
+                view = yield Invoke(snapshot, "scan")
+                state = protocol.advance(state, view)
+            elif kind == UPDATE:
+                component, written = payload
+                yield Invoke(snapshot, "update", (component, written))
+                state = protocol.advance(state, None)
+            else:
+                raise ProtocolError(
+                    f"{protocol.name}: unknown poised kind {kind!r}"
+                )
+            previous_kind = kind
+            taken += 1
+
+    return body
+
+
+def run_protocol(
+    protocol: Protocol,
+    inputs: Sequence[Any],
+    scheduler: Scheduler,
+    max_steps: int = 100_000,
+    snapshot_name: str = "M",
+) -> Tuple[System, ExecutionResult]:
+    """Execute a protocol instance end to end on a fresh system.
+
+    ``inputs[i]`` is process i's input; processes get pids 0..len-1.
+    Returns the system (for trace analysis) and the execution result, whose
+    ``outputs`` map pids to decided values (absent for undecided processes).
+    """
+    if len(inputs) > protocol.n:
+        raise ValidationError(
+            f"{protocol.name} supports n={protocol.n} processes, got "
+            f"{len(inputs)} inputs"
+        )
+    system = System()
+    snapshot = AtomicSnapshot(snapshot_name, components=protocol.m)
+    for index, value in enumerate(inputs):
+        system.add_process(
+            protocol_body(protocol, index, value, snapshot),
+            name=f"{protocol.name}[{index}]",
+        )
+    result = system.run(scheduler, max_steps=max_steps)
+    return system, result
+
+
+def solo_run(
+    protocol: Protocol,
+    state: Any,
+    contents: Sequence[Any],
+    stop_before_update_outside: Optional[Sequence[int]] = None,
+    max_steps: int = 100_000,
+) -> Tuple[Any, Tuple[Any, ...], Optional[Tuple[int, Any]], Optional[Any]]:
+    """Locally run one protocol process solo from given snapshot contents.
+
+    This is the paper's *local simulation*: the covering simulator runs a
+    process ``p`` from a configuration where M's contents are a view ``V``
+    it obtained from an atomic Block-Update, inserting hidden steps into the
+    past.  Scans read, and updates write, a local copy of the contents; the
+    run stops when
+
+    * the process decides — returns its decision; or
+    * it is poised to update a component **not** in
+      ``stop_before_update_outside`` (when given) — the paper's "until it is
+      about to perform an update to a component j ∉ {j_1..j_r}".
+      With ``stop_before_update_outside=[]`` the run stops before the very
+      first update (the base case: direct simulation until poised).
+
+    Returns ``(state, final_contents, pending_update, decision)`` where
+    ``pending_update`` is the ``(component, value)`` the process is poised
+    to perform (or None if it decided).
+
+    Raises :class:`~repro.errors.DivergenceError` if the process neither
+    decides nor reaches a stopping update within ``max_steps`` — for an
+    obstruction-free protocol this cannot happen (a solo run must decide).
+    """
+    local = list(contents)
+    if len(local) != protocol.m:
+        raise ValidationError(
+            f"{protocol.name}: contents have {len(local)} components, "
+            f"expected {protocol.m}"
+        )
+    allowed = None
+    if stop_before_update_outside is not None:
+        allowed = set(stop_before_update_outside)
+    for _ in range(max_steps):
+        kind, payload = protocol.poised(state)
+        if kind == DECIDE:
+            return state, tuple(local), None, payload
+        if kind == SCAN:
+            state = protocol.advance(state, tuple(local))
+        elif kind == UPDATE:
+            component, value = payload
+            if allowed is not None and component not in allowed:
+                return state, tuple(local), (component, value), None
+            local[component] = value
+            state = protocol.advance(state, None)
+        else:
+            raise ProtocolError(f"{protocol.name}: unknown poised kind {kind!r}")
+    raise DivergenceError(
+        f"{protocol.name}: solo run did not decide or reach a stopping "
+        f"update within {max_steps} steps",
+        steps_taken=max_steps,
+    )
+
+
+def solo_run_trace(
+    protocol: Protocol,
+    state: Any,
+    contents: Sequence[Any],
+    stop_before_update_outside: Optional[Sequence[int]] = None,
+    max_steps: int = 100_000,
+) -> Tuple[Any, Tuple[Any, ...], Optional[Tuple[int, Any]], Optional[Any], List[Tuple]]:
+    """Like :func:`solo_run`, but also returns the step list.
+
+    The extra element is the sequence of steps taken, each
+    ``("scan", view)`` or ``("update", component, value)`` — the hidden
+    execution ξ that the Lemma 28 correspondence checker splices into the
+    simulated execution.
+    """
+    local = list(contents)
+    if len(local) != protocol.m:
+        raise ValidationError(
+            f"{protocol.name}: contents have {len(local)} components, "
+            f"expected {protocol.m}"
+        )
+    allowed = None
+    if stop_before_update_outside is not None:
+        allowed = set(stop_before_update_outside)
+    steps: List[Tuple] = []
+    for _ in range(max_steps):
+        kind, payload = protocol.poised(state)
+        if kind == DECIDE:
+            return state, tuple(local), None, payload, steps
+        if kind == SCAN:
+            view = tuple(local)
+            steps.append(("scan", view))
+            state = protocol.advance(state, view)
+        elif kind == UPDATE:
+            component, value = payload
+            if allowed is not None and component not in allowed:
+                return state, tuple(local), (component, value), None, steps
+            steps.append(("update", component, value))
+            local[component] = value
+            state = protocol.advance(state, None)
+        else:
+            raise ProtocolError(f"{protocol.name}: unknown poised kind {kind!r}")
+    raise DivergenceError(
+        f"{protocol.name}: solo run did not decide or reach a stopping "
+        f"update within {max_steps} steps",
+        steps_taken=max_steps,
+    )
+
+
+def decided_values(system: System) -> Dict[int, Any]:
+    """pid -> decided value, read from decision annotations in the trace."""
+    decisions: Dict[int, Any] = {}
+    for event in system.trace.annotations(DECISION_TAG):
+        decisions[event.pid] = event.payload["value"]
+    return decisions

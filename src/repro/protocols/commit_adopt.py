@@ -1,0 +1,255 @@
+"""Commit–adopt: the classical graded-agreement building block.
+
+Commit–adopt (Gafni's safe-agreement relative; also the engine inside many
+obstruction-free consensus constructions in the paper's citation list
+[GR05, Bow11]) is a one-shot task: each process proposes a value and
+outputs ``(COMMIT, v)`` or ``(ADOPT, v)`` such that
+
+* **validity** — every output value is some process's proposal;
+* **coherence** — if anyone commits ``v``, every output is ``(·, v)``;
+* **convergence** — if all proposals are equal, everyone commits.
+
+It is wait-free from 2n single-writer registers (two announcement rounds),
+so it sits strictly below consensus in power: rounds of commit–adopt give
+obstruction-free consensus, but each round needs *fresh* registers — the
+unbounded-space trap that makes the paper's bounded-space question (and
+its n-register answer) interesting.  :class:`CommitAdopt` is the one-shot
+task in normal form (fully, exhaustively model-checkable);
+:class:`CommitAdoptTask` is its checker.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.errors import ProtocolError, ValidationError
+from repro.protocols.base import DECIDE, SCAN, UPDATE, Protocol
+
+COMMIT = "commit"
+ADOPT = "adopt"
+
+
+class CommitAdopt(Protocol):
+    """One-shot commit–adopt for n processes on m = 2n components.
+
+    Components 0..n-1 are round-A announcements (proposals); components
+    n..2n-1 are round-B announcements carrying ``(saw_unanimity, value)``.
+    Process i:
+
+    1. writes its proposal to ``A[i]``; scans;
+       sets ``flag = all visible A-entries equal my value``;
+    2. writes ``(flag, value)`` to ``B[i]``; scans;
+       - all visible B-entries flagged with my value → ``(COMMIT, value)``;
+       - some flagged entry ``(True, w)`` → ``(ADOPT, w)`` (flagged values
+         are unique — two flags for different values cannot both have seen
+         unanimity);
+       - otherwise → ``(ADOPT, value)``.
+
+    State: ``(phase, index, value, flag)``.
+    """
+
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise ValidationError("n must be at least 1")
+        self.n = n
+        self.m = 2 * n
+        self.name = f"commit-adopt(n={n})"
+
+    def initial_state(self, index: int, value: Any) -> Tuple:
+        self.check_index(index)
+        return ("writeA", index, value, None)
+
+    def poised(self, state: Any) -> Tuple[str, Any]:
+        phase, index, value, flag = state
+        if phase == "writeA":
+            return (UPDATE, (index, value))
+        if phase == "scanA":
+            return (SCAN, None)
+        if phase == "writeB":
+            return (UPDATE, (self.n + index, (flag, value)))
+        if phase == "scanB":
+            return (SCAN, None)
+        return (DECIDE, (phase, value))  # phase is COMMIT or ADOPT
+
+    def advance(self, state: Any, observation: Any = None) -> Any:
+        phase, index, value, flag = state
+        if phase == "writeA":
+            return ("scanA", index, value, flag)
+        if phase == "scanA":
+            proposals = [
+                entry for entry in observation[: self.n] if entry is not None
+            ]
+            unanimous = all(entry == value for entry in proposals)
+            return ("writeB", index, value, unanimous)
+        if phase == "writeB":
+            return ("scanB", index, value, flag)
+        if phase == "scanB":
+            announcements = [
+                entry
+                for entry in observation[self.n:]
+                if entry is not None
+            ]
+            flagged = [w for saw, w in announcements if saw]
+            if flagged and all(
+                saw and w == value for saw, w in announcements
+            ):
+                return (COMMIT, index, value, flag)
+            if flagged:
+                # Coherence: all flagged entries carry the same value (two
+                # flags require two disjoint unanimity views of round A,
+                # impossible for different values).
+                return (ADOPT, index, flagged[0], flag)
+            return (ADOPT, index, value, flag)
+        raise ProtocolError(f"{self.name}: advance on decided state")
+
+
+class CommitAdoptConsensus(Protocol):
+    """Obstruction-free consensus as rounds of commit–adopt.
+
+    Round r runs a fresh :class:`CommitAdopt` instance on its own 2n
+    components; a process that commits decides, one that adopts carries
+    the adopted value into round r+1.  Solo, round 1 commits immediately;
+    under contention an adversary can force adoption forever — which is
+    why the construction needs a *fresh* instance per round and hence
+    unbounded registers as rounds grow.  This protocol caps the rounds at
+    ``max_rounds`` (using m = 2n·max_rounds components) and parks
+    exhausted processes in a harmless undecided loop: it is safe
+    everywhere and obstruction-free whenever a process gets
+    ``max_rounds`` of solo time — the executable form of the space/rounds
+    trade-off that makes the paper's n-register bound interesting.
+
+    State: ``(round, inner_state)`` or ``("stuck", phase, index, value)``.
+    """
+
+    def __init__(self, n: int, max_rounds: int = 4) -> None:
+        if n < 1:
+            raise ValidationError("n must be at least 1")
+        if max_rounds < 1:
+            raise ValidationError("max_rounds must be at least 1")
+        self.n = n
+        self.max_rounds = max_rounds
+        self.inner = CommitAdopt(n)
+        self.m = self.inner.m * max_rounds
+        self.name = f"ca-consensus(n={n}, rounds={max_rounds})"
+
+    def _offset(self, round_no: int) -> int:
+        return (round_no - 1) * self.inner.m
+
+    def initial_state(self, index: int, value: Any) -> Tuple:
+        self.check_index(index)
+        return (1, self.inner.initial_state(index, value))
+
+    def poised(self, state: Any) -> Tuple[str, Any]:
+        if state[0] == "stuck":
+            _tag, phase, index, value = state
+            if phase == "scan":
+                return (SCAN, None)
+            # Rewrite our last round-B announcement (a no-op write).
+            return (
+                UPDATE,
+                (self._offset(self.max_rounds) + self.n + index,
+                 (False, value)),
+            )
+        round_no, inner_state = state
+        kind, payload = self.inner.poised(inner_state)
+        if kind == UPDATE:
+            component, value = payload
+            return (UPDATE, (self._offset(round_no) + component, value))
+        if kind == DECIDE:
+            # advance() resolves ADOPT transitions eagerly, so a decided
+            # inner state seen here is always a commit.
+            grade, value = payload
+            if grade != COMMIT:  # pragma: no cover - eager resolution
+                raise ProtocolError(f"{self.name}: unresolved adopt state")
+            return (DECIDE, value)
+        return (kind, payload)
+
+    def advance(self, state: Any, observation: Any = None) -> Any:
+        if state[0] == "stuck":
+            _tag, phase, index, value = state
+            return ("stuck", "write" if phase == "scan" else "scan",
+                    index, value)
+        round_no, inner_state = state
+        kind, payload = self.inner.poised(inner_state)
+        if kind == DECIDE:
+            grade, value = payload
+            index = inner_state[1]
+            if grade == COMMIT:
+                raise ProtocolError(f"{self.name}: advance on decided state")
+            if round_no >= self.max_rounds:
+                return ("stuck", "write", index, value)
+            return (
+                round_no + 1,
+                self.inner.initial_state(index, value),
+            )
+        if observation is not None:
+            offset = self._offset(round_no)
+            observation = tuple(
+                observation[offset + j] for j in range(self.inner.m)
+            )
+        inner_state = self.inner.advance(inner_state, observation)
+        # Resolve transient adopted states eagerly so poised() stays pure.
+        inner_kind, inner_payload = self.inner.poised(inner_state)
+        if inner_kind == DECIDE and inner_payload[0] == ADOPT:
+            index = inner_state[1]
+            if round_no >= self.max_rounds:
+                return ("stuck", "write", index, inner_payload[1])
+            return (
+                round_no + 1,
+                self.inner.initial_state(index, inner_payload[1]),
+            )
+        return (round_no, inner_state)
+
+
+class CommitAdoptTask:
+    """Checker for the commit–adopt specification."""
+
+    def __init__(self) -> None:
+        self.name = "commit-adopt"
+
+    def check(
+        self, inputs: Sequence[Any], outputs: Dict[int, Any]
+    ) -> List[str]:
+        """Return violations of validity, coherence, and convergence."""
+        violations = []
+        legal = set(inputs)
+        committed = set()
+        for pid, decision in sorted(outputs.items()):
+            if (
+                not isinstance(decision, tuple)
+                or len(decision) != 2
+                or decision[0] not in (COMMIT, ADOPT)
+            ):
+                violations.append(
+                    f"output shape: process {pid} returned {decision!r}"
+                )
+                continue
+            grade, value = decision
+            if value not in legal:
+                violations.append(
+                    f"validity: process {pid} output value {value!r} not "
+                    "among proposals"
+                )
+            if grade == COMMIT:
+                committed.add(value)
+        if len(committed) > 1:
+            violations.append(
+                f"coherence: multiple values committed: {sorted(map(repr, committed))}"
+            )
+        elif committed:
+            (winner,) = committed
+            for pid, decision in sorted(outputs.items()):
+                if isinstance(decision, tuple) and len(decision) == 2:
+                    if decision[1] != winner:
+                        violations.append(
+                            f"coherence: {winner!r} was committed but "
+                            f"process {pid} output {decision!r}"
+                        )
+        if len(set(inputs)) == 1 and outputs:
+            for pid, decision in sorted(outputs.items()):
+                if isinstance(decision, tuple) and decision[0] != COMMIT:
+                    violations.append(
+                        f"convergence: unanimous proposals but process "
+                        f"{pid} only adopted"
+                    )
+        return violations

@@ -1,0 +1,152 @@
+"""Trivial wait-free protocols used to exercise the machinery.
+
+These solve *weak* tasks (n-set agreement, "min of values seen") but do it
+in proper scan/update normal form, so they drive every code path of the
+runtime, the augmented snapshot, and the revisionist simulation — including
+the happy path where simulated processes decide and their simulators decide
+with them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple
+
+from repro.errors import ProtocolError, ValidationError
+from repro.protocols.base import DECIDE, SCAN, UPDATE, Protocol
+
+
+class ImmediateDecide(Protocol):
+    """Write your input once, scan once, decide your own input.
+
+    Wait-free; solves n-set agreement (validity holds trivially).  Uses one
+    component per process so executions still exercise multi-component
+    snapshots.  State: ``(phase, index, value)`` with phases
+    ``"update" -> "scan" -> "done"``.
+    """
+
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise ValidationError("n must be at least 1")
+        self.n = n
+        self.m = n
+        self.name = f"immediate-decide(n={n})"
+
+    def initial_state(self, index: int, value: Any) -> Tuple:
+        self.check_index(index)
+        return ("update", index, value)
+
+    def poised(self, state: Any) -> Tuple[str, Any]:
+        phase, index, value = state
+        if phase == "update":
+            return (UPDATE, (index, value))
+        if phase == "scan":
+            return (SCAN, None)
+        return (DECIDE, value)
+
+    def advance(self, state: Any, observation: Any = None) -> Any:
+        phase, index, value = state
+        if phase == "update":
+            return ("scan", index, value)
+        if phase == "scan":
+            return ("done", index, value)
+        raise ProtocolError(f"{self.name}: advance on decided state")
+
+
+class RotatingWrites(Protocol):
+    """Write your value to a different component each round, decide min seen.
+
+    Process ``i`` writes its input to component ``(i + round) % m`` in each
+    of ``rounds`` write/scan rounds, then decides the minimum value present
+    in its final scan (or its own input if alone).  Wait-free and
+    validity-preserving like :class:`MinSeen`, but because the written
+    component *changes* every round, a covering simulator revising this
+    process's past gets genuinely non-empty hidden executions: the process
+    locally performs updates inside the covered set and scans before
+    stopping at a fresh component.  This is the canonical workload for
+    exercising the revisionist machinery (experiment E3/E8).
+
+    State: ``(phase, rounds_left, index, value, best)``.
+    """
+
+    def __init__(self, n: int, m: int, rounds: int = 2) -> None:
+        if n < 1:
+            raise ValidationError("n must be at least 1")
+        if m < 1:
+            raise ValidationError("m must be at least 1")
+        if rounds < 1:
+            raise ValidationError("rounds must be at least 1")
+        self.n = n
+        self.m = m
+        self.rounds = rounds
+        self.name = f"rotating-writes(n={n}, m={m}, rounds={rounds})"
+
+    def initial_state(self, index: int, value: Any) -> Tuple:
+        self.check_index(index)
+        return ("update", self.rounds, index, value, None)
+
+    def poised(self, state: Any) -> Tuple[str, Any]:
+        phase, rounds_left, index, value, best = state
+        if phase == "update":
+            component = (index + rounds_left) % self.m
+            return (UPDATE, (component, value))
+        if phase == "scan":
+            return (SCAN, None)
+        return (DECIDE, best)
+
+    def advance(self, state: Any, observation: Any = None) -> Any:
+        phase, rounds_left, index, value, best = state
+        if phase == "update":
+            return ("scan", rounds_left, index, value, best)
+        if phase == "scan":
+            present = [v for v in observation if v is not None]
+            best = min(present) if present else value
+            if rounds_left > 1:
+                return ("update", rounds_left - 1, index, value, best)
+            return ("done", 0, index, value, best)
+        raise ProtocolError(f"{self.name}: advance on decided state")
+
+
+class MinSeen(Protocol):
+    """Write your input, scan, decide the minimum value present.
+
+    Wait-free.  Decisions are always inputs (validity) but up to n distinct
+    values can be decided, so this is *not* k-set agreement for k < n — it
+    is the canonical "correct protocol for a weak task" input for positive
+    runs of the simulation.  Optional ``rounds`` > 1 repeats the
+    write/scan round to lengthen executions; the decision is the minimum
+    seen in the final scan.  State: ``(rounds_left, index, value, best)``.
+    """
+
+    def __init__(self, n: int, rounds: int = 1) -> None:
+        if n < 1:
+            raise ValidationError("n must be at least 1")
+        if rounds < 1:
+            raise ValidationError("rounds must be at least 1")
+        self.n = n
+        self.m = n
+        self.rounds = rounds
+        self.name = f"min-seen(n={n}, rounds={rounds})"
+
+    def initial_state(self, index: int, value: Any) -> Tuple:
+        self.check_index(index)
+        return ("update", self.rounds, index, value, None)
+
+    def poised(self, state: Any) -> Tuple[str, Any]:
+        phase, rounds_left, index, value, best = state
+        if phase == "update":
+            return (UPDATE, (index, value))
+        if phase == "scan":
+            return (SCAN, None)
+        return (DECIDE, best)
+
+    def advance(self, state: Any, observation: Any = None) -> Any:
+        phase, rounds_left, index, value, best = state
+        if phase == "update":
+            return ("scan", rounds_left, index, value, best)
+        if phase == "scan":
+            present = [v for v in observation if v is not None]
+            best = min(present) if present else value
+            if rounds_left > 1:
+                return ("update", rounds_left - 1, index, value, best)
+            return ("done", 0, index, value, best)
+        raise ProtocolError(f"{self.name}: advance on decided state")

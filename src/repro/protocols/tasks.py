@@ -1,0 +1,93 @@
+"""Task specifications: the correctness conditions protocols must satisfy.
+
+A task checker takes the vector of inputs and the map of decided outputs and
+returns a list of violation strings (empty = the execution satisfied the
+task).  Checkers judge *safety* only; progress conditions (wait-freedom,
+x-obstruction-freedom) are properties of schedules and are asserted by the
+experiment harnesses instead.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+from repro.errors import ValidationError
+
+
+class KSetAgreementTask:
+    """k-set agreement: ≤ k distinct outputs, each the input of somebody.
+
+    ``k = 1`` is consensus.
+    """
+
+    def __init__(self, k: int) -> None:
+        if k < 1:
+            raise ValidationError("k must be at least 1")
+        self.k = k
+
+    @property
+    def name(self) -> str:
+        return "consensus" if self.k == 1 else f"{self.k}-set agreement"
+
+    def check(self, inputs: Sequence[Any], outputs: Dict[int, Any]) -> List[str]:
+        """Return violations of validity and k-agreement (empty = safe)."""
+        violations = []
+        legal = set(inputs)
+        distinct = set(outputs.values())
+        for pid, value in sorted(outputs.items()):
+            if value not in legal:
+                violations.append(
+                    f"validity: process {pid} decided {value!r}, which is "
+                    f"not any process's input {sorted(map(repr, legal))}"
+                )
+        if len(distinct) > self.k:
+            violations.append(
+                f"{self.k}-agreement: {len(distinct)} distinct values decided: "
+                f"{sorted(map(repr, distinct))}"
+            )
+        return violations
+
+
+class ApproxAgreementTask:
+    """ε-approximate agreement with inputs in {0, 1}.
+
+    Outputs must lie in [0, 1], within the convex hull of the inputs, and
+    pairwise within ε of each other.
+    """
+
+    def __init__(self, epsilon: float) -> None:
+        if not 0 < epsilon:
+            raise ValidationError("epsilon must be positive")
+        self.epsilon = epsilon
+        self.name = f"{epsilon}-approximate agreement"
+
+    def check(self, inputs: Sequence[Any], outputs: Dict[int, Any]) -> List[str]:
+        """Return violations of validity and ε-agreement (empty = safe)."""
+        violations = []
+        for value in inputs:
+            if value not in (0, 1):
+                raise ValidationError(
+                    f"approximate agreement inputs must be 0 or 1, got {value!r}"
+                )
+        low, high = min(inputs), max(inputs)
+        for pid, value in sorted(outputs.items()):
+            if not isinstance(value, (int, float)):
+                violations.append(
+                    f"validity: process {pid} decided non-numeric {value!r}"
+                )
+                continue
+            if not low <= value <= high:
+                violations.append(
+                    f"validity: process {pid} decided {value}, outside the "
+                    f"input hull [{low}, {high}]"
+                )
+        numeric = [
+            v for v in outputs.values() if isinstance(v, (int, float))
+        ]
+        if numeric and max(numeric) - min(numeric) > self.epsilon + 1e-12:
+            violations.append(
+                f"{self.epsilon}-agreement: outputs span "
+                f"[{min(numeric)}, {max(numeric)}], gap "
+                f"{max(numeric) - min(numeric)} > ε"
+            )
+        return violations

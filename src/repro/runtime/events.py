@@ -1,0 +1,121 @@
+"""Step requests and trace events.
+
+A *step* in the model (Section 2 of the paper) is a single atomic operation
+on a shared object.  Process bodies request steps by yielding
+:class:`Invoke`; the system applies the operation atomically and sends the
+response back into the generator.  :class:`Annotate` is a zero-cost marker
+(it does not consume a scheduling step) used by composed objects to record
+the begin/end of high-level operations, which the Appendix B linearization
+analysis needs in order to know execution intervals.
+
+Every applied step is recorded as an :class:`Event` in the system trace with
+a globally unique, monotonically increasing sequence number.  The trace is
+the ground truth from which all post-hoc analyses work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Invoke:
+    """A request to atomically apply ``op(*args)`` on a shared object.
+
+    Attributes:
+        obj: the target shared object; must expose ``apply(pid, op, args)``.
+        op: operation name, e.g. ``"read"``, ``"write"``, ``"scan"``.
+        args: positional arguments for the operation.
+    """
+
+    obj: Any
+    op: str
+    args: Tuple[Any, ...] = ()
+
+
+@dataclass(frozen=True)
+class Annotate:
+    """A zero-cost trace marker.
+
+    Yielding an :class:`Annotate` records an event but does not consume the
+    process's scheduling turn: the system immediately resumes the process.
+    Used to mark operation boundaries (``"begin"``/``"end"`` of a Scan or
+    Block-Update) and decisions.
+    """
+
+    tag: str
+    payload: Any = None
+
+
+@dataclass(frozen=True)
+class Event:
+    """One entry of an execution trace.
+
+    Attributes:
+        seq: global sequence number; atomic steps of the whole execution are
+            totally ordered by ``seq``.
+        pid: identifier of the process that took the step.
+        kind: ``"step"`` for an applied :class:`Invoke`, ``"annotate"`` for a
+            marker, ``"crash"``/``"done"`` for lifecycle events.
+        obj_name: name of the shared object accessed (steps only).
+        op: operation name (steps only).
+        args: operation arguments (steps only).
+        result: the operation's response (steps only).
+        tag: annotation tag (annotations only).
+        payload: annotation payload (annotations only).
+    """
+
+    seq: int
+    pid: int
+    kind: str
+    obj_name: Optional[str] = None
+    op: Optional[str] = None
+    args: Tuple[Any, ...] = ()
+    result: Any = None
+    tag: Optional[str] = None
+    payload: Any = None
+
+    def is_step(self) -> bool:
+        """True for applied shared-memory steps."""
+        return self.kind == "step"
+
+    def is_annotation(self) -> bool:
+        """True for zero-cost trace markers."""
+        return self.kind == "annotate"
+
+
+@dataclass
+class Trace:
+    """A mutable, append-only execution trace.
+
+    The trace mixes atomic steps and annotations; helpers select subsets.
+    """
+
+    events: list = field(default_factory=list)
+
+    def append(self, event: Event) -> None:
+        """Append one event (the runtime's only mutation point)."""
+        self.events.append(event)
+
+    def steps(self) -> list:
+        """All atomic steps, in execution order."""
+        return [e for e in self.events if e.is_step()]
+
+    def annotations(self, tag: Optional[str] = None) -> list:
+        """All annotations, optionally filtered by tag."""
+        return [
+            e
+            for e in self.events
+            if e.is_annotation() and (tag is None or e.tag == tag)
+        ]
+
+    def by_process(self, pid: int) -> list:
+        """All events of one process, in order."""
+        return [e for e in self.events if e.pid == pid]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)

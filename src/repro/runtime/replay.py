@@ -1,0 +1,63 @@
+"""Exact-replay support: every execution is a reproducible artifact.
+
+The runtime's determinism contract — processes are deterministic, all
+nondeterminism lives in the scheduler — means the *schedule* (the sequence
+of pids that took steps, with crash points) fully determines an execution.
+This module extracts that schedule from a finished system's trace and
+rebuilds a scheduler that reproduces the execution step for step, which is
+how counterexamples in this repository are shipped: as data.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Tuple
+
+from repro.errors import ValidationError
+from repro.runtime.scheduler import AdversarialScheduler
+from repro.runtime.system import System
+
+
+def extract_schedule(system: System) -> List:
+    """The replayable schedule of a finished run: step pids and crashes."""
+    schedule: List = []
+    for event in system.trace:
+        if event.is_step():
+            schedule.append(event.pid)
+        elif event.kind == "crash":
+            schedule.append(("crash", event.pid))
+    return schedule
+
+
+def replay_scheduler(schedule: List) -> AdversarialScheduler:
+    """A scheduler that reproduces ``schedule`` exactly, then stops."""
+    return AdversarialScheduler(schedule, then="stop")
+
+
+def replay_run(build_system: Callable[[], System], schedule: List):
+    """Rebuild a system via ``build_system`` and replay ``schedule`` on it.
+
+    Returns ``(system, result)``.  The caller's builder must construct the
+    system (processes and fresh shared objects) identically to the original
+    run; determinism then guarantees an identical trace.  The run is capped
+    at exactly the schedule's step count, so prefix schedules replay
+    cleanly too.
+    """
+    system = build_system()
+    steps_needed = sum(1 for entry in schedule if not isinstance(entry, tuple))
+    result = system.run(
+        replay_scheduler(schedule),
+        max_steps=steps_needed,
+        on_limit="return",
+    )
+    return system, result
+
+
+def traces_equal(a: System, b: System) -> bool:
+    """Step-for-step equality of two runs (object, op, args, result, pid)."""
+    steps_a = [
+        (e.pid, e.obj_name, e.op, e.args, e.result) for e in a.trace.steps()
+    ]
+    steps_b = [
+        (e.pid, e.obj_name, e.op, e.args, e.result) for e in b.trace.steps()
+    ]
+    return steps_a == steps_b

@@ -1,0 +1,251 @@
+"""The shared-memory system executor.
+
+:class:`System` owns a set of processes and a trace, and runs them under a
+scheduler one atomic step at a time.  Per scheduled turn, exactly one shared
+memory operation is applied:
+
+1. the chosen process is resumed with the response of its previously applied
+   operation (local computation is free in the model);
+2. zero-cost :class:`~repro.runtime.events.Annotate` markers it yields are
+   recorded without consuming the turn;
+3. the next :class:`~repro.runtime.events.Invoke` it yields is applied
+   atomically, recorded in the trace, and its response is buffered for the
+   process's next turn.
+
+Between turns each process is therefore *poised* to perform a specific
+pending operation — exactly the notion of "poised" used throughout the paper
+(e.g. a covering process poised to update a component of M).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, List, Optional, Sequence
+
+from repro.errors import DivergenceError, ModelError, SchedulerError
+from repro.runtime.events import Annotate, Event, Invoke, Trace
+from repro.runtime.process import CRASHED, DONE, READY, Process
+from repro.runtime.scheduler import Scheduler
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of a :meth:`System.run` call.
+
+    Attributes:
+        completed: True if every process is DONE or CRASHED.
+        steps: total atomic steps applied during this run call.
+        outputs: pid -> return value, for processes that are DONE.
+        diverged: True if the run stopped because it hit ``max_steps``.
+    """
+
+    completed: bool
+    steps: int
+    outputs: Dict[int, Any] = field(default_factory=dict)
+    diverged: bool = False
+
+
+class System:
+    """A shared-memory system: processes + objects + trace.
+
+    Shared objects are not pre-registered; they are discovered from the
+    operations applied to them, and must expose ``apply(pid, op, args)``,
+    ``name`` and ``register_count()``.
+    """
+
+    def __init__(self) -> None:
+        self.processes: Dict[int, Process] = {}
+        self.trace = Trace()
+        self.objects: Dict[str, Any] = {}
+        self._seq = 0
+        self._responses: Dict[int, Any] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_process(
+        self,
+        body: Callable[[Process], Generator],
+        pid: Optional[int] = None,
+        name: Optional[str] = None,
+    ) -> Process:
+        """Create and register a process running ``body``; returns it."""
+        if pid is None:
+            pid = len(self.processes)
+        if pid in self.processes:
+            raise ModelError(f"duplicate pid {pid}")
+        proc = Process(pid, body, name=name)
+        self.processes[pid] = proc
+        return proc
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def active_pids(self) -> List[int]:
+        """Pids of processes that can still be scheduled."""
+        return [pid for pid, p in self.processes.items() if p.status == READY]
+
+    def outputs(self) -> Dict[int, Any]:
+        """pid -> output for all DONE processes."""
+        return {
+            pid: p.output for pid, p in self.processes.items() if p.status == DONE
+        }
+
+    def total_registers(self) -> int:
+        """Total registers used by all shared objects touched so far."""
+        return sum(obj.register_count() for obj in self.objects.values())
+
+    def pending_operation(self, pid: int) -> Optional[Invoke]:
+        """The operation ``pid`` is poised to perform, if any."""
+        return self._pending.get(pid)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    @property
+    def _pending(self) -> Dict[int, Invoke]:
+        pending = {}
+        for pid, proc in self.processes.items():
+            if proc.status == READY and proc._pending is not None:
+                pending[pid] = proc._pending
+        return pending
+
+    def crash(self, pid: int) -> None:
+        """Crash a process (it permanently stops taking steps)."""
+        proc = self.processes.get(pid)
+        if proc is None:
+            raise ModelError(f"unknown pid {pid}")
+        proc.crash()
+        self._record_lifecycle(pid, "crash")
+
+    def step(self, pid: int) -> bool:
+        """Apply one atomic step of process ``pid``.
+
+        Returns True if a shared-memory operation was applied, False if the
+        process finished (or had no further operations) during this turn.
+        """
+        proc = self.processes.get(pid)
+        if proc is None:
+            raise ModelError(f"unknown pid {pid}")
+        if proc.status != READY:
+            raise SchedulerError(f"process {pid} is {proc.status}, cannot step")
+
+        request = proc._pending
+        if request is None:
+            # First turn (or body yielded only annotations so far): drive the
+            # body until it produces its first Invoke.
+            request = self._drive(proc, None)
+            if request is None:
+                return False
+
+        # Apply the pending operation atomically.
+        result = self._apply(proc, request)
+        # Resume local computation; buffer the next pending operation.
+        proc._pending = self._drive(proc, result)
+        return True
+
+    def run(
+        self,
+        scheduler: Scheduler,
+        max_steps: int = 100_000,
+        on_limit: str = "return",
+        stop_when: Optional[Callable[["System"], bool]] = None,
+    ) -> ExecutionResult:
+        """Run under ``scheduler`` until completion, limit, or predicate.
+
+        Args:
+            scheduler: interleaving policy; ``reset()`` is called first.
+            max_steps: atomic step budget for this call.
+            on_limit: ``"return"`` yields a diverged result; ``"raise"``
+                raises :class:`~repro.errors.DivergenceError`.
+            stop_when: optional predicate checked after every step; a truthy
+                return stops the run early (not treated as divergence).
+        """
+        if on_limit not in ("return", "raise"):
+            raise ModelError(f"unknown on_limit {on_limit!r}")
+        scheduler.reset()
+        steps = 0
+        while True:
+            active = self.active_pids()
+            if not active:
+                return ExecutionResult(True, steps, self.outputs())
+            if steps >= max_steps:
+                if on_limit == "raise":
+                    raise DivergenceError(
+                        f"execution exceeded {max_steps} steps", steps_taken=steps
+                    )
+                return ExecutionResult(False, steps, self.outputs(), diverged=True)
+            pid = scheduler.next_pid(active)
+            for victim in getattr(scheduler, "pending_crashes", []):
+                if self.processes[victim].status == READY:
+                    self.crash(victim)
+            if getattr(scheduler, "pending_crashes", None):
+                scheduler.pending_crashes = []
+            if self.processes[pid].status != READY:
+                continue
+            if self.step(pid):
+                steps += 1
+            if stop_when is not None and stop_when(self):
+                return ExecutionResult(
+                    not self.active_pids(), steps, self.outputs()
+                )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _drive(self, proc: Process, response: Any) -> Optional[Invoke]:
+        """Resume ``proc`` until it yields an Invoke; record annotations."""
+        request = proc.advance(response)
+        while request is not None:
+            if isinstance(request, Annotate):
+                self._record_annotation(proc.pid, request)
+                request = proc.advance(None)
+                continue
+            if isinstance(request, Invoke):
+                return request
+            raise ModelError(
+                f"process {proc.pid} yielded {type(request).__name__}; "
+                "expected Invoke or Annotate"
+            )
+        self._record_lifecycle(proc.pid, "done")
+        return None
+
+    def _apply(self, proc: Process, request: Invoke) -> Any:
+        obj = request.obj
+        name = getattr(obj, "name", None)
+        if name is None:
+            raise ModelError("shared object has no name")
+        known = self.objects.setdefault(name, obj)
+        if known is not obj:
+            raise ModelError(f"two distinct shared objects named {name!r}")
+        result = obj.apply(proc.pid, request.op, request.args)
+        proc.steps_taken += 1
+        self._seq += 1
+        self.trace.append(
+            Event(
+                seq=self._seq,
+                pid=proc.pid,
+                kind="step",
+                obj_name=name,
+                op=request.op,
+                args=request.args,
+                result=result,
+            )
+        )
+        return result
+
+    def _record_annotation(self, pid: int, marker: Annotate) -> None:
+        self._seq += 1
+        self.trace.append(
+            Event(
+                seq=self._seq,
+                pid=pid,
+                kind="annotate",
+                tag=marker.tag,
+                payload=marker.payload,
+            )
+        )
+
+    def _record_lifecycle(self, pid: int, kind: str) -> None:
+        self._seq += 1
+        self.trace.append(Event(seq=self._seq, pid=pid, kind=kind))

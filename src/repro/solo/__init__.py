@@ -1,0 +1,39 @@
+"""Appendix A: nondeterministic solo termination → obstruction-freedom.
+
+A protocol satisfies *nondeterministic solo termination* [FHS98] if from
+every reachable configuration, every process has **some** solo execution
+that decides — the progress property shared by randomized wait-free
+protocols.  Theorem 4 converts any such protocol into a *deterministic
+obstruction-free* protocol using the same registers: in every state, take
+the first step of a shortest terminating solo path.  Consequently every
+space lower bound proved for obstruction-free protocols (Theorem 3,
+Appendix D) applies to randomized wait-free protocols too.
+
+* :mod:`repro.solo.machines` — the Appendix A machine model
+  ``(S, F, i, ν, δ, ω)`` plus concrete nondeterministic example machines.
+* :mod:`repro.solo.conversion` — the shortest-solo-path derandomization and
+  runtime adapters for both the nondeterministic original and the converted
+  deterministic machine.
+"""
+
+from repro.solo.conversion import (
+    ConvertedMachine,
+    converted_body,
+    nondet_body,
+    shortest_solo_path,
+)
+from repro.solo.machines import (
+    NondetMachine,
+    SpinOrCommit,
+    TokenRace,
+)
+
+__all__ = [
+    "NondetMachine",
+    "SpinOrCommit",
+    "TokenRace",
+    "shortest_solo_path",
+    "ConvertedMachine",
+    "converted_body",
+    "nondet_body",
+]

@@ -1,0 +1,244 @@
+"""The Theorem 4 construction: shortest solo paths as a deterministic policy.
+
+Given a nondeterministic solo-terminating machine, the converted machine's
+ν′ picks, in each (state, local-view) pair, the first step of a *shortest*
+terminating solo path — where the local view fixes the contents of every
+register the process has accessed, and registers it has never touched may
+hold any value from the machine's (finite) value domain, since the path
+only needs to be a solo execution from *some* reachable configuration
+consistent with the view.
+
+The obstruction-freedom argument is the paper's: once a solo run has
+touched every register it will ever access, its local view pins the
+responses, so each real step follows the current shortest path and the
+remaining path length strictly decreases — the run terminates within the
+first path's length.  :func:`solo_run_machine` instruments exactly that
+measure so tests can assert the strict decrease.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Dict, Generator, List, Optional, Sequence, Tuple
+
+from repro.errors import DivergenceError, ValidationError
+from repro.memory.registers import Register
+from repro.runtime.events import Invoke
+from repro.runtime.process import Process
+from repro.solo.machines import READ, WRITE, NondetMachine
+
+View = Tuple[Tuple[int, Any], ...]  # sorted (register, value) pairs
+
+
+def _freeze(view: Dict[int, Any]) -> View:
+    return tuple(sorted(view.items()))
+
+
+def shortest_solo_path(
+    machine: NondetMachine,
+    state: Any,
+    view: Dict[int, Any],
+    max_nodes: int = 200_000,
+) -> List[Tuple]:
+    """A shortest terminating solo path from ``state`` under ``view``.
+
+    BFS over (machine state, register view).  Reads of registers absent
+    from the view branch over the machine's value domain — the construction
+    may pick the friendliest consistent configuration.  Raises
+    :class:`~repro.errors.DivergenceError` if no terminating path exists
+    within ``max_nodes`` (i.e. the machine is not nondeterministic solo
+    terminating, or the search budget is too small).
+    """
+    start = (state, _freeze(view))
+    if machine.is_final(state):
+        return []
+    seen = {start}
+    queue = deque([(state, dict(view), [])])
+    nodes = 0
+    while queue:
+        current, current_view, path = queue.popleft()
+        nodes += 1
+        if nodes > max_nodes:
+            break
+        for step in machine.steps(current):
+            if step[0] == READ:
+                register = step[1]
+                if register in current_view:
+                    responses = (current_view[register],)
+                else:
+                    responses = tuple(machine.value_domain)
+            else:
+                responses = (step[2],)
+            for response in responses:
+                next_state = machine.transition(current, step, response)
+                next_view = dict(current_view)
+                next_view[step[1]] = response if step[0] == READ else step[2]
+                key = (next_state, _freeze(next_view))
+                if key in seen:
+                    continue
+                seen.add(key)
+                next_path = path + [step]
+                if machine.is_final(next_state):
+                    return next_path
+                queue.append((next_state, next_view, next_path))
+    raise DivergenceError(
+        f"{machine.name}: no terminating solo path found from {state!r} "
+        f"within {max_nodes} nodes — not nondeterministic solo terminating?"
+    )
+
+
+class ConvertedMachine:
+    """The deterministic machine Π′ of Theorem 4.
+
+    Exposes ``next_step(state, view)`` = ν′: the first step of a shortest
+    solo path, memoized per (state, view).  Uses exactly the registers of
+    the original machine — the space-preservation half of the theorem.
+    """
+
+    def __init__(self, machine: NondetMachine, max_nodes: int = 200_000):
+        self.machine = machine
+        self.name = f"{machine.name}|derandomized"
+        self.registers = machine.registers
+        self.max_nodes = max_nodes
+        self._policy: Dict[Tuple[Any, View], Tuple] = {}
+        self._lengths: Dict[Tuple[Any, View], int] = {}
+
+    def next_step(self, state: Any, view: Dict[int, Any]) -> Tuple:
+        """ν′: the first step of a shortest solo path from (state, view)."""
+        key = (state, _freeze(view))
+        if key not in self._policy:
+            path = shortest_solo_path(
+                self.machine, state, view, max_nodes=self.max_nodes
+            )
+            if not path:
+                raise ValidationError("next_step on a final state")
+            self._policy[key] = path[0]
+            self._lengths[key] = len(path)
+        return self._policy[key]
+
+    def path_length(self, state: Any, view: Dict[int, Any]) -> int:
+        """The solo-termination measure: length of the chosen shortest path."""
+        key = (state, _freeze(view))
+        if key not in self._lengths:
+            self.next_step(state, view)
+        return self._lengths[key]
+
+
+def make_registers(machine: NondetMachine, prefix: str = "R") -> List[Register]:
+    """Fresh registers for one machine instance (shared by all processes)."""
+    return [
+        Register(f"{prefix}[{index}]", initial=None)
+        for index in range(machine.registers)
+    ]
+
+
+def converted_body(
+    converted: ConvertedMachine,
+    registers: Sequence[Register],
+    value: Any,
+) -> Callable[[Process], Generator]:
+    """Runtime body executing the deterministic Π′ on shared registers."""
+    machine = converted.machine
+    if len(registers) != machine.registers:
+        raise ValidationError(
+            f"{machine.name} needs {machine.registers} registers, got "
+            f"{len(registers)}"
+        )
+
+    def body(proc: Process) -> Generator:
+        state = machine.initial_state(value)
+        view: Dict[int, Any] = {}
+        while not machine.is_final(state):
+            step = converted.next_step(state, view)
+            if step[0] == READ:
+                response = yield Invoke(registers[step[1]], "read")
+            else:
+                response = yield Invoke(registers[step[1]], "write", (step[2],))
+            view[step[1]] = response
+            state = machine.transition(state, step, response)
+        return machine.output(state)
+
+    return body
+
+
+def nondet_body(
+    machine: NondetMachine,
+    registers: Sequence[Register],
+    value: Any,
+    chooser: Callable[[Sequence[Tuple]], Tuple],
+) -> Callable[[Process], Generator]:
+    """Runtime body executing the *original* Π with an explicit chooser.
+
+    ``chooser`` resolves ν's nondeterminism (e.g. ``random.Random(seed)
+    .choice`` for a randomized protocol, or an adversarial policy).  Every
+    execution of the converted machine is also producible here with the
+    right chooser — the "every execution of Π′ is an execution of Π" half
+    of Theorem 4, which tests check by replaying recorded step sequences.
+    """
+    if len(registers) != machine.registers:
+        raise ValidationError(
+            f"{machine.name} needs {machine.registers} registers, got "
+            f"{len(registers)}"
+        )
+
+    def body(proc: Process) -> Generator:
+        state = machine.initial_state(value)
+        while not machine.is_final(state):
+            step = chooser(machine.steps(state))
+            if step[0] == READ:
+                response = yield Invoke(registers[step[1]], "read")
+            else:
+                response = yield Invoke(registers[step[1]], "write", (step[2],))
+            state = machine.transition(state, step, response)
+        return machine.output(state)
+
+    return body
+
+
+def solo_run_machine(
+    converted: ConvertedMachine,
+    value: Any,
+    initial_contents: Optional[Dict[int, Any]] = None,
+    max_steps: int = 10_000,
+) -> Tuple[Any, List[int], int]:
+    """Run Π′ solo from given register contents.
+
+    Returns ``(output, measures, covered_at)``: ``measures`` is the
+    sequence of shortest-path lengths observed before each step — the
+    Theorem 4 potential function — and ``covered_at`` is the index of the
+    first measure taken after the local view covered every register (the
+    paper's prefix α′).  The potential may rise while unknown registers can
+    falsify optimistic branches, but from ``covered_at`` on the view pins
+    every response, so the potential strictly decreases — the
+    obstruction-freedom argument.  The run executes against a private copy
+    of the registers (it is solo by construction).
+    """
+    machine = converted.machine
+    contents: Dict[int, Any] = {
+        index: None for index in range(machine.registers)
+    }
+    if initial_contents:
+        contents.update(initial_contents)
+    state = machine.initial_state(value)
+    view: Dict[int, Any] = {}
+    measures: List[int] = []
+    covered_at: Optional[int] = None
+    for _ in range(max_steps):
+        if machine.is_final(state):
+            return machine.output(state), measures, (
+                covered_at if covered_at is not None else len(measures)
+            )
+        if covered_at is None and len(view) == machine.registers:
+            covered_at = len(measures)
+        measures.append(converted.path_length(state, view))
+        step = converted.next_step(state, view)
+        if step[0] == READ:
+            response = contents[step[1]]
+        else:
+            contents[step[1]] = step[2]
+            response = step[2]
+        view[step[1]] = response
+        state = machine.transition(state, step, response)
+    raise DivergenceError(
+        f"{converted.name}: solo run exceeded {max_steps} steps"
+    )

@@ -1,0 +1,174 @@
+"""The Appendix A nondeterministic machine model and example machines.
+
+A nondeterministic protocol specifies, per process, a state machine
+``M_p = (S_p, F_p, i_p, ν_p, δ_p, ω_p)``: states, final states, an initial
+state, a *set* of possible next steps per non-final state, a transition
+function over (state, step, response), and an output function on final
+states.  Steps are plain register accesses — ``("read", r)`` or
+``("write", r, v)`` — and writes return the value written (the paper's
+convention).
+
+The example machines are deliberately adversarial to naive determinization:
+each has infinite solo runs (a scheduler of nondeterministic choices can
+spin forever) while still being nondeterministic solo terminating (a
+terminating choice sequence always exists) — exactly the gap Theorem 4's
+shortest-path construction closes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Tuple
+
+from repro.errors import ValidationError
+
+READ = "read"
+WRITE = "write"
+
+
+class NondetMachine:
+    """Base class for Appendix A machines.
+
+    Attributes:
+        name: label.
+        registers: number of registers the machine may access (its space).
+        value_domain: finite set of values that may appear in registers —
+            needed so the shortest-solo-path search can branch over the
+            possible contents of registers the process has never accessed.
+    """
+
+    name: str = "machine"
+    registers: int = 1
+    value_domain: Tuple[Any, ...] = (None,)
+
+    def initial_state(self, value: Any) -> Any:
+        """The initial state i_p for an input value."""
+        raise NotImplementedError
+
+    def is_final(self, state: Any) -> bool:
+        """Whether the state is in F_p."""
+        raise NotImplementedError
+
+    def output(self, state: Any) -> Any:
+        """ω: the value returned in a final state."""
+        raise NotImplementedError
+
+    def steps(self, state: Any) -> Tuple[Tuple, ...]:
+        """ν: the possible next steps in a non-final state (non-empty)."""
+        raise NotImplementedError
+
+    def transition(self, state: Any, step: Tuple, response: Any) -> Any:
+        """δ: the next state after ``step`` returned ``response``."""
+        raise NotImplementedError
+
+
+class SpinOrCommit(NondetMachine):
+    """Spin on reads or commit a token — the minimal Theorem 4 witness.
+
+    One register.  From the start state the machine may either read the
+    register (and spin in place) or write its token; after writing it must
+    read once more and terminates if it sees its own token, else returns to
+    the start.  Solo, the write→read path always terminates in two steps,
+    but the all-reads choice sequence never does: nondeterministic solo
+    termination without obstruction-freedom.
+    """
+
+    def __init__(self, token: Any = "token") -> None:
+        self.name = f"spin-or-commit({token!r})"
+        self.registers = 1
+        self.token = token
+        self.value_domain = (None, token, "other")
+
+    def initial_state(self, value: Any) -> Any:
+        return ("start", value)
+
+    def is_final(self, state: Any) -> bool:
+        return state[0] == "done"
+
+    def output(self, state: Any) -> Any:
+        if not self.is_final(state):
+            raise ValidationError("output of a non-final state")
+        return state[1]
+
+    def steps(self, state: Any) -> Tuple[Tuple, ...]:
+        phase, _value = state
+        if phase == "start":
+            return ((READ, 0), (WRITE, 0, self.token))
+        if phase == "wrote":
+            return ((READ, 0),)
+        raise ValidationError(f"no steps in state {state!r}")
+
+    def transition(self, state: Any, step: Tuple, response: Any) -> Any:
+        phase, value = state
+        if phase == "start":
+            if step[0] == READ:
+                return ("start", value)  # spin
+            return ("wrote", value)
+        if phase == "wrote":
+            if response == self.token:
+                return ("done", value)
+            return ("start", value)
+        raise ValidationError(f"no transition from {state!r}")
+
+
+class TokenRace(NondetMachine):
+    """A two-register race with nondeterministic retry — a randomized-
+    consensus-shaped machine.
+
+    The process nondeterministically picks a register to claim with its
+    input, then verifies both registers: if both hold the same value it
+    decides that value; otherwise it may either retry (rewriting a
+    register) or re-verify.  Infinite solo runs exist (perpetual
+    re-verification), but a solo process can always claim both registers
+    and decide — nondeterministic solo termination.
+
+    States: ``(phase, value, seen)`` where phase walks
+    start → check0 → check1 → (done | start).
+    """
+
+    def __init__(self, values: Iterable[Any] = (0, 1)) -> None:
+        self.values = tuple(values)
+        self.name = f"token-race({self.values})"
+        self.registers = 2
+        self.value_domain = (None,) + self.values
+
+    def initial_state(self, value: Any) -> Any:
+        if value not in self.values:
+            raise ValidationError(
+                f"input {value!r} not in declared values {self.values}"
+            )
+        return ("start", value, None)
+
+    def is_final(self, state: Any) -> bool:
+        return state[0] == "done"
+
+    def output(self, state: Any) -> Any:
+        if not self.is_final(state):
+            raise ValidationError("output of a non-final state")
+        return state[1]
+
+    def steps(self, state: Any) -> Tuple[Tuple, ...]:
+        phase, value, _seen = state
+        if phase == "start":
+            # Claim either register, or idle-read the first one.
+            return ((WRITE, 0, value), (WRITE, 1, value), (READ, 0))
+        if phase == "check0":
+            return ((READ, 0),)
+        if phase == "check1":
+            return ((READ, 1),)
+        raise ValidationError(f"no steps in state {state!r}")
+
+    def transition(self, state: Any, step: Tuple, response: Any) -> Any:
+        phase, value, seen = state
+        if phase == "start":
+            if step[0] == READ:
+                return ("start", value, None)  # idle
+            return ("check0", value, None)
+        if phase == "check0":
+            return ("check1", value, response)
+        if phase == "check1":
+            if seen is not None and seen == response:
+                return ("done", seen, None)
+            # Mismatch: adopt what register 0 held if anything, else keep.
+            adopted = seen if seen is not None else value
+            return ("start", adopted, None)
+        raise ValidationError(f"no transition from {state!r}")

@@ -1,0 +1,12 @@
+"""Vector timestamps (Section 2, "Timestamps").
+
+The paper uses a variant of vector timestamps [Fid91, Mat89]: values are
+vectors of non-negative integers with one component per process, ordered
+*lexicographically* (not component-wise), and a Get-timestamp operation must
+return a value strictly larger than all previously returned values.
+"""
+
+from repro.timestamps.object import TimestampObject
+from repro.timestamps.vector import VectorTimestamp
+
+__all__ = ["VectorTimestamp", "TimestampObject"]

@@ -1,0 +1,82 @@
+"""Lexicographically ordered vector timestamps.
+
+A :class:`VectorTimestamp` wraps a tuple of non-negative integers, one
+component per process, and compares *lexicographically* — the order the
+paper writes as ``t' ≻ t``.  Lexicographic (rather than component-wise)
+ordering is what makes the New-timestamp rule of Figure 1 produce a value
+strictly larger than every timestamp contained in the scanned history
+(Corollary 11): bumping your own component by one wins any comparison that
+earlier components do not already decide.
+"""
+
+from __future__ import annotations
+
+from functools import total_ordering
+from typing import Iterable, Tuple
+
+from repro.errors import ValidationError
+
+
+@total_ordering
+class VectorTimestamp:
+    """An immutable vector of non-negative integers, ordered lexicographically."""
+
+    __slots__ = ("components",)
+
+    def __init__(self, components: Iterable[int]) -> None:
+        comps = tuple(int(c) for c in components)
+        if not comps:
+            raise ValidationError("timestamp needs at least one component")
+        if any(c < 0 for c in comps):
+            raise ValidationError("timestamp components must be non-negative")
+        object.__setattr__(self, "components", comps)
+
+    def __setattr__(self, key, value):  # immutability guard
+        raise AttributeError("VectorTimestamp is immutable")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def zero(cls, size: int) -> "VectorTimestamp":
+        """The minimum timestamp on ``size`` components."""
+        return cls((0,) * size)
+
+    def bump(self, index: int) -> "VectorTimestamp":
+        """A copy with component ``index`` incremented by one."""
+        comps = list(self.components)
+        try:
+            comps[index] += 1
+        except IndexError:
+            raise ValidationError(
+                f"component {index} out of range for size {len(comps)}"
+            ) from None
+        return VectorTimestamp(comps)
+
+    @property
+    def size(self) -> int:
+        return len(self.components)
+
+    # ------------------------------------------------------------------
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, VectorTimestamp):
+            return NotImplemented
+        return self.components == other.components
+
+    def __lt__(self, other) -> bool:
+        if not isinstance(other, VectorTimestamp):
+            return NotImplemented
+        if len(self.components) != len(other.components):
+            raise ValidationError(
+                "cannot compare timestamps of different sizes "
+                f"({len(self.components)} vs {len(other.components)})"
+            )
+        return self.components < other.components
+
+    def __hash__(self) -> int:
+        return hash(self.components)
+
+    def __repr__(self) -> str:
+        return f"VectorTimestamp{self.components}"
+
+    def as_tuple(self) -> Tuple[int, ...]:
+        """The raw component tuple."""
+        return self.components

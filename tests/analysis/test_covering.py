@@ -1,0 +1,97 @@
+"""Tests for the Burns–Lynch covering machinery."""
+
+import pytest
+
+from repro.analysis import build_covering
+from repro.analysis.covering import release_covering
+from repro.errors import ValidationError
+from repro.protocols import (
+    ImmediateDecide,
+    MinSeen,
+    RacingConsensus,
+    RotatingWrites,
+)
+
+
+class TestBuildCovering:
+    def test_covers_distinct_components(self):
+        protocol = RacingConsensus(4)
+        report = build_covering(protocol, [0, 1, 0, 1])
+        assert report.size == 4
+        assert sorted(report.covered) == [0, 1, 2, 3]
+
+    def test_poised_values_are_pending_writes(self):
+        protocol = RacingConsensus(3)
+        report = build_covering(protocol, [0, 1, 0])
+        for index, (component, value) in report.poised_values.items():
+            assert report.covered[component] == index
+            assert value[0] >= 1  # a (round, value) pair
+
+    def test_target_larger_than_m_rejected(self):
+        with pytest.raises(ValidationError):
+            build_covering(RacingConsensus(2), [0, 1], target=3)
+
+    def test_partial_target(self):
+        report = build_covering(RacingConsensus(4), [0, 1, 0, 1], target=2)
+        assert report.size == 2
+
+    def test_early_decider_reported_blocked(self):
+        """ImmediateDecide processes write once then decide; the second
+        process targeting an already-covered component decides during its
+        drive and is reported blocked."""
+        protocol = MinSeen(2)
+        # Process 0 covers component 0; process 1 covers component 1: both
+        # cover fresh components, nobody blocked.
+        report = build_covering(protocol, [5, 3])
+        assert report.size == 2
+        assert report.blocked == {}
+
+    def test_blocked_when_no_fresh_component(self):
+        """A process that can only ever write an already-covered component
+        decides during its drive and is reported blocked."""
+        from repro.protocols.base import DECIDE, SCAN, UPDATE, Protocol
+
+        class WriteZeroOnce(Protocol):
+            n, m, name = 2, 2, "write-zero-once"
+
+            def initial_state(self, index, value):
+                return ("update", value)
+
+            def poised(self, state):
+                phase, value = state
+                if phase == "update":
+                    return (UPDATE, (0, value))
+                if phase == "scan":
+                    return (SCAN, None)
+                return (DECIDE, value)
+
+            def advance(self, state, observation=None):
+                phase, value = state
+                return ("scan" if phase == "update" else "done", value)
+
+        report = build_covering(WriteZeroOnce(), [1, 2], target=2)
+        assert report.size == 1
+        assert report.covered == {0: 0}
+        assert "decided" in report.blocked[1]
+
+    def test_covering_grows_with_rotating_writes(self):
+        protocol = RotatingWrites(6, 4, rounds=4)
+        report = build_covering(protocol, [9, 8, 7, 6])
+        assert report.size == 4
+
+
+class TestReleaseCovering:
+    def test_block_write_obliterates(self):
+        protocol = RacingConsensus(3)
+        report = build_covering(protocol, [0, 1, 0])
+        contents = release_covering(report)
+        # Every covered component now holds the poised (round, value) pair.
+        for index, (component, value) in report.poised_values.items():
+            assert contents[component] == value
+
+    def test_release_does_not_mutate_report(self):
+        protocol = RacingConsensus(2)
+        report = build_covering(protocol, [0, 1])
+        before = report.memory
+        release_covering(report)
+        assert report.memory == before

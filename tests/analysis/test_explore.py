@@ -1,0 +1,124 @@
+"""Tests for the bounded-exhaustive protocol model checker."""
+
+import pytest
+
+from repro.analysis import check_obstruction_freedom, explore_protocol
+from repro.errors import ValidationError
+from repro.protocols import (
+    ImmediateDecide,
+    KSetAgreementTask,
+    MinSeen,
+    RacingConsensus,
+    TruncatedProtocol,
+)
+
+
+class TestExploreBasics:
+    def test_trivial_protocol_fully_explored(self):
+        report = explore_protocol(
+            ImmediateDecide(2), [0, 1], KSetAgreementTask(2)
+        )
+        assert report.safe
+        assert not report.truncated
+        assert report.fully_decided > 0
+
+    def test_input_count_validated(self):
+        with pytest.raises(ValidationError):
+            explore_protocol(ImmediateDecide(1), [0, 1], KSetAgreementTask(1))
+
+    def test_config_budget_truncates(self):
+        report = explore_protocol(
+            RacingConsensus(2), [0, 1], KSetAgreementTask(1), max_configs=10
+        )
+        assert report.truncated
+
+    def test_depth_bound_truncates(self):
+        report = explore_protocol(
+            RacingConsensus(2), [0, 1], KSetAgreementTask(1),
+            max_configs=100_000, max_steps=3,
+        )
+        assert report.truncated
+
+    def test_counterexample_replayable(self):
+        """The schedule returned for a violation reproduces it when
+        replayed step by step."""
+        from repro.analysis.bivalence import (
+            initial_configuration,
+            step_configuration,
+        )
+
+        broken = TruncatedProtocol(RacingConsensus(3), 1)
+        task = KSetAgreementTask(1)
+        report = explore_protocol(
+            broken, [0, 1, 2], task, max_configs=500_000, max_steps=40
+        )
+        assert not report.safe
+        config = initial_configuration(broken, [0, 1, 2])
+        for index in report.counterexample:
+            config = step_configuration(broken, config, index)
+        states, _memory = config
+        decided = {}
+        for i, state in enumerate(states):
+            value = broken.decision(state)
+            if value is not None:
+                decided[i] = value
+        assert task.check([0, 1, 2], decided) != []
+
+    def test_collect_multiple_violations(self):
+        broken = TruncatedProtocol(RacingConsensus(3), 1)
+        report = explore_protocol(
+            broken, [0, 1, 2], KSetAgreementTask(1),
+            max_configs=200_000, max_steps=30,
+            stop_at_first_violation=False,
+        )
+        assert len(report.violations) >= 1
+
+    def test_min_seen_is_safe_for_weak_task(self):
+        report = explore_protocol(
+            MinSeen(2), [0, 1], KSetAgreementTask(2), max_configs=100_000
+        )
+        assert report.safe
+        assert not report.truncated
+
+
+class TestObstructionProbes:
+    def test_wait_free_protocol_always_passes(self):
+        schedules = [[0, 1, 0, 1], [], [1, 1, 1]]
+        violations = check_obstruction_freedom(
+            MinSeen(2), [5, 3], schedules
+        )
+        assert violations == []
+
+    def test_livelocking_protocol_detected(self):
+        """A protocol whose solo runs never decide fails the probe."""
+        from repro.protocols.base import SCAN, UPDATE, Protocol
+
+        class NeverDecide(Protocol):
+            n, m, name = 1, 1, "never"
+
+            def initial_state(self, index, value):
+                return ("scan", 0)
+
+            def poised(self, state):
+                phase, count = state
+                if phase == "scan":
+                    return (SCAN, None)
+                return (UPDATE, (0, count))
+
+            def advance(self, state, observation=None):
+                phase, count = state
+                if phase == "scan":
+                    return ("update", count + 1)
+                return ("scan", count)
+
+        violations = check_obstruction_freedom(
+            NeverDecide(), [0], [[0, 0, 0]], solo_budget=200
+        )
+        assert violations
+
+    def test_decided_processes_skipped(self):
+        # Schedule longer than the protocol's life: decided steps skipped.
+        violations = check_obstruction_freedom(
+            ImmediateDecide(1), [4], [[0] * 50]
+        )
+        assert violations == []

@@ -1,0 +1,98 @@
+"""Tests for the text renderers."""
+
+import pytest
+
+from repro.analysis.render import (
+    render_bound_table,
+    render_correspondence,
+    render_decisions,
+    render_linearization,
+    render_trace,
+)
+from repro.augmented import AugmentedSnapshot
+from repro.augmented.linearization import linearize
+from repro.core import bound_table, check_correspondence, run_simulation
+from repro.protocols import RotatingWrites
+from repro.runtime import RandomScheduler, System
+
+
+@pytest.fixture(scope="module")
+def outcome():
+    return run_simulation(
+        RotatingWrites(7, 3, rounds=4), k=2, x=1, inputs=[5, 2, 8],
+        scheduler=RandomScheduler(3), max_steps=400_000,
+    )
+
+
+@pytest.fixture(scope="module")
+def augmented_run():
+    system = System()
+    aug = AugmentedSnapshot("M", components=2, pids=[0, 1])
+
+    def body(proc):
+        yield from aug.block_update(proc.pid, [proc.pid % 2], [proc.pid])
+        yield from aug.scan(proc.pid)
+
+    for _ in range(2):
+        system.add_process(body)
+    system.run(RandomScheduler(6), max_steps=50_000)
+    return system, aug
+
+
+class TestRenderTrace:
+    def test_contains_step_rows(self, augmented_run):
+        system, _aug = augmented_run
+        text = render_trace(system)
+        assert "seq" in text
+        assert "M.H" in text
+        assert "scan" in text
+
+    def test_limit(self, augmented_run):
+        system, _aug = augmented_run
+        text = render_trace(system, limit=3)
+        assert len(text.splitlines()) == 5  # header + separator + 3 rows
+
+
+class TestRenderLinearization:
+    def test_shows_updates_and_scans(self, augmented_run):
+        system, aug = augmented_run
+        text = render_linearization(linearize(system.trace, aug))
+        assert "Update" in text
+        assert "Scan" in text
+        assert "atomic" in text
+
+
+class TestRenderCorrespondence:
+    def test_summary_and_rows(self, outcome):
+        correspondence = check_correspondence(outcome)
+        text = render_correspondence(correspondence)
+        assert "simulated steps" in text
+        assert "no violations" in text
+        assert "block-update" in text
+
+    def test_violations_rendered(self, outcome):
+        correspondence = check_correspondence(outcome)
+        correspondence.violations.append("made-up violation")
+        text = render_correspondence(correspondence)
+        assert "VIOLATIONS" in text
+        assert "made-up violation" in text
+
+
+class TestRenderBoundsAndDecisions:
+    def test_bound_table(self):
+        text = render_bound_table(bound_table(ns=[4, 8], ks=[1, 2]))
+        assert "lower" in text
+        assert "yes" in text  # consensus rows tight
+
+    def test_decisions(self, outcome):
+        text = render_decisions(outcome)
+        assert "q0" in text
+        assert "decided" in text
+
+    def test_undecided_marked(self, outcome):
+        import copy
+
+        partial = copy.copy(outcome)
+        partial.decisions = {0: 5}
+        text = render_decisions(partial)
+        assert "undecided" in text

@@ -1,0 +1,152 @@
+"""Appendix B as tests: the linearization rules and Lemmas 13-23.
+
+Every checker in repro.augmented.linearization is exercised over a large
+family of random and adversarial schedules; an empty violation list on each
+execution is the executable form of the corresponding lemma.
+"""
+
+import pytest
+
+from repro.augmented import AugmentedSnapshot, YIELD
+from repro.augmented.linearization import (
+    check_all,
+    check_atomic_block_updates,
+    check_returned_views,
+    check_scan_views,
+    check_updates_within_intervals,
+    check_yield_rule,
+    extract_operations,
+    linearize,
+)
+from repro.runtime import RandomScheduler, RoundRobinScheduler, System
+
+
+def run_workload(pids, m, rounds, seed, wide_updates=False):
+    """Standard mixed Scan/Block-Update workload; returns (system, object)."""
+    sys_ = System()
+    aug = AugmentedSnapshot("M", components=m, pids=pids)
+
+    def body(proc):
+        for r in range(rounds):
+            if wide_updates:
+                comps = [(proc.pid + offset) % m for offset in range(min(2, m))]
+                comps = list(dict.fromkeys(comps))
+            else:
+                comps = [(proc.pid + r) % m]
+            values = [f"{proc.pid}.{r}.{c}" for c in comps]
+            yield from aug.block_update(proc.pid, comps, values)
+            yield from aug.scan(proc.pid)
+
+    for _ in pids:
+        sys_.add_process(body)
+    result = sys_.run(RandomScheduler(seed), max_steps=500_000)
+    assert result.completed
+    return sys_, aug
+
+
+class TestExtraction:
+    def test_counts_match_workload(self):
+        sys_, aug = run_workload([0, 1], m=2, rounds=3, seed=0)
+        bus, scans = extract_operations(sys_.trace, aug)
+        assert len(bus) == 6
+        assert len(scans) == 6
+        assert all(record.completed for record in bus)
+        assert all(record.completed for record in scans)
+
+    def test_block_update_fields_populated(self):
+        sys_, aug = run_workload([0, 1], m=2, rounds=1, seed=1)
+        bus, _ = extract_operations(sys_.trace, aug)
+        for record in bus:
+            assert record.timestamp is not None
+            assert record.h_scan_seq is not None
+            assert record.x_seq is not None
+            assert record.h_scan_seq < record.x_seq
+            assert record.result in ("view", "yield")
+
+    def test_scan_linearizes_at_last_h_scan(self):
+        sys_, aug = run_workload([0], m=1, rounds=1, seed=2)
+        _, scans = extract_operations(sys_.trace, aug)
+        (scan,) = scans
+        assert scan.begin_seq < scan.lin_seq <= scan.end_seq
+
+
+class TestLinearization:
+    def test_sigma_is_sorted(self):
+        sys_, aug = run_workload([0, 1, 2], m=3, rounds=2, seed=3)
+        lin = linearize(sys_.trace, aug)
+        orders = [point.order for point in lin.sigma]
+        assert orders == sorted(orders)
+
+    def test_every_completed_update_linearizes_exactly_once(self):
+        sys_, aug = run_workload([0, 1, 2], m=3, rounds=2, seed=4)
+        lin = linearize(sys_.trace, aug)
+        updates = [p for p in lin.sigma if p.kind == "update"]
+        expected = sum(
+            len(record.components)
+            for record in lin.block_updates
+            if record.timestamp is not None
+        )
+        assert len(updates) == expected
+
+    def test_views_after_prefixes_shape(self):
+        sys_, aug = run_workload([0, 1], m=2, rounds=1, seed=5)
+        lin = linearize(sys_.trace, aug)
+        views = lin.views_after_prefixes()
+        assert len(views) == len(lin.sigma) + 1
+        assert views[0] == (None, None)
+
+
+@pytest.mark.parametrize("seed", range(25))
+class TestLemmasUnderRandomSchedules:
+    def test_corollary_18_scans(self, seed):
+        sys_, aug = run_workload([0, 1, 2], m=3, rounds=3, seed=seed)
+        assert check_scan_views(linearize(sys_.trace, aug)) == []
+
+    def test_lemma_14_atomic_block_updates(self, seed):
+        sys_, aug = run_workload([0, 1, 2], m=3, rounds=3, seed=seed)
+        assert check_atomic_block_updates(linearize(sys_.trace, aug)) == []
+
+    def test_lemma_15_update_intervals(self, seed):
+        sys_, aug = run_workload([0, 1, 2], m=3, rounds=3, seed=seed)
+        assert check_updates_within_intervals(linearize(sys_.trace, aug)) == []
+
+    def test_lemma_16_yield_rule(self, seed):
+        sys_, aug = run_workload([0, 1, 2], m=3, rounds=3, seed=seed)
+        assert check_yield_rule(sys_.trace, aug) == []
+
+    def test_lemma_22_returned_views(self, seed):
+        sys_, aug = run_workload([0, 1, 2], m=3, rounds=3, seed=seed)
+        assert check_returned_views(linearize(sys_.trace, aug)) == []
+
+
+@pytest.mark.parametrize("seed", range(10))
+class TestLemmasWideWorkload:
+    def test_check_all_with_multi_component_updates(self, seed):
+        sys_, aug = run_workload(
+            [0, 1, 2, 3], m=4, rounds=2, seed=seed, wide_updates=True
+        )
+        assert check_all(sys_.trace, aug) == []
+
+
+class TestLargerConfigurations:
+    @pytest.mark.parametrize("k_plus_1,m", [(2, 1), (2, 4), (4, 2), (5, 3)])
+    def test_check_all_across_shapes(self, k_plus_1, m):
+        sys_, aug = run_workload(
+            list(range(k_plus_1)), m=m, rounds=2, seed=k_plus_1 * 10 + m
+        )
+        assert check_all(sys_.trace, aug) == []
+
+    def test_round_robin_schedule(self):
+        sys_ = System()
+        aug = AugmentedSnapshot("M", components=2, pids=[0, 1, 2])
+
+        def body(proc):
+            for r in range(2):
+                yield from aug.block_update(proc.pid, [r % 2], [proc.pid])
+                yield from aug.scan(proc.pid)
+
+        for _ in range(3):
+            sys_.add_process(body)
+        result = sys_.run(RoundRobinScheduler())
+        assert result.completed
+        assert check_all(sys_.trace, aug) == []

@@ -1,0 +1,221 @@
+"""Behavioural tests of the augmented snapshot object (Figure 1)."""
+
+import pytest
+
+from repro.augmented import AugmentedSnapshot, YIELD
+from repro.errors import ModelError, ValidationError
+from repro.runtime import (
+    AdversarialScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+    System,
+)
+
+
+def run_bodies(aug_factory, bodies, scheduler=None, max_steps=500_000):
+    sys_ = System()
+    aug = aug_factory()
+    for body in bodies:
+        sys_.add_process(lambda proc, b=body: b(proc, aug))
+    result = sys_.run(scheduler or RoundRobinScheduler(), max_steps=max_steps)
+    return sys_, aug, result
+
+
+class TestConstruction:
+    def test_requires_components(self):
+        with pytest.raises(ValidationError):
+            AugmentedSnapshot("M", components=0, pids=[0])
+
+    def test_requires_processes(self):
+        with pytest.raises(ValidationError):
+            AugmentedSnapshot("M", components=1, pids=[])
+
+    def test_duplicate_pids_rejected(self):
+        with pytest.raises(ValidationError):
+            AugmentedSnapshot("M", components=1, pids=[1, 1])
+
+    def test_rank_order_follows_pid_list(self):
+        aug = AugmentedSnapshot("M", components=1, pids=[30, 10, 20])
+        assert aug.rank_of(30) == 0
+        assert aug.rank_of(20) == 2
+
+    def test_unknown_pid_rejected(self):
+        aug = AugmentedSnapshot("M", components=1, pids=[0])
+        with pytest.raises(ModelError):
+            aug.rank_of(9)
+
+    def test_register_count_includes_h_and_touched_l(self):
+        aug = AugmentedSnapshot("M", components=2, pids=[0, 1])
+        assert aug.register_count() == 2  # H only, no L cells touched yet
+
+
+class TestBlockUpdateValidation:
+    def setup_method(self):
+        self.aug = AugmentedSnapshot("M", components=3, pids=[0, 1])
+
+    def test_empty_components_rejected(self):
+        with pytest.raises(ValidationError):
+            next(self.aug.block_update(0, [], []))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            next(self.aug.block_update(0, [0, 1], ["v"]))
+
+    def test_duplicate_components_rejected(self):
+        with pytest.raises(ValidationError):
+            next(self.aug.block_update(0, [1, 1], ["a", "b"]))
+
+    def test_out_of_range_component_rejected(self):
+        with pytest.raises(ValidationError):
+            next(self.aug.block_update(0, [3], ["v"]))
+
+
+class TestSoloBehaviour:
+    def test_scan_of_fresh_object(self):
+        def body(proc, aug):
+            return (yield from aug.scan(proc.pid))
+
+        _, _, result = run_bodies(
+            lambda: AugmentedSnapshot("M", components=3, pids=[0]), [body]
+        )
+        assert result.outputs[0] == (None, None, None)
+
+    def test_solo_block_update_is_atomic_and_returns_prior_view(self):
+        def body(proc, aug):
+            first = yield from aug.block_update(proc.pid, [0, 2], ["a", "c"])
+            second = yield from aug.block_update(proc.pid, [1], ["b"])
+            final = yield from aug.scan(proc.pid)
+            return first, second, final
+
+        _, _, result = run_bodies(
+            lambda: AugmentedSnapshot("M", components=3, pids=[0]), [body]
+        )
+        first, second, final = result.outputs[0]
+        assert first == (None, None, None)  # view before the Block-Update
+        assert second == ("a", None, "c")
+        assert final == ("a", "b", "c")
+
+    def test_rank0_never_yields(self):
+        """q_0 has no lower-identifier process, so its Block-Updates are
+        always atomic (Lemma 16)."""
+
+        def q0(proc, aug):
+            out = []
+            for r in range(5):
+                out.append((yield from aug.block_update(proc.pid, [r % 2], [r])))
+            return out
+
+        def q1(proc, aug):
+            for r in range(5):
+                yield from aug.block_update(proc.pid, [(r + 1) % 2], [10 + r])
+
+        for seed in range(10):
+            _, aug, result = run_bodies(
+                lambda: AugmentedSnapshot("M", components=2, pids=[0, 1]),
+                [q0, q1],
+                RandomScheduler(seed),
+            )
+            assert result.completed
+            assert all(v is not YIELD for v in result.outputs[0])
+            assert aug.yield_counts[0] == 0
+
+
+class TestConcurrentBehaviour:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_runs_complete_and_yields_only_from_higher_ranks(self, seed):
+        def body(proc, aug):
+            outcome = []
+            for r in range(3):
+                v = yield from aug.block_update(
+                    proc.pid, [proc.pid % 2], [f"{proc.pid}.{r}"]
+                )
+                outcome.append(v)
+                yield from aug.scan(proc.pid)
+            return outcome
+
+        _, aug, result = run_bodies(
+            lambda: AugmentedSnapshot("M", components=2, pids=[0, 1, 2]),
+            [body] * 3,
+            RandomScheduler(seed),
+        )
+        assert result.completed
+        assert aug.yield_counts[0] == 0
+
+    def test_yield_forced_by_adversary(self):
+        """An interleaving where q_1's Block-Update brackets q_0's update to
+        H must make q_1 return ☡."""
+
+        def q0(proc, aug):
+            yield from aug.block_update(proc.pid, [0], ["lo"])
+
+        def q1(proc, aug):
+            return (yield from aug.block_update(proc.pid, [1], ["hi"]))
+
+        # q1 scans H (line 23); then q0 runs its whole Block-Update — exactly
+        # 5 steps (scan, update, scan, scan, one L read; rank 0 helps no one
+        # below it); then q1 proceeds (update, scan, helping write, scan) and
+        # its line-29 scan sees #g_0 > #h_0, forcing ☡.
+        script = [1] + [0] * 5 + [1] * 4
+        _, aug, result = run_bodies(
+            lambda: AugmentedSnapshot("M", components=2, pids=[0, 1]),
+            [q0, q1],
+            AdversarialScheduler(script),
+        )
+        assert result.completed
+        assert result.outputs[1] is YIELD
+        assert aug.yield_counts[1] == 1
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_scan_sees_all_completed_block_updates(self, seed):
+        """A scan taken after the system quiesces reflects every update."""
+
+        def writer(proc, aug):
+            yield from aug.block_update(proc.pid, [proc.pid], [f"w{proc.pid}"])
+
+        sys_ = System()
+        aug = AugmentedSnapshot("M", components=3, pids=[0, 1, 2])
+        for _ in range(3):
+            sys_.add_process(lambda proc: writer(proc, aug))
+        result = sys_.run(RandomScheduler(seed))
+        assert result.completed
+
+        def reader(proc):
+            return (yield from aug.scan(proc.pid))
+
+        sys2 = System()
+        sys2.add_process(reader, pid=0)
+        final = sys2.run(RoundRobinScheduler())
+        assert final.outputs[0] == ("w0", "w1", "w2")
+
+    def test_block_updates_are_wait_free(self):
+        """Each Block-Update takes a bounded number of primitive steps
+        regardless of what others do: 4 H-steps + (k+1-1) L reads + up to
+        rank helping writes."""
+
+        def body(proc, aug):
+            yield from aug.block_update(proc.pid, [0], ["x"])
+
+        for seed in range(5):
+            sys_, aug, result = run_bodies(
+                lambda: AugmentedSnapshot("M", components=1, pids=[0, 1, 2, 3]),
+                [body] * 4,
+                RandomScheduler(seed),
+            )
+            per_pid = {}
+            for event in sys_.trace.steps():
+                per_pid[event.pid] = per_pid.get(event.pid, 0) + 1
+            bound = 4 + 3 + 3  # H steps + helping writes + L reads
+            assert all(count <= bound for count in per_pid.values())
+
+    def test_statistics_counters(self):
+        def body(proc, aug):
+            for _ in range(2):
+                yield from aug.block_update(proc.pid, [0], ["v"])
+
+        _, aug, result = run_bodies(
+            lambda: AugmentedSnapshot("M", components=1, pids=[0, 1]),
+            [body] * 2,
+            RoundRobinScheduler(),
+        )
+        total = sum(aug.atomic_counts.values()) + sum(aug.yield_counts.values())
+        assert total == 4

@@ -1,0 +1,74 @@
+"""Edge cases of the partially augmented snapshot and scan retry paths."""
+
+import pytest
+
+from repro.augmented.partial import PartialAugmentedSnapshot
+from repro.errors import ModelError
+from repro.runtime import AdversarialScheduler, RandomScheduler, System
+
+
+class TestScanRetry:
+    def test_scan_retries_until_quiescent(self):
+        """A scan whose double collect is broken by an update retries and
+        eventually returns a view including the update."""
+        obj = PartialAugmentedSnapshot("P", 1, pids=[0, 1])
+        system = System()
+
+        def scanner(proc):
+            return (yield from obj.scan(proc.pid))
+
+        def updater(proc):
+            yield from obj.update(proc.pid, 0, "late")
+
+        system.add_process(scanner, pid=0)
+        system.add_process(updater, pid=1)
+        # Scanner does its first H scan; the updater then appends (2
+        # steps); the scanner's pair mismatches and it retries.
+        script = [0, 1, 1] + [0] * 20
+        result = system.run(AdversarialScheduler(script), max_steps=10_000)
+        assert result.completed
+        assert result.outputs[0] == ("late",)
+
+    def test_scan_helps_before_confirming(self):
+        """The scan publishes its first collect to every helping register
+        before its confirming collect (lines 16-18 discipline)."""
+        obj = PartialAugmentedSnapshot("P", 1, pids=[0, 1])
+        system = System()
+
+        def scanner(proc):
+            return (yield from obj.scan(proc.pid))
+
+        system.add_process(scanner, pid=0)
+        system.run(RandomScheduler(0), max_steps=10_000)
+        helping_writes = [
+            event
+            for event in system.trace.steps()
+            if event.obj_name.startswith("P.L[")
+        ]
+        assert len(helping_writes) == 1  # one write to L[0->1] per attempt
+
+
+class TestAccessControl:
+    def test_update_by_stranger_rejected(self):
+        obj = PartialAugmentedSnapshot("P", 1, pids=[0])
+        with pytest.raises(ModelError):
+            next(obj.update(42, 0, "v"))
+
+    def test_scan_by_stranger_rejected(self):
+        obj = PartialAugmentedSnapshot("P", 1, pids=[0])
+        with pytest.raises(ModelError):
+            next(obj.scan(42))
+
+    def test_unsafe_mode_lets_anyone_block_update(self):
+        obj = PartialAugmentedSnapshot(
+            "P", 1, pids=[0, 1], unsafe_allow_any_rank=True
+        )
+        system = System()
+
+        def body(proc):
+            return (yield from obj.block_update(proc.pid, [0], ["x"]))
+
+        system.add_process(body, pid=1)
+        result = system.run(RandomScheduler(0), max_steps=10_000)
+        assert result.completed
+        assert result.outputs[1] == (None,)  # pre-update view

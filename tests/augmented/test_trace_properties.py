@@ -1,0 +1,110 @@
+"""Trace-level properties of the augmented snapshot: Observation 5,
+Lemma 10, Lemma 12, checked on real executions rather than hand histories."""
+
+import pytest
+
+from repro.augmented import AugmentedSnapshot, is_prefix
+from repro.augmented.views import history_counts, timestamps_in
+from repro.runtime import RandomScheduler, System
+
+
+def run_workload(k_plus_1, m, rounds, seed):
+    system = System()
+    aug = AugmentedSnapshot("M", components=m, pids=list(range(k_plus_1)))
+
+    def body(proc):
+        for r in range(rounds):
+            yield from aug.block_update(
+                proc.pid, [(proc.pid + r) % m], [f"{proc.pid}.{r}"]
+            )
+            yield from aug.scan(proc.pid)
+
+    for _ in range(k_plus_1):
+        system.add_process(body)
+    result = system.run(RandomScheduler(seed), max_steps=500_000)
+    assert result.completed
+    return system, aug
+
+
+def h_scan_results(system, aug):
+    """All results of scans of H, in execution order."""
+    return [
+        event.result
+        for event in system.trace.steps()
+        if event.obj_name == aug.H.name and event.op == "scan"
+    ]
+
+
+@pytest.mark.parametrize("seed", range(15))
+class TestObservation5:
+    def test_scan_results_totally_prefix_ordered(self, seed):
+        """Observation 5: results of scans of H are totally ordered by the
+        (componentwise) prefix relation, in execution order."""
+        system, aug = run_workload(3, 3, 3, seed)
+        results = h_scan_results(system, aug)
+        for earlier, later in zip(results, results[1:]):
+            assert is_prefix(earlier, later)
+
+    def test_proper_prefix_implies_earlier(self, seed):
+        system, aug = run_workload(3, 2, 2, seed)
+        results = h_scan_results(system, aug)
+        for i, a in enumerate(results):
+            for b in results[i + 1:]:
+                # later is never a *proper* prefix of earlier
+                assert not (is_prefix(b, a) and a != b)
+
+
+@pytest.mark.parametrize("seed", range(15))
+class TestLemma10And12:
+    def test_lemma_10_contained_timestamps_bounded_by_counts(self, seed):
+        """For any timestamp t contained in a scan result h,
+        #h_j >= t_j for all j."""
+        system, aug = run_workload(3, 3, 3, seed)
+        for h in h_scan_results(system, aug):
+            counts = history_counts(h)
+            for stamp in timestamps_in(h):
+                for j, component in enumerate(stamp.as_tuple()):
+                    assert counts[j] >= component
+
+    def test_corollary_11_fresh_timestamps_dominate(self, seed):
+        """Timestamps actually generated during the run dominate everything
+        contained in the history they were generated from: equivalently,
+        all appended timestamps are strictly increasing per process."""
+        system, aug = run_workload(3, 3, 3, seed)
+        per_rank = {}
+        state = [()] * aug.k_plus_1
+        for event in system.trace.steps():
+            if event.obj_name == aug.H.name and event.op == "update":
+                slot, new_history = event.args
+                appended = new_history[len(state[slot]):]
+                state[slot] = new_history
+                if appended:
+                    stamp = appended[0][2]
+                    if slot in per_rank:
+                        assert stamp > per_rank[slot]
+                    per_rank[slot] = stamp
+
+    def test_lemma_12_timestamps_unique_per_component(self, seed):
+        """Any two triples in H for the same component of M carry
+        different timestamps."""
+        system, aug = run_workload(4, 3, 3, seed)
+        final = aug.H.view()
+        seen = set()
+        for history in final:
+            for component, _value, stamp in history:
+                key = (component, stamp)
+                assert key not in seen
+                seen.add(key)
+
+    def test_all_block_update_timestamps_globally_unique(self, seed):
+        system, aug = run_workload(4, 3, 3, seed)
+        final = aug.H.view()
+        stamps = [
+            stamp
+            for history in final
+            for _c, _v, stamp in history
+        ]
+        # Triples of the same Block-Update share a timestamp; distinct
+        # Block-Updates never do.  Here each Block-Update writes one
+        # component, so all stamps are distinct.
+        assert len(set(stamps)) == len(stamps)

@@ -1,0 +1,99 @@
+"""Tests for the Appendix D approximate-agreement simulation."""
+
+import pytest
+
+from repro.core import check_correspondence, run_approx_simulation
+from repro.errors import ValidationError
+from repro.protocols import AveragingApprox, TruncatedProtocol
+from repro.runtime import RandomScheduler, RoundRobinScheduler
+
+
+def protocol_for(m, eps, n_factor=2):
+    """An approximate-agreement protocol squeezed onto m registers for 2m
+    processes (aliasing keeps validity and wait-freedom)."""
+    return TruncatedProtocol(AveragingApprox(n_factor * m, eps), m)
+
+
+class TestValidation:
+    def test_needs_two_inputs(self):
+        with pytest.raises(ValidationError):
+            run_approx_simulation(
+                protocol_for(2, 0.5), [0], RoundRobinScheduler()
+            )
+
+    def test_protocol_width_checked(self):
+        protocol = AveragingApprox(3, 0.5)  # n=3 < 2m=6
+        with pytest.raises(ValidationError):
+            run_approx_simulation(protocol, [0, 1], RoundRobinScheduler())
+
+
+class TestRuns:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_both_simulators_decide(self, seed):
+        outcome = run_approx_simulation(
+            protocol_for(2, 2 ** -6), [0, 1], RandomScheduler(seed)
+        )
+        assert outcome.result.completed
+        assert outcome.all_decided
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_validity(self, seed):
+        outcome = run_approx_simulation(
+            protocol_for(2, 2 ** -6), [0, 1], RandomScheduler(seed)
+        )
+        for value in outcome.decisions.values():
+            assert 0.0 <= value <= 1.0
+
+    def test_same_inputs_decide_that_value(self):
+        outcome = run_approx_simulation(
+            protocol_for(2, 2 ** -6), [1, 1], RoundRobinScheduler()
+        )
+        assert set(outcome.decisions.values()) == {1.0}
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_correspondence(self, seed):
+        outcome = run_approx_simulation(
+            protocol_for(2, 2 ** -8), [0, 1], RandomScheduler(seed)
+        )
+        correspondence = check_correspondence(outcome)
+        assert correspondence.ok, correspondence.violations
+
+
+class TestEpsilonIndependence:
+    """Lemma 33's heart: simulator step counts are a function of m, not ε."""
+
+    def test_steps_constant_across_epsilon(self):
+        step_profiles = {}
+        for exponent in (2, 6, 10, 14):
+            eps = 2.0 ** -exponent
+            outcome = run_approx_simulation(
+                protocol_for(2, eps), [0, 1], RoundRobinScheduler()
+            )
+            assert outcome.all_decided
+            step_profiles[exponent] = outcome.max_steps_taken
+        values = set(step_profiles.values())
+        assert len(values) == 1, step_profiles
+
+    def test_steps_grow_with_m(self):
+        """More registers means more covering work: f(m) grows."""
+        eps = 2 ** -6
+        steps_by_m = {}
+        for m in (1, 2, 3):
+            outcome = run_approx_simulation(
+                protocol_for(m, eps), [0, 1], RoundRobinScheduler()
+            )
+            assert outcome.all_decided
+            steps_by_m[m] = outcome.max_steps_taken
+        assert steps_by_m[1] <= steps_by_m[2] <= steps_by_m[3]
+
+    def test_crossover_with_hoest_shavit_bound(self):
+        """For small enough ε the simulation's steps fall below
+        log₃(1/ε) — the contradiction that proves ⌊n/2⌋+1."""
+        import math
+
+        outcome = run_approx_simulation(
+            protocol_for(2, 2 ** -40), [0, 1], RoundRobinScheduler()
+        )
+        assert outcome.all_decided
+        hoest_shavit = math.log(2 ** 40, 3)
+        assert outcome.max_steps_taken < hoest_shavit

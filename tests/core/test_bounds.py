@@ -1,0 +1,128 @@
+"""Tests for the Theorem 3 / Appendix D bound formulas."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    approx_space_lower_bound,
+    bound_table,
+    consensus_space_bound,
+    kset_space_lower_bound,
+    kset_space_upper_bound,
+    max_simulatable_registers,
+    simulated_process_count,
+)
+from repro.errors import ValidationError
+
+
+class TestPaperValues:
+    def test_consensus_is_tight_n(self):
+        for n in (2, 3, 10, 100):
+            assert consensus_space_bound(n) == n
+            assert kset_space_lower_bound(n, 1, 1) == n
+            assert kset_space_upper_bound(n, 1, 1) == n
+
+    def test_obstruction_free_kset_formula(self):
+        # x = 1: floor((n-1)/k) + 1
+        assert kset_space_lower_bound(10, 3, 1) == (10 - 1) // 3 + 1 == 4
+        assert kset_space_lower_bound(7, 2, 1) == 4
+
+    def test_general_x_formula(self):
+        assert kset_space_lower_bound(20, 5, 3) == (20 - 3) // 3 + 1 == 6
+
+    def test_x_equals_k_case(self):
+        # x = k: floor(n-k) + 1 = n - k + 1, within x of the upper bound.
+        n, k = 12, 4
+        assert kset_space_lower_bound(n, k, k) == n - k + 1
+        assert kset_space_upper_bound(n, k, k) == n
+
+    def test_approx_bound(self):
+        assert approx_space_lower_bound(10) == 6
+        assert approx_space_lower_bound(11) == 6
+        assert approx_space_lower_bound(2) == 2
+
+
+class TestValidation:
+    def test_k_positive(self):
+        with pytest.raises(ValidationError):
+            kset_space_lower_bound(5, 0, 1)
+
+    def test_x_range(self):
+        with pytest.raises(ValidationError):
+            kset_space_lower_bound(5, 2, 3)
+        with pytest.raises(ValidationError):
+            kset_space_lower_bound(5, 2, 0)
+
+    def test_n_greater_than_k(self):
+        with pytest.raises(ValidationError):
+            kset_space_lower_bound(2, 2, 1)
+
+    def test_approx_n_positive(self):
+        with pytest.raises(ValidationError):
+            approx_space_lower_bound(0)
+
+
+class TestSimulationArithmetic:
+    @given(
+        st.integers(min_value=1, max_value=50),
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=1, max_value=8),
+    )
+    def test_simulatable_iff_below_bound(self, m, k, x):
+        """The simulation can be instantiated with m registers iff m is
+        strictly below the Theorem 3 bound — the exact pivot of the proof."""
+        if x > k:
+            return
+        n = simulated_process_count(m, k, x)
+        if n <= k:
+            return
+        assert max_simulatable_registers(n, k, x) >= m
+        assert kset_space_lower_bound(n, k, x) >= m + 1
+
+    @given(
+        st.integers(min_value=3, max_value=200),
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=1, max_value=8),
+    )
+    def test_lower_at_most_upper(self, n, k, x):
+        if x > k or n <= k:
+            return
+        assert kset_space_lower_bound(n, k, x) <= kset_space_upper_bound(n, k, x)
+
+    @given(st.integers(min_value=2, max_value=500))
+    def test_consensus_row_tight(self, n):
+        assert kset_space_lower_bound(n, 1, 1) == kset_space_upper_bound(n, 1, 1)
+
+    def test_process_count_formula(self):
+        assert simulated_process_count(4, 3, 1) == 3 * 4 + 1
+        assert simulated_process_count(4, 3, 3) == 4 + 3
+
+
+class TestBoundTable:
+    def test_skips_invalid_combinations(self):
+        rows = bound_table(ns=[2, 5], ks=[1, 4], xs=[1, 2])
+        for row in rows:
+            assert row.x <= row.k
+            assert row.n > row.k
+
+    def test_row_fields(self):
+        rows = bound_table(ns=[10], ks=[2], xs=[1])
+        (row,) = rows
+        assert row.lower == 5
+        assert row.upper == 9
+        assert row.gap == 4
+        assert not row.tight
+
+    def test_consensus_rows_tight(self):
+        rows = bound_table(ns=range(2, 20), ks=[1])
+        assert all(row.tight for row in rows)
+
+    def test_asymptotic_tightness_for_constant_k_x(self):
+        """Lower/upper ratio tends to 1/(k+1-x) * ... — for k=x the bounds
+        differ by at most x-1+... check the paper's 'asymptotically tight
+        when k and x constant' claim numerically: ratio bounded."""
+        rows = bound_table(ns=[1000], ks=[4], xs=[4])
+        (row,) = rows
+        # x = k: lower = n-k+1, upper = n: additive gap k-1... here x-? gap
+        assert row.upper - row.lower == row.k - 1 + (row.k - row.x)

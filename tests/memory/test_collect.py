@@ -1,0 +1,146 @@
+"""Collect is not linearizable; its reads are — the Section 3 analogy."""
+
+import pytest
+
+from repro.analysis.linearizability import (
+    CompletedOperation,
+    RegisterSpec,
+    SnapshotSpec,
+    check_linearizable,
+    history_from_trace,
+)
+from repro.errors import ModelError
+from repro.memory import AfekSnapshot
+from repro.memory.collect import Collect
+from repro.runtime import AdversarialScheduler, RandomScheduler, System
+
+
+class TestBasics:
+    def test_store_then_collect(self):
+        obj = Collect("C", writers=[0, 1])
+        system = System()
+
+        def body(proc):
+            yield from obj.store(proc.pid, f"v{proc.pid}")
+            return (yield from obj.collect(proc.pid))
+
+        for _ in range(2):
+            system.add_process(body)
+        result = system.run(RandomScheduler(3))
+        for view in result.outputs.values():
+            assert len(view) == 2
+
+    def test_store_restricted_to_writers(self):
+        obj = Collect("C", writers=[0])
+        with pytest.raises(ModelError):
+            list(obj.store(5, "v"))
+
+    def test_duplicate_writers_rejected(self):
+        with pytest.raises(ModelError):
+            Collect("C", writers=[1, 1])
+
+    def test_space_is_one_register_per_writer(self):
+        assert Collect("C", writers=[0, 1, 2]).register_count() == 3
+
+
+def new_old_inversion_run(make_object, collect_method, store_method):
+    """The inversion schedule: the collector reads R1 before w1's write,
+    then reads R2 after w2's write — where w1's write entirely precedes
+    w2's.  Returns (system, collector output)."""
+    system = System()
+    obj = make_object()
+
+    def collector(proc):
+        return (yield from collect_method(obj, proc.pid))
+
+    def writer(value):
+        def body(proc):
+            yield from store_method(obj, proc.pid, value)
+
+        return body
+
+    system.add_process(collector, pid=0)
+    system.add_process(writer("a"), pid=1)
+    system.add_process(writer("b"), pid=2)
+    # pid 0 reads R[1]; pid 1 writes "a"; pid 2 writes "b"; pid 0 reads R[2].
+    script = [0, 1, 2, 0] + [0] * 30
+    result = system.run(AdversarialScheduler(script), max_steps=10_000)
+    assert result.completed
+    return system, result.outputs[0]
+
+
+class TestNewOldInversion:
+    def test_collect_exhibits_the_inversion(self):
+        system, view = new_old_inversion_run(
+            lambda: Collect("C", writers=[1, 2]),
+            lambda obj, pid: obj.collect(pid),
+            lambda obj, pid, v: obj.store(pid, v),
+        )
+        # The collect saw w2's later write but missed w1's earlier one.
+        assert view == (None, "b")
+
+    def test_collect_history_is_not_linearizable_as_snapshot(self):
+        system, view = new_old_inversion_run(
+            lambda: Collect("C", writers=[1, 2]),
+            lambda obj, pid: obj.collect(pid),
+            lambda obj, pid, v: obj.store(pid, v),
+        )
+        history = history_from_trace(system.trace, "C")
+        ok, _witness = check_linearizable(history, SnapshotSpec(2))
+        assert not ok  # collect-as-scan: rejected
+
+    def test_individual_reads_are_linearizable(self):
+        """Re-expressed as register reads/writes, the same execution is
+        perfectly fine — only the composite operation is at fault."""
+        system, _view = new_old_inversion_run(
+            lambda: Collect("C", writers=[1, 2]),
+            lambda obj, pid: obj.collect(pid),
+            lambda obj, pid, v: obj.store(pid, v),
+        )
+        for register_name in ("C.R[1]", "C.R[2]"):
+            ops = []
+            for event in system.trace.steps():
+                if event.obj_name == register_name:
+                    ops.append(
+                        CompletedOperation(
+                            op_id=f"{register_name}#{event.seq}",
+                            pid=event.pid,
+                            op=event.op,
+                            args=event.args,
+                            result=event.result,
+                            start=event.seq,
+                            end=event.seq,
+                        )
+                    )
+            ok, _ = check_linearizable(ops, RegisterSpec())
+            assert ok
+
+    def test_afek_snapshot_immune_under_same_schedule(self):
+        """The [AAD+93] construction spends extra steps (double collects)
+        precisely to rule the inversion out."""
+        system = System()
+        snapshot = AfekSnapshot("S", writers=[1, 2], initial=None)
+
+        def collector(proc):
+            return (yield from snapshot.scan(proc.pid))
+
+        def writer(value):
+            def body(proc):
+                yield from snapshot.update(proc.pid, value)
+
+            return body
+
+        system.add_process(collector, pid=0)
+        system.add_process(writer("a"), pid=1)
+        system.add_process(writer("b"), pid=2)
+        # One collector read, then each writer's full update (scan = two
+        # collects of 2 reads, plus the write = 5 steps); the collector
+        # finishes under the round-robin continuation.
+        script = [0] + [1] * 5 + [2] * 5
+        result = system.run(
+            AdversarialScheduler(script), max_steps=10_000
+        )
+        assert result.completed
+        history = history_from_trace(system.trace, "S")
+        ok, _witness = check_linearizable(history, SnapshotSpec(2))
+        assert ok

@@ -1,0 +1,83 @@
+"""Unit tests for registers and register arrays."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.memory import Register, RegisterArray
+
+
+class TestRegister:
+    def test_initial_value(self):
+        assert Register("r", initial=7).apply(0, "read", ()) == 7
+
+    def test_write_then_read(self):
+        reg = Register("r")
+        assert reg.apply(0, "write", (42,)) == 42  # writes return the value
+        assert reg.apply(1, "read", ()) == 42
+
+    def test_counts(self):
+        reg = Register("r")
+        reg.apply(0, "write", (1,))
+        reg.apply(0, "read", ())
+        reg.apply(0, "read", ())
+        assert (reg.write_count, reg.read_count) == (1, 2)
+
+    def test_single_writer_enforced(self):
+        reg = Register("r", writer=3)
+        reg.apply(3, "write", (1,))
+        with pytest.raises(ModelError):
+            reg.apply(4, "write", (2,))
+
+    def test_single_reader_enforced(self):
+        reg = Register("r", reader=3)
+        reg.apply(3, "read", ())
+        with pytest.raises(ModelError):
+            reg.apply(4, "read", ())
+
+    def test_unknown_operation(self):
+        with pytest.raises(ModelError):
+            Register("r").apply(0, "cas", (0, 1))
+
+    def test_register_count_is_one(self):
+        assert Register("r").register_count() == 1
+
+
+class TestRegisterArray:
+    def test_unwritten_cell_reads_initial(self):
+        arr = RegisterArray("L", initial="bottom")
+        assert arr.apply(0, "read", (100,)) == "bottom"
+
+    def test_write_then_read_cell(self):
+        arr = RegisterArray("L")
+        arr.apply(0, "write", (5, "x"))
+        assert arr.apply(1, "read", (5,)) == "x"
+        assert arr.apply(1, "read", (6,)) is None
+
+    def test_lazy_space_accounting(self):
+        arr = RegisterArray("L")
+        assert arr.register_count() == 0
+        arr.apply(0, "write", (0, "a"))
+        arr.apply(0, "write", (999, "b"))
+        arr.apply(0, "write", (0, "c"))  # rewrite: no new cell
+        assert arr.register_count() == 2
+
+    def test_reads_do_not_allocate(self):
+        arr = RegisterArray("L")
+        arr.apply(0, "read", (123,))
+        assert arr.register_count() == 0
+
+    def test_single_writer_enforced(self):
+        arr = RegisterArray("L", writer=1)
+        arr.apply(1, "write", (0, "v"))
+        with pytest.raises(ModelError):
+            arr.apply(2, "write", (0, "v"))
+
+    def test_single_reader_enforced(self):
+        arr = RegisterArray("L", reader=1)
+        arr.apply(1, "read", (0,))
+        with pytest.raises(ModelError):
+            arr.apply(2, "read", (0,))
+
+    def test_unknown_operation(self):
+        with pytest.raises(ModelError):
+            RegisterArray("L").apply(0, "swap", (0, 1))

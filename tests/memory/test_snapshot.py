@@ -1,0 +1,77 @@
+"""Unit tests for native atomic snapshot objects."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.memory import AtomicSnapshot, SingleWriterSnapshot
+
+
+class TestAtomicSnapshot:
+    def test_initial_view(self):
+        snap = AtomicSnapshot("M", components=3, initial=None)
+        assert snap.apply(0, "scan", ()) == (None, None, None)
+
+    def test_update_then_scan(self):
+        snap = AtomicSnapshot("M", components=3)
+        snap.apply(0, "update", (1, "v"))
+        assert snap.apply(1, "scan", ()) == (None, "v", None)
+
+    def test_any_process_updates_any_component(self):
+        snap = AtomicSnapshot("M", components=2)
+        snap.apply(5, "update", (0, "a"))
+        snap.apply(9, "update", (0, "b"))
+        assert snap.apply(0, "scan", ()) == ("b", None)
+
+    def test_out_of_range_component(self):
+        snap = AtomicSnapshot("M", components=2)
+        with pytest.raises(ModelError):
+            snap.apply(0, "update", (2, "v"))
+        with pytest.raises(ModelError):
+            snap.apply(0, "update", (-1, "v"))
+
+    def test_space_is_m(self):
+        assert AtomicSnapshot("M", components=7).register_count() == 7
+
+    def test_at_least_one_component(self):
+        with pytest.raises(ModelError):
+            AtomicSnapshot("M", components=0)
+
+    def test_unknown_operation(self):
+        with pytest.raises(ModelError):
+            AtomicSnapshot("M", components=1).apply(0, "collect", ())
+
+    def test_view_helper_matches_scan(self):
+        snap = AtomicSnapshot("M", components=2)
+        snap.apply(0, "update", (0, 1))
+        assert snap.view() == snap.apply(0, "scan", ())
+
+
+class TestSingleWriterSnapshot:
+    def test_writers_own_their_slots(self):
+        snap = SingleWriterSnapshot("H", writers=[10, 20, 30])
+        assert snap.slot_of(20) == 1
+        snap.apply(20, "update", (1, "x"))
+        assert snap.apply(10, "scan", ())[1] == "x"
+
+    def test_foreign_component_update_rejected(self):
+        snap = SingleWriterSnapshot("H", writers=[10, 20])
+        with pytest.raises(ModelError):
+            snap.apply(10, "update", (1, "x"))
+
+    def test_non_writer_update_rejected(self):
+        snap = SingleWriterSnapshot("H", writers=[10, 20])
+        with pytest.raises(ModelError):
+            snap.apply(99, "update", (0, "x"))
+
+    def test_non_writer_may_scan(self):
+        snap = SingleWriterSnapshot("H", writers=[10])
+        assert snap.apply(99, "scan", ()) == (None,)
+
+    def test_unknown_pid_slot_raises(self):
+        snap = SingleWriterSnapshot("H", writers=[10])
+        with pytest.raises(ModelError):
+            snap.slot_of(11)
+
+    def test_duplicate_writers_rejected(self):
+        with pytest.raises(ModelError):
+            SingleWriterSnapshot("H", writers=[1, 1])

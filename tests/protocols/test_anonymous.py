@@ -1,0 +1,135 @@
+"""The anonymous-racing case study: folklore is wrong, exhaustively.
+
+The natural anonymous multi-writer sweep algorithm — the first thing
+anyone writes when asked for anonymous consensus on n registers — is NOT
+consensus.  The bounded-exhaustive model checker proves it at every small
+scope, with concrete, shrinkable counterexamples.  The attack shape is the
+covering one: a process that witnessed a full clean sweep of the losing
+value parks a higher-round write, lets the other camp decide, then
+overwrites and drags the system to the other value.  Raising the decision
+round only shifts the attack up a round.
+
+This is a deliberate *negative* reproduction artifact: it quantifies why
+the register-optimal anonymous constructions of [Zhu15, BRS15] — which the
+paper cites as the upper bounds its lower bound chases — are nontrivial.
+"""
+
+import pytest
+
+from repro.analysis import explore_protocol, check_obstruction_freedom
+from repro.analysis.shrink import shrink_schedule, violates
+from repro.protocols import KSetAgreementTask
+from repro.protocols.anonymous import AnonymousSweepConsensus, _stronger
+from repro.errors import ValidationError
+
+TASK = KSetAgreementTask(1)
+
+
+class TestAdoptionOrder:
+    def test_higher_round_wins(self):
+        assert _stronger((2, 9), (1, 0)) == (2, 9)
+
+    def test_smaller_value_wins_at_equal_round(self):
+        assert _stronger((2, 1), (2, 0)) == (2, 0)
+
+    def test_reflexive(self):
+        assert _stronger((1, 1), (1, 1)) == (1, 1)
+
+
+class TestStructure:
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            AnonymousSweepConsensus(0)
+        with pytest.raises(ValidationError):
+            AnonymousSweepConsensus(2, decision_round=0)
+        with pytest.raises(ValidationError):
+            AnonymousSweepConsensus(2, m=0)
+
+    def test_anonymity(self):
+        """Identical inputs give identical states — the anonymity condition."""
+        protocol = AnonymousSweepConsensus(3)
+        a = protocol.initial_state(0, "v")
+        b = protocol.initial_state(2, "v")
+        assert a == b
+        view = ((1, "v"), None, None)
+        assert protocol.advance(a, view) == protocol.advance(b, view)
+
+    def test_solo_run_decides_own_input(self):
+        from repro.protocols.base import solo_run
+
+        protocol = AnonymousSweepConsensus(2, m=2)
+        state = protocol.initial_state(0, 7)
+        _s, _c, _p, decision = solo_run(protocol, state, (None, None))
+        assert decision == 7
+
+    def test_agreeing_inputs_are_safe(self):
+        report = explore_protocol(
+            AnonymousSweepConsensus(2, m=2), [1, 1], TASK,
+            max_configs=200_000,
+        )
+        assert report.safe
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_obstruction_freedom_probes(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        schedules = [
+            [rng.randrange(2) for _ in range(rng.randrange(0, 40))]
+            for _ in range(10)
+        ]
+        assert check_obstruction_freedom(
+            AnonymousSweepConsensus(2, m=2), [0, 1], schedules
+        ) == []
+
+
+class TestTheCoveringAttack:
+    """The negative results, certified exhaustively (no truncation)."""
+
+    @pytest.mark.parametrize("n,m,inputs", [
+        (2, 2, (0, 1)),
+        (3, 3, (0, 1, 1)),
+        (3, 2, (0, 1, 1)),
+        (2, 3, (0, 1)),
+    ])
+    def test_agreement_fails_at_every_small_scope(self, n, m, inputs):
+        report = explore_protocol(
+            AnonymousSweepConsensus(n, m=m), list(inputs), TASK,
+            max_configs=800_000, max_steps=40,
+        )
+        assert not report.safe
+        assert not report.truncated  # certified, not merely sampled
+        assert report.counterexample is not None
+
+    def test_raising_the_decision_round_does_not_help(self):
+        """The attack shifts up a round: d=3 breaks just like d=2."""
+        for d in (2, 3):
+            report = explore_protocol(
+                AnonymousSweepConsensus(2, m=2, decision_round=d),
+                [0, 1], TASK, max_configs=800_000, max_steps=40,
+            )
+            assert not report.safe
+
+    def test_minimal_counterexample_is_replayable(self):
+        protocol = AnonymousSweepConsensus(2, m=2)
+        report = explore_protocol(
+            protocol, [0, 1], TASK, max_configs=800_000, max_steps=40
+        )
+        result = shrink_schedule(
+            protocol, [0, 1], TASK, report.counterexample
+        )
+        assert violates(protocol, [0, 1], TASK, result.minimized)
+        # The attack needs both camps to complete sweeps: it is not short.
+        assert len(result.minimized) >= 10
+
+    def test_contrast_with_single_writer_racing(self):
+        """The identical decision logic is SAFE with single-writer
+        components (RacingConsensus) — multi-writer anonymity is precisely
+        what admits the covering attack."""
+        from repro.protocols import RacingConsensus
+
+        report = explore_protocol(
+            RacingConsensus(2), [0, 1], TASK,
+            max_configs=800_000, max_steps=40,
+        )
+        assert report.safe

@@ -1,0 +1,128 @@
+"""Tests for approximate agreement protocols (Appendix D's upper bounds)."""
+
+import pytest
+
+from repro.analysis import explore_protocol
+from repro.errors import ValidationError
+from repro.protocols import (
+    ApproxAgreementTask,
+    AveragingApprox,
+    BisectionApprox,
+    run_protocol,
+)
+from repro.protocols.approximate import rounds_for
+from repro.runtime import RandomScheduler, RoundRobinScheduler, SoloScheduler
+
+
+class TestRoundsFor:
+    def test_standard_values(self):
+        assert rounds_for(0.5) == 1
+        assert rounds_for(0.25) == 2
+        assert rounds_for(0.125) == 3
+        assert rounds_for(2 ** -10) == 10
+
+    def test_epsilon_above_one(self):
+        assert rounds_for(2.0) == 1
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValidationError):
+            rounds_for(0)
+
+
+class TestAveraging:
+    def test_input_validation(self):
+        protocol = AveragingApprox(2, 0.5)
+        with pytest.raises(ValidationError):
+            protocol.initial_state(0, 0.5)
+
+    def test_same_inputs_decide_exactly(self):
+        protocol = AveragingApprox(3, 0.25)
+        _, result = run_protocol(protocol, [1, 1, 1], RoundRobinScheduler())
+        assert set(result.outputs.values()) == {1.0}
+
+    @pytest.mark.parametrize("eps", [0.5, 0.25, 0.125, 0.0625])
+    def test_exhaustive_two_process_safety(self, eps):
+        report = explore_protocol(
+            AveragingApprox(2, eps),
+            [0, 1],
+            ApproxAgreementTask(eps),
+            max_configs=2_000_000,
+        )
+        assert not report.truncated  # finite: exhaustively verified
+        assert report.safe, report.violations
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_random_runs_three_processes(self, seed):
+        eps = 0.125
+        inputs = [seed % 2, (seed + 1) % 2, (seed // 2) % 2]
+        _, result = run_protocol(
+            AveragingApprox(3, eps), inputs, RandomScheduler(seed),
+            max_steps=50_000,
+        )
+        assert result.completed  # wait-free: always terminates
+        assert ApproxAgreementTask(eps).check(inputs, result.outputs) == []
+
+    def test_wait_free_step_bound(self):
+        """Every process decides within O(rounds) of its own steps."""
+        protocol = AveragingApprox(2, 2 ** -8)
+        system, result = run_protocol(
+            protocol, [0, 1], RoundRobinScheduler(), max_steps=10_000
+        )
+        assert result.completed
+        for proc in system.processes.values():
+            assert proc.steps_taken <= 4 * (protocol.rounds + 2)
+
+    def test_solo_decides_own_input(self):
+        _, result = run_protocol(
+            AveragingApprox(4, 0.01), [1], SoloScheduler(0)
+        )
+        assert result.outputs == {0: 1.0}
+
+
+class TestBisection:
+    def test_two_processes_only(self):
+        protocol = BisectionApprox(0.5)
+        assert protocol.n == 2
+        with pytest.raises(ValidationError):
+            protocol.initial_state(2, 0)
+
+    def test_space_is_two_registers_per_round(self):
+        assert BisectionApprox(2 ** -6).m == 12
+
+    @pytest.mark.parametrize("eps", [0.5, 0.25, 0.125, 0.0625])
+    def test_exhaustive_safety(self, eps):
+        report = explore_protocol(
+            BisectionApprox(eps),
+            [0, 1],
+            ApproxAgreementTask(eps),
+            max_configs=2_000_000,
+        )
+        assert not report.truncated
+        assert report.safe, report.violations
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_random_runs(self, seed):
+        eps = 2 ** -6
+        inputs = [seed % 2, (seed + 1) % 2]
+        _, result = run_protocol(
+            BisectionApprox(eps), inputs, RandomScheduler(seed),
+            max_steps=20_000,
+        )
+        assert result.completed
+        assert ApproxAgreementTask(eps).check(inputs, result.outputs) == []
+
+    def test_step_complexity_is_theta_log_eps(self):
+        """Steps per process grow linearly in rounds = log2(1/eps) — the
+        curve E6 compares against the log3(1/eps) lower bound."""
+        steps = {}
+        for exp in (2, 4, 8):
+            protocol = BisectionApprox(2 ** -exp)
+            system, result = run_protocol(
+                protocol, [0, 1], RoundRobinScheduler(), max_steps=10_000
+            )
+            assert result.completed
+            steps[exp] = max(p.steps_taken for p in system.processes.values())
+        assert steps[4] > steps[2]
+        assert steps[8] > steps[4]
+        # Linear shape: doubling the exponent roughly doubles the steps.
+        assert steps[8] <= 3 * steps[4]

@@ -1,0 +1,146 @@
+"""Tests for the normal-form protocol interface and runners."""
+
+import pytest
+
+from repro.errors import DivergenceError, ProtocolError, ValidationError
+from repro.protocols import ImmediateDecide, MinSeen, RacingConsensus
+from repro.protocols.base import (
+    DECIDE,
+    SCAN,
+    UPDATE,
+    Protocol,
+    decided_values,
+    protocol_body,
+    run_protocol,
+    solo_run,
+)
+from repro.runtime import RandomScheduler, RoundRobinScheduler, System
+from repro.memory import AtomicSnapshot
+
+
+class TestRunProtocol:
+    def test_outputs_are_decisions(self):
+        _, result = run_protocol(
+            ImmediateDecide(3), [10, 20, 30], RoundRobinScheduler()
+        )
+        assert result.completed
+        assert result.outputs == {0: 10, 1: 20, 2: 30}
+
+    def test_decision_annotations_match_outputs(self):
+        system, result = run_protocol(
+            MinSeen(3), [5, 3, 9], RoundRobinScheduler()
+        )
+        assert decided_values(system) == result.outputs
+
+    def test_too_many_inputs_rejected(self):
+        with pytest.raises(ValidationError):
+            run_protocol(ImmediateDecide(2), [1, 2, 3], RoundRobinScheduler())
+
+    def test_fewer_inputs_allowed(self):
+        _, result = run_protocol(
+            ImmediateDecide(5), [1, 2], RoundRobinScheduler()
+        )
+        assert result.outputs == {0: 1, 1: 2}
+
+    def test_snapshot_space_matches_m(self):
+        system, _ = run_protocol(MinSeen(4), [1, 2, 3, 4], RoundRobinScheduler())
+        assert system.total_registers() == 4
+
+
+class TestAlternationEnforcement:
+    def test_non_alternating_protocol_rejected(self):
+        class Broken(Protocol):
+            n, m, name = 1, 1, "broken"
+
+            def initial_state(self, index, value):
+                return ("a", value)
+
+            def poised(self, state):
+                phase, value = state
+                if phase in ("a", "b"):
+                    return (SCAN, None)  # two scans in a row
+                return (DECIDE, value)
+
+            def advance(self, state, observation=None):
+                phase, value = state
+                return ("b" if phase == "a" else "c", value)
+
+        system = System()
+        snapshot = AtomicSnapshot("M", components=1)
+        system.add_process(protocol_body(Broken(), 0, 7, snapshot))
+        with pytest.raises(ProtocolError):
+            system.run(RoundRobinScheduler())
+
+    def test_max_own_steps_caps_livelock(self):
+        # Two racing processes in lock-step can run forever; the cap turns
+        # that into a clean undecided completion.
+        protocol = RacingConsensus(2)
+        system = System()
+        snapshot = AtomicSnapshot("M", components=2)
+        for index in range(2):
+            system.add_process(
+                protocol_body(protocol, index, index, snapshot, max_own_steps=50)
+            )
+        result = system.run(RoundRobinScheduler(), max_steps=10_000)
+        assert result.completed  # processes gave up rather than hung
+
+
+class TestSoloRun:
+    def test_solo_run_decides_for_wait_free_protocol(self):
+        protocol = MinSeen(2)
+        state = protocol.initial_state(0, 4)
+        final_state, contents, pending, decision = solo_run(
+            protocol, state, (None, None)
+        )
+        assert decision == 4
+        assert pending is None
+        assert contents == ((4), None) or contents[0] == 4
+
+    def test_solo_run_sees_given_contents(self):
+        protocol = MinSeen(2)
+        state = protocol.initial_state(0, 9)
+        _, _, _, decision = solo_run(protocol, state, (None, 1))
+        assert decision == 1  # the local contents held a smaller value
+
+    def test_stop_before_update_outside(self):
+        protocol = ImmediateDecide(3)
+        state = protocol.initial_state(1, 42)
+        _, contents, pending, decision = solo_run(
+            protocol, state, (None, None, None), stop_before_update_outside=[]
+        )
+        assert decision is None
+        assert pending == (1, 42)
+        assert contents == (None, None, None)  # update withheld
+
+    def test_allowed_updates_land_locally(self):
+        protocol = ImmediateDecide(3)
+        state = protocol.initial_state(1, 42)
+        _, contents, pending, decision = solo_run(
+            protocol, state, (None, None, None), stop_before_update_outside=[1]
+        )
+        assert decision == 42
+        assert contents[1] == 42
+
+    def test_wrong_contents_width_rejected(self):
+        protocol = MinSeen(2)
+        state = protocol.initial_state(0, 1)
+        with pytest.raises(ValidationError):
+            solo_run(protocol, state, (None,))
+
+    def test_divergence_raises(self):
+        class Spinner(Protocol):
+            n, m, name = 1, 1, "spinner"
+
+            def initial_state(self, index, value):
+                return ("scan", 0)
+
+            def poised(self, state):
+                phase, count = state
+                return (SCAN, None) if phase == "scan" else (UPDATE, (0, count))
+
+            def advance(self, state, observation=None):
+                phase, count = state
+                return ("update", count + 1) if phase == "scan" else ("scan", count)
+
+        with pytest.raises(DivergenceError):
+            solo_run(Spinner(), ("scan", 0), (None,), max_steps=100)

@@ -1,0 +1,163 @@
+"""Commit–adopt and its consensus layering.
+
+The one-shot object is fully verified (its configuration space is finite,
+so exploration is exhaustive, not bounded).  The consensus layering is
+safe everywhere, obstruction-free while rounds remain, and — by design —
+*stuck* once an adversary exhausts its bounded rounds: the executable form
+of "rounds of commit–adopt need fresh registers", i.e. the unbounded-space
+trap that the paper's tight n-register bound is about.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis import check_obstruction_freedom, explore_protocol
+from repro.errors import ValidationError
+from repro.protocols import KSetAgreementTask, run_protocol
+from repro.protocols.commit_adopt import (
+    ADOPT,
+    COMMIT,
+    CommitAdopt,
+    CommitAdoptConsensus,
+    CommitAdoptTask,
+)
+from repro.runtime import RandomScheduler, RoundRobinScheduler, SoloScheduler
+
+
+class TestTaskChecker:
+    def test_clean(self):
+        task = CommitAdoptTask()
+        outputs = {0: (COMMIT, 1), 1: (ADOPT, 1)}
+        assert task.check([1, 0], outputs) == []
+
+    def test_validity(self):
+        task = CommitAdoptTask()
+        violations = task.check([0, 1], {0: (COMMIT, 9)})
+        assert any("validity" in v for v in violations)
+
+    def test_coherence_two_commits(self):
+        task = CommitAdoptTask()
+        violations = task.check([0, 1], {0: (COMMIT, 0), 1: (COMMIT, 1)})
+        assert any("coherence" in v for v in violations)
+
+    def test_coherence_commit_vs_adopt(self):
+        task = CommitAdoptTask()
+        violations = task.check([0, 1], {0: (COMMIT, 0), 1: (ADOPT, 1)})
+        assert any("coherence" in v for v in violations)
+
+    def test_convergence(self):
+        task = CommitAdoptTask()
+        violations = task.check([1, 1], {0: (ADOPT, 1)})
+        assert any("convergence" in v for v in violations)
+
+    def test_output_shape(self):
+        task = CommitAdoptTask()
+        violations = task.check([0], {0: "garbage"})
+        assert any("shape" in v for v in violations)
+
+
+class TestCommitAdoptExhaustive:
+    """The object has a finite configuration space: these runs certify the
+    specification, they do not sample it."""
+
+    @pytest.mark.parametrize("inputs", [(0, 1), (1, 0), (0, 0), (1, 1)])
+    def test_two_processes(self, inputs):
+        report = explore_protocol(
+            CommitAdopt(2), list(inputs), CommitAdoptTask(),
+            max_configs=2_000_000,
+        )
+        assert not report.truncated
+        assert report.safe, report.violations
+
+    @pytest.mark.parametrize("inputs", [(0, 1, 1), (0, 1, 2), (2, 2, 2)])
+    def test_three_processes(self, inputs):
+        report = explore_protocol(
+            CommitAdopt(3), list(inputs), CommitAdoptTask(),
+            max_configs=3_000_000,
+        )
+        assert not report.truncated
+        assert report.safe, report.violations
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            CommitAdopt(0)
+
+    def test_space_is_2n(self):
+        assert CommitAdopt(4).m == 8
+
+    def test_solo_commits_own_value(self):
+        _sys, result = run_protocol(CommitAdopt(3), [7], SoloScheduler(0))
+        assert result.outputs[0] == (COMMIT, 7)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_wait_free_under_random_schedules(self, seed):
+        inputs = [seed % 2, (seed + 1) % 2, 1]
+        _sys, result = run_protocol(
+            CommitAdopt(3), inputs, RandomScheduler(seed)
+        )
+        assert result.completed  # wait-free: always terminates
+        assert CommitAdoptTask().check(inputs, result.outputs) == []
+
+
+class TestCommitAdoptConsensus:
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            CommitAdoptConsensus(2, max_rounds=0)
+
+    def test_space_grows_with_rounds(self):
+        assert CommitAdoptConsensus(2, max_rounds=3).m == 12
+        assert CommitAdoptConsensus(2, max_rounds=6).m == 24
+
+    @pytest.mark.parametrize("inputs,rounds", [
+        ((0, 1), 2), ((0, 1), 3), ((1, 0), 2),
+    ])
+    def test_exhaustive_safety(self, inputs, rounds):
+        report = explore_protocol(
+            CommitAdoptConsensus(2, max_rounds=rounds), list(inputs),
+            KSetAgreementTask(1), max_configs=2_000_000, max_steps=40,
+        )
+        assert report.safe, report.violations
+
+    def test_solo_decides_in_round_one(self):
+        _sys, result = run_protocol(
+            CommitAdoptConsensus(3, max_rounds=2), [7], SoloScheduler(0)
+        )
+        assert result.outputs == {0: 7}
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_runs_safe(self, seed):
+        inputs = [0, 1]
+        _sys, result = run_protocol(
+            CommitAdoptConsensus(2, max_rounds=4), inputs,
+            RandomScheduler(seed), max_steps=20_000,
+        )
+        assert KSetAgreementTask(1).check(inputs, result.outputs) == []
+
+    def test_obstruction_free_while_rounds_remain(self):
+        """Short adversarial prefixes leave rounds available: solo runs
+        then decide."""
+        rng = random.Random(0)
+        schedules = [
+            [rng.randrange(2) for _ in range(rng.randrange(0, 6))]
+            for _ in range(15)
+        ]
+        violations = check_obstruction_freedom(
+            CommitAdoptConsensus(2, max_rounds=6), [0, 1], schedules
+        )
+        assert violations == []
+
+    def test_round_exhaustion_sticks_by_design(self):
+        """An adversary that burns every round leaves the process parked
+        undecided — the bounded-registers price.  With unbounded rounds
+        this cannot happen, but then the register count is unbounded:
+        exactly the trade-off the paper's n-register bound resolves."""
+        rng = random.Random(1)
+        schedules = [
+            [rng.randrange(2) for _ in range(40)] for _ in range(30)
+        ]
+        violations = check_obstruction_freedom(
+            CommitAdoptConsensus(2, max_rounds=2), [0, 1], schedules,
+            solo_budget=2_000,
+        )
+        assert violations  # some schedule exhausts the rounds

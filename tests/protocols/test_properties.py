@@ -1,0 +1,107 @@
+"""Hypothesis property tests over protocols and schedules.
+
+The protocol interface demands pure, deterministic, hashable transitions;
+these properties are what the model checker, the shrinker, and the
+revisionist simulation's local re-execution all rely on — so they are
+tested as laws over randomly generated schedules, not just examples.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import components_written, replay_schedule
+from repro.protocols import (
+    KSetAgreementTask,
+    MinSeen,
+    RacingConsensus,
+    RotatingWrites,
+)
+from repro.protocols.base import DECIDE, SCAN, UPDATE
+
+
+def schedules(processes, max_length=60):
+    return st.lists(
+        st.integers(min_value=0, max_value=processes - 1),
+        max_size=max_length,
+    )
+
+
+class TestReplayLaws:
+    @given(schedules(2))
+    def test_replay_is_deterministic(self, schedule):
+        protocol = RacingConsensus(2)
+        first = replay_schedule(protocol, [0, 1], schedule)
+        second = replay_schedule(protocol, [0, 1], schedule)
+        assert first == second
+
+    @given(schedules(3))
+    def test_decisions_are_monotone_under_extension(self, schedule):
+        """Extending a schedule never un-decides anyone."""
+        protocol = MinSeen(3, rounds=2)
+        inputs = [4, 7, 1]
+        before = replay_schedule(protocol, inputs, schedule)
+        after = replay_schedule(protocol, inputs, schedule + [0, 1, 2] * 3)
+        assert set(before).issubset(set(after))
+        for pid, value in before.items():
+            assert after[pid] == value
+
+    @given(schedules(3))
+    def test_min_seen_validity_under_any_schedule(self, schedule):
+        protocol = MinSeen(3, rounds=2)
+        inputs = [4, 7, 1]
+        decisions = replay_schedule(protocol, inputs, schedule)
+        for value in decisions.values():
+            assert value in inputs
+
+    @given(schedules(2, max_length=100))
+    @settings(max_examples=60)
+    def test_racing_consensus_safety_under_random_schedules(self, schedule):
+        """Hypothesis as a safety fuzzer (complementing the exhaustive
+        checker): agreement and validity over arbitrary schedules."""
+        protocol = RacingConsensus(2)
+        inputs = [0, 1]
+        decisions = replay_schedule(protocol, inputs, schedule)
+        assert KSetAgreementTask(1).check(inputs, decisions) == []
+
+    @given(schedules(3, max_length=80))
+    @settings(max_examples=40)
+    def test_components_written_monotone(self, schedule):
+        protocol = RotatingWrites(3, 3, rounds=4)
+        inputs = [1, 2, 3]
+        shorter = components_written(protocol, inputs, schedule[: len(schedule) // 2])
+        longer = components_written(protocol, inputs, schedule)
+        assert shorter <= longer
+
+
+class TestTransitionLaws:
+    @given(
+        st.integers(min_value=0, max_value=2),
+        st.integers(min_value=0, max_value=5),
+    )
+    def test_initial_states_hashable_and_stable(self, index, value):
+        protocol = RotatingWrites(3, 2, rounds=2)
+        a = protocol.initial_state(index, value)
+        b = protocol.initial_state(index, value)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    @given(schedules(2, max_length=40))
+    def test_poised_alternation_invariant(self, schedule):
+        """Along any schedule, each process alternates scan/update until a
+        decision — the normal form the paper assumes w.l.o.g."""
+        protocol = RacingConsensus(2)
+        states = [protocol.initial_state(i, i) for i in range(2)]
+        memory = [None, None]
+        last_kind = [None, None]
+        for index in schedule:
+            kind, payload = protocol.poised(states[index])
+            if kind == DECIDE:
+                continue
+            assert kind != last_kind[index]
+            if kind == SCAN:
+                states[index] = protocol.advance(states[index], tuple(memory))
+            else:
+                component, value = payload
+                memory[component] = value
+                states[index] = protocol.advance(states[index], None)
+            last_kind[index] = kind

@@ -1,0 +1,153 @@
+"""Safety and progress tests for racing consensus and grouped k-set."""
+
+import random
+
+import pytest
+
+from repro.analysis import check_obstruction_freedom, explore_protocol
+from repro.protocols import (
+    GroupedKSet,
+    KSetAgreementTask,
+    RacingConsensus,
+    run_protocol,
+)
+from repro.errors import ValidationError
+from repro.runtime import ObstructionScheduler, RandomScheduler, SoloScheduler
+
+
+class TestRacingExhaustive:
+    @pytest.mark.parametrize("inputs", [(0, 1), (1, 0), (0, 0), (3, 7)])
+    def test_two_process_consensus_safe(self, inputs):
+        report = explore_protocol(
+            RacingConsensus(2),
+            list(inputs),
+            KSetAgreementTask(1),
+            max_configs=500_000,
+            max_steps=60,
+        )
+        assert report.safe, report.violations
+
+    def test_three_process_consensus_safe(self):
+        report = explore_protocol(
+            RacingConsensus(3),
+            [0, 1, 2],
+            KSetAgreementTask(1),
+            max_configs=300_000,
+            max_steps=24,
+        )
+        assert report.safe, report.violations
+
+    def test_decisions_reachable(self):
+        report = explore_protocol(
+            RacingConsensus(2), [0, 1], KSetAgreementTask(1),
+            max_configs=200_000, max_steps=40,
+        )
+        assert report.fully_decided > 0
+
+
+class TestRacingProgress:
+    def test_solo_run_decides_own_input(self):
+        _, result = run_protocol(RacingConsensus(3), [7], SoloScheduler(0))
+        assert result.outputs == {0: 7}
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_obstruction_scheduler_terminates(self, seed):
+        protocol = RacingConsensus(3)
+        scheduler = ObstructionScheduler(group=[seed % 3], prefix_steps=30, seed=seed)
+        _, result = run_protocol(
+            protocol, [0, 1, 2], scheduler, max_steps=20_000
+        )
+        # The obstruction process must decide; others may still be running
+        # (they stop being scheduled only in the model of the run).
+        assert (seed % 3) in result.outputs
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_probes_obstruction_free(self, seed):
+        rng = random.Random(seed)
+        schedules = [
+            [rng.randrange(2) for _ in range(rng.randrange(0, 50))]
+            for _ in range(10)
+        ]
+        violations = check_obstruction_freedom(
+            RacingConsensus(2), [0, 1], schedules
+        )
+        assert violations == []
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_random_runs_safe(self, seed):
+        inputs = [seed % 2, (seed + 1) % 2, 1, 0]
+        _, result = run_protocol(
+            RacingConsensus(4), inputs, RandomScheduler(seed), max_steps=50_000
+        )
+        assert KSetAgreementTask(1).check(inputs, result.outputs) == []
+
+    def test_leapfrog_schedule_races_forever(self):
+        """The round-leapfrog adversary (each process takes its write+scan
+        pair in turn) keeps both processes perpetually one round behind the
+        other, so neither ever satisfies "my round is the maximum" — the
+        concrete non-terminating schedule FLP guarantees must exist for any
+        correct register-based consensus protocol."""
+        from repro.runtime import AdversarialScheduler
+
+        scheduler = AdversarialScheduler([1, 1, 0, 0] * 1000)
+        _, result = run_protocol(
+            RacingConsensus(2), [0, 1], scheduler, max_steps=3_000
+        )
+        assert result.diverged
+        assert result.outputs == {}
+
+    def test_plain_lockstep_converges(self):
+        """Strict single-step alternation is NOT adversarial here: conflicts
+        resolve deterministically to the same value and the processes then
+        decide together (contrast with the leapfrog schedule above)."""
+        from repro.runtime import RoundRobinScheduler
+
+        inputs = [0, 1]
+        _, result = run_protocol(
+            RacingConsensus(2), inputs, RoundRobinScheduler(), max_steps=2_000
+        )
+        assert result.completed
+        assert KSetAgreementTask(1).check(inputs, result.outputs) == []
+
+
+class TestGroupedKSet:
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            GroupedKSet(3, 0)
+        with pytest.raises(ValidationError):
+            GroupedKSet(3, 4)
+
+    def test_group_sizes_partition_n(self):
+        protocol = GroupedKSet(7, 3)
+        assert sum(protocol._group_size(g) for g in range(3)) == 7
+
+    def test_global_components_distinct(self):
+        protocol = GroupedKSet(7, 3)
+        seen = set()
+        for g in range(3):
+            for rank in range(protocol._group_size(g)):
+                seen.add(protocol._global_component(g, rank))
+        assert seen == set(range(7))
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_runs_satisfy_k_agreement(self, seed):
+        inputs = [seed % 3, 1, 2, 0, (seed + 1) % 3]
+        protocol = GroupedKSet(5, 2)
+        _, result = run_protocol(
+            protocol, inputs, RandomScheduler(seed), max_steps=50_000
+        )
+        assert KSetAgreementTask(2).check(inputs, result.outputs) == []
+
+    def test_exploration_safe(self):
+        report = explore_protocol(
+            GroupedKSet(4, 2),
+            [0, 1, 2, 3],
+            KSetAgreementTask(2),
+            max_configs=150_000,
+            max_steps=20,
+        )
+        assert report.safe, report.violations
+
+    def test_solo_decides(self):
+        _, result = run_protocol(GroupedKSet(4, 2), [9], SoloScheduler(0))
+        assert result.outputs == {0: 9}

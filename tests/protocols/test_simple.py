@@ -1,0 +1,118 @@
+"""Tests for the trivial protocols and the truncation wrapper."""
+
+import pytest
+
+from repro.analysis import explore_protocol
+from repro.errors import ProtocolError, ValidationError
+from repro.protocols import (
+    ImmediateDecide,
+    KSetAgreementTask,
+    MinSeen,
+    RacingConsensus,
+    TruncatedProtocol,
+    run_protocol,
+)
+from repro.runtime import RandomScheduler, RoundRobinScheduler
+
+
+class TestImmediateDecide:
+    def test_decides_own_input(self):
+        _, result = run_protocol(
+            ImmediateDecide(3), ["a", "b", "c"], RoundRobinScheduler()
+        )
+        assert result.outputs == {0: "a", 1: "b", 2: "c"}
+
+    def test_wait_free_exact_steps(self):
+        system, result = run_protocol(
+            ImmediateDecide(2), [1, 2], RoundRobinScheduler()
+        )
+        assert all(p.steps_taken == 2 for p in system.processes.values())
+
+    def test_advance_after_decide_raises(self):
+        protocol = ImmediateDecide(1)
+        state = ("done", 0, 5)
+        with pytest.raises(ProtocolError):
+            protocol.advance(state)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            ImmediateDecide(0)
+
+
+class TestMinSeen:
+    def test_decides_minimum_visible(self):
+        _, result = run_protocol(MinSeen(3), [5, 2, 9], RoundRobinScheduler())
+        # Round-robin: all write before any scan, so everyone sees min=2.
+        assert set(result.outputs.values()) == {2}
+
+    def test_validity_under_random_schedules(self):
+        for seed in range(10):
+            inputs = [4, 1, 7, 3]
+            _, result = run_protocol(
+                MinSeen(4), inputs, RandomScheduler(seed)
+            )
+            for value in result.outputs.values():
+                assert value in inputs
+
+    def test_own_value_lower_bound(self):
+        """A process never decides more than its own input (it always sees
+        its own write)."""
+        for seed in range(10):
+            inputs = [4, 1, 7, 3]
+            _, result = run_protocol(MinSeen(4), inputs, RandomScheduler(seed))
+            for pid, value in result.outputs.items():
+                assert value <= inputs[pid]
+
+    def test_multi_round_variant(self):
+        _, result = run_protocol(
+            MinSeen(2, rounds=3), [8, 6], RoundRobinScheduler()
+        )
+        assert set(result.outputs.values()) == {6}
+
+    def test_rounds_validation(self):
+        with pytest.raises(ValidationError):
+            MinSeen(2, rounds=0)
+
+
+class TestTruncatedProtocol:
+    def test_component_aliasing(self):
+        base = ImmediateDecide(4)
+        truncated = TruncatedProtocol(base, 2)
+        state = truncated.initial_state(3, "x")
+        kind, payload = truncated.poised(state)
+        assert payload == (3 % 2, "x")
+
+    def test_m_is_truncated(self):
+        assert TruncatedProtocol(RacingConsensus(4), 2).m == 2
+
+    def test_registers_validation(self):
+        with pytest.raises(ValidationError):
+            TruncatedProtocol(RacingConsensus(2), 0)
+
+    def test_full_width_truncation_is_identity(self):
+        base = RacingConsensus(2)
+        same = TruncatedProtocol(base, base.m)
+        report = explore_protocol(
+            same, [0, 1], KSetAgreementTask(1), max_configs=100_000, max_steps=40
+        )
+        assert report.safe
+
+    def test_under_provisioned_consensus_violates(self):
+        """Theorem 3 in the small: racing consensus squeezed below n
+        registers breaks — the model checker finds the agreement violation
+        the lower bound says must exist."""
+        broken = TruncatedProtocol(RacingConsensus(3), 1)
+        report = explore_protocol(
+            broken, [0, 1, 2], KSetAgreementTask(1),
+            max_configs=500_000, max_steps=40,
+        )
+        assert not report.safe
+        assert report.counterexample is not None
+
+    def test_two_of_three_registers_also_violates(self):
+        broken = TruncatedProtocol(RacingConsensus(3), 2)
+        report = explore_protocol(
+            broken, [0, 1, 2], KSetAgreementTask(1),
+            max_configs=500_000, max_steps=30,
+        )
+        assert not report.safe

@@ -1,0 +1,76 @@
+"""Tests for task specifications."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.protocols import ApproxAgreementTask, KSetAgreementTask
+
+
+class TestKSet:
+    def test_k_must_be_positive(self):
+        with pytest.raises(ValidationError):
+            KSetAgreementTask(0)
+
+    def test_consensus_name(self):
+        assert KSetAgreementTask(1).name == "consensus"
+        assert "2-set" in KSetAgreementTask(2).name
+
+    def test_clean_execution(self):
+        task = KSetAgreementTask(1)
+        assert task.check([0, 1, 1], {0: 1, 1: 1, 2: 1}) == []
+
+    def test_validity_violation(self):
+        task = KSetAgreementTask(2)
+        violations = task.check([0, 1], {0: 7})
+        assert len(violations) == 1
+        assert "validity" in violations[0]
+
+    def test_agreement_violation(self):
+        task = KSetAgreementTask(1)
+        violations = task.check([0, 1], {0: 0, 1: 1})
+        assert any("1-agreement" in v for v in violations)
+
+    def test_k_set_allows_k_values(self):
+        task = KSetAgreementTask(2)
+        assert task.check([0, 1, 2], {0: 0, 1: 1, 2: 1}) == []
+        assert task.check([0, 1, 2], {0: 0, 1: 1, 2: 2}) != []
+
+    def test_partial_outputs_ok(self):
+        task = KSetAgreementTask(1)
+        assert task.check([0, 1], {}) == []
+        assert task.check([0, 1], {1: 0}) == []
+
+
+class TestApprox:
+    def test_epsilon_positive(self):
+        with pytest.raises(ValidationError):
+            ApproxAgreementTask(0)
+
+    def test_inputs_must_be_binary(self):
+        task = ApproxAgreementTask(0.5)
+        with pytest.raises(ValidationError):
+            task.check([0, 2], {0: 0.5})
+
+    def test_clean_execution(self):
+        task = ApproxAgreementTask(0.5)
+        assert task.check([0, 1], {0: 0.25, 1: 0.5}) == []
+
+    def test_hull_violation(self):
+        task = ApproxAgreementTask(0.5)
+        violations = task.check([0, 0], {0: 0.2})
+        assert any("hull" in v for v in violations)
+
+    def test_gap_violation(self):
+        task = ApproxAgreementTask(0.1)
+        violations = task.check([0, 1], {0: 0.0, 1: 0.5})
+        assert any("agreement" in v for v in violations)
+
+    def test_same_inputs_force_exact_output(self):
+        task = ApproxAgreementTask(0.25)
+        assert task.check([1, 1], {0: 1, 1: 1}) == []
+        assert task.check([1, 1], {0: 0.9}) != []
+
+    def test_non_numeric_output_rejected(self):
+        task = ApproxAgreementTask(0.5)
+        violations = task.check([0, 1], {0: "x"})
+        assert any("non-numeric" in v for v in violations)

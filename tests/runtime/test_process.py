@@ -1,0 +1,99 @@
+"""Unit tests for the Process wrapper."""
+
+import pytest
+
+from repro.errors import SchedulerError
+from repro.memory import Register
+from repro.runtime import CRASHED, DONE, READY, Invoke, Process
+
+
+def make_register():
+    return Register("r", initial=0)
+
+
+class TestLifecycle:
+    def test_initial_status_is_ready(self):
+        proc = Process(0, lambda p: iter(()))
+        assert proc.status == READY
+        assert proc.is_active
+
+    def test_default_name(self):
+        proc = Process(7, lambda p: iter(()))
+        assert proc.name == "p7"
+
+    def test_explicit_name(self):
+        proc = Process(7, lambda p: iter(()), name="scanner")
+        assert proc.name == "scanner"
+
+    def test_empty_body_completes_immediately(self):
+        def body(p):
+            return 42
+            yield  # pragma: no cover - makes body a generator
+
+        proc = Process(0, body)
+        assert proc.advance() is None
+        assert proc.status == DONE
+        assert proc.output == 42
+        assert not proc.is_active
+
+    def test_advance_returns_yielded_request(self):
+        reg = make_register()
+
+        def body(p):
+            yield Invoke(reg, "read")
+
+        proc = Process(0, body)
+        request = proc.advance()
+        assert isinstance(request, Invoke)
+        assert request.op == "read"
+
+    def test_response_is_delivered(self):
+        reg = make_register()
+        seen = []
+
+        def body(p):
+            value = yield Invoke(reg, "read")
+            seen.append(value)
+
+        proc = Process(0, body)
+        proc.advance()
+        proc.advance(99)
+        assert seen == [99]
+        assert proc.status == DONE
+
+    def test_advance_after_done_raises(self):
+        def body(p):
+            return None
+            yield  # pragma: no cover
+
+        proc = Process(0, body)
+        proc.advance()
+        with pytest.raises(SchedulerError):
+            proc.advance()
+
+
+class TestCrash:
+    def test_crash_stops_process(self):
+        reg = make_register()
+
+        def body(p):
+            yield Invoke(reg, "read")
+            yield Invoke(reg, "read")
+
+        proc = Process(0, body)
+        proc.advance()
+        proc.crash()
+        assert proc.status == CRASHED
+        with pytest.raises(SchedulerError):
+            proc.advance()
+
+    def test_crash_after_done_is_noop(self):
+        def body(p):
+            return "out"
+            yield  # pragma: no cover
+
+        proc = Process(0, body)
+        proc.advance()
+        proc.crash()
+        assert proc.status == DONE
+        assert proc.output == "out"

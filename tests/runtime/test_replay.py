@@ -1,0 +1,91 @@
+"""Tests for exact-replay: executions as reproducible artifacts."""
+
+import pytest
+
+from repro.augmented import AugmentedSnapshot
+from repro.memory import Register
+from repro.protocols import RacingConsensus, protocol_body
+from repro.memory.snapshot import AtomicSnapshot
+from repro.runtime import Invoke, RandomScheduler, System
+from repro.runtime.replay import (
+    extract_schedule,
+    replay_run,
+    replay_scheduler,
+    traces_equal,
+)
+
+
+def consensus_system():
+    system = System()
+    protocol = RacingConsensus(2)
+    snapshot = AtomicSnapshot("M", components=2)
+    for index in range(2):
+        system.add_process(protocol_body(protocol, index, index, snapshot))
+    return system
+
+
+class TestExtractAndReplay:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_replay_reproduces_trace_exactly(self, seed):
+        original = consensus_system()
+        original.run(RandomScheduler(seed), max_steps=20_000)
+        schedule = extract_schedule(original)
+
+        replayed, result = replay_run(consensus_system, schedule)
+        assert traces_equal(original, replayed)
+        assert replayed.outputs() == original.outputs()
+
+    def test_prefix_replay(self):
+        original = consensus_system()
+        original.run(RandomScheduler(3), max_steps=20_000)
+        schedule = extract_schedule(original)
+        half = schedule[: len(schedule) // 2]
+        replayed, result = replay_run(consensus_system, half)
+        original_steps = original.trace.steps()[: result.steps]
+        replayed_steps = replayed.trace.steps()
+        assert [e.pid for e in original_steps] == [
+            e.pid for e in replayed_steps
+        ]
+
+    def test_crashes_are_replayed(self):
+        def build():
+            system = System()
+            reg = Register("r", initial=0)
+
+            def body(proc):
+                for _ in range(5):
+                    value = yield Invoke(reg, "read")
+                    yield Invoke(reg, "write", (value + 1,))
+
+            system.add_process(body)
+            system.add_process(body)
+            return system
+
+        schedule = [0, 0, 1, ("crash", 1), 0, 0]
+        replayed, _result = replay_run(build, schedule)
+        assert replayed.processes[1].status == "crashed"
+        extracted = extract_schedule(replayed)
+        assert ("crash", 1) in extracted
+
+    def test_augmented_snapshot_runs_replayable(self):
+        def build():
+            system = System()
+            aug = AugmentedSnapshot("M", components=2, pids=[0, 1])
+
+            def body(proc):
+                yield from aug.block_update(proc.pid, [proc.pid % 2], ["v"])
+                yield from aug.scan(proc.pid)
+
+            for _ in range(2):
+                system.add_process(body)
+            return system
+
+        original = build()
+        original.run(RandomScheduler(9), max_steps=50_000)
+        schedule = extract_schedule(original)
+        replayed, _ = replay_run(build, schedule)
+        assert traces_equal(original, replayed)
+
+    def test_scheduler_stops_at_schedule_end(self):
+        scheduler = replay_scheduler([0, 1])
+        assert scheduler.then == "stop"

@@ -1,0 +1,216 @@
+"""Integration tests for the System executor."""
+
+import pytest
+
+from repro.errors import DivergenceError, ModelError, SchedulerError
+from repro.memory import AtomicSnapshot, Register
+from repro.runtime import (
+    AdversarialScheduler,
+    Annotate,
+    Invoke,
+    RoundRobinScheduler,
+    System,
+)
+
+
+def reader_writer(reg):
+    def body(proc):
+        value = yield Invoke(reg, "read")
+        yield Invoke(reg, "write", (value + 1,))
+        return value
+
+    return body
+
+
+class TestConstruction:
+    def test_auto_pid_assignment(self):
+        sys_ = System()
+        reg = Register("r")
+        p0 = sys_.add_process(reader_writer(reg))
+        p1 = sys_.add_process(reader_writer(reg))
+        assert (p0.pid, p1.pid) == (0, 1)
+
+    def test_duplicate_pid_rejected(self):
+        sys_ = System()
+        reg = Register("r")
+        sys_.add_process(reader_writer(reg), pid=3)
+        with pytest.raises(ModelError):
+            sys_.add_process(reader_writer(reg), pid=3)
+
+
+class TestStepSemantics:
+    def test_one_shared_op_per_turn(self):
+        sys_ = System()
+        reg = Register("r", initial=0)
+        sys_.add_process(reader_writer(reg))
+        assert sys_.step(0)  # applies the read
+        assert len(sys_.trace.steps()) == 1
+        assert sys_.trace.steps()[0].op == "read"
+        assert sys_.step(0)  # applies the write
+        assert reg.value == 1
+
+    def test_pending_operation_is_poised_step(self):
+        sys_ = System()
+        reg = Register("r", initial=0)
+        sys_.add_process(reader_writer(reg))
+        sys_.step(0)
+        pending = sys_.pending_operation(0)
+        assert pending.op == "write"
+        assert pending.args == (1,)
+
+    def test_annotations_are_free(self):
+        sys_ = System()
+        reg = Register("r", initial=0)
+
+        def body(proc):
+            yield Annotate("phase", "begin")
+            yield Invoke(reg, "read")
+            yield Annotate("phase", "end")
+
+        sys_.add_process(body)
+        result = sys_.run(RoundRobinScheduler())
+        assert result.steps == 1
+        tags = [e.payload for e in sys_.trace.annotations("phase")]
+        assert tags == ["begin", "end"]
+
+    def test_step_on_done_process_raises(self):
+        sys_ = System()
+        reg = Register("r", initial=0)
+        sys_.add_process(reader_writer(reg))
+        sys_.run(RoundRobinScheduler())
+        with pytest.raises(SchedulerError):
+            sys_.step(0)
+
+    def test_invalid_yield_type_rejected(self):
+        sys_ = System()
+
+        def body(proc):
+            yield "not a request"
+
+        sys_.add_process(body)
+        with pytest.raises(ModelError):
+            sys_.run(RoundRobinScheduler())
+
+
+class TestRun:
+    def test_outputs_collected(self):
+        sys_ = System()
+        reg = Register("r", initial=10)
+        sys_.add_process(reader_writer(reg))
+        sys_.add_process(reader_writer(reg))
+        result = sys_.run(RoundRobinScheduler())
+        assert result.completed
+        # Round-robin interleaves the two reads before either write, so both
+        # processes observe the initial value (a classic lost-update race).
+        assert result.outputs == {0: 10, 1: 10}
+        assert reg.value == 11
+
+    def test_divergence_return(self):
+        sys_ = System()
+        reg = Register("r", initial=0)
+
+        def spinner(proc):
+            while True:
+                yield Invoke(reg, "read")
+
+        sys_.add_process(spinner)
+        result = sys_.run(RoundRobinScheduler(), max_steps=25)
+        assert result.diverged
+        assert result.steps == 25
+        assert not result.completed
+
+    def test_divergence_raise(self):
+        sys_ = System()
+        reg = Register("r", initial=0)
+
+        def spinner(proc):
+            while True:
+                yield Invoke(reg, "read")
+
+        sys_.add_process(spinner)
+        with pytest.raises(DivergenceError) as exc:
+            sys_.run(RoundRobinScheduler(), max_steps=10, on_limit="raise")
+        assert exc.value.steps_taken == 10
+
+    def test_stop_when_predicate(self):
+        sys_ = System()
+        reg = Register("r", initial=0)
+
+        def spinner(proc):
+            while True:
+                yield Invoke(reg, "read")
+
+        sys_.add_process(spinner)
+        result = sys_.run(
+            RoundRobinScheduler(),
+            stop_when=lambda s: len(s.trace.steps()) >= 5,
+        )
+        assert result.steps == 5
+
+    def test_crash_via_adversarial_script(self):
+        sys_ = System()
+        reg = Register("r", initial=0)
+        sys_.add_process(reader_writer(reg))
+        sys_.add_process(reader_writer(reg))
+        sched = AdversarialScheduler([0, ("crash", 1), 0])
+        result = sys_.run(sched)
+        assert result.completed
+        assert 1 not in result.outputs
+        assert sys_.processes[1].status == "crashed"
+        assert reg.value == 1  # only process 0 wrote
+
+    def test_empty_system_completes(self):
+        result = System().run(RoundRobinScheduler())
+        assert result.completed
+        assert result.steps == 0
+
+
+class TestObjectRegistry:
+    def test_objects_discovered_and_counted(self):
+        sys_ = System()
+        reg = Register("r", initial=0)
+        snap = AtomicSnapshot("M", components=4)
+
+        def body(proc):
+            yield Invoke(reg, "read")
+            yield Invoke(snap, "scan")
+
+        sys_.add_process(body)
+        sys_.run(RoundRobinScheduler())
+        assert set(sys_.objects) == {"r", "M"}
+        assert sys_.total_registers() == 5
+
+    def test_name_collision_detected(self):
+        sys_ = System()
+        a = Register("same")
+        b = Register("same")
+
+        def body(proc):
+            yield Invoke(a, "read")
+            yield Invoke(b, "read")
+
+        sys_.add_process(body)
+        with pytest.raises(ModelError):
+            sys_.run(RoundRobinScheduler())
+
+
+class TestTrace:
+    def test_sequence_numbers_increase(self):
+        sys_ = System()
+        reg = Register("r", initial=0)
+        sys_.add_process(reader_writer(reg))
+        sys_.add_process(reader_writer(reg))
+        sys_.run(RoundRobinScheduler())
+        seqs = [e.seq for e in sys_.trace]
+        assert seqs == sorted(seqs)
+        assert len(seqs) == len(set(seqs))
+
+    def test_by_process_filter(self):
+        sys_ = System()
+        reg = Register("r", initial=0)
+        sys_.add_process(reader_writer(reg))
+        sys_.add_process(reader_writer(reg))
+        sys_.run(RoundRobinScheduler())
+        mine = sys_.trace.by_process(0)
+        assert all(e.pid == 0 for e in mine)
+        assert len([e for e in mine if e.is_step()]) == 2

@@ -1,0 +1,195 @@
+"""Theorem 4 as tests: the derandomized machine is obstruction-free, uses
+the same registers, and only takes steps the original allows."""
+
+import random
+
+import pytest
+
+from repro.errors import DivergenceError, ValidationError
+from repro.runtime import RandomScheduler, RoundRobinScheduler, System
+from repro.solo import (
+    ConvertedMachine,
+    SpinOrCommit,
+    TokenRace,
+    converted_body,
+    nondet_body,
+    shortest_solo_path,
+)
+from repro.solo.conversion import make_registers, solo_run_machine
+from repro.solo.machines import READ, WRITE, NondetMachine
+
+
+class TestShortestSoloPath:
+    def test_spin_or_commit_path(self):
+        machine = SpinOrCommit()
+        path = shortest_solo_path(machine, machine.initial_state("v"), {})
+        assert path == [(WRITE, 0, "token"), (READ, 0)]
+
+    def test_final_state_gives_empty_path(self):
+        machine = SpinOrCommit()
+        assert shortest_solo_path(machine, ("done", "v"), {}) == []
+
+    def test_view_constrains_responses(self):
+        """With the register known to hold the token, the path can finish
+        in one read from the `wrote` state."""
+        machine = SpinOrCommit()
+        path = shortest_solo_path(machine, ("wrote", "v"), {0: "token"})
+        assert path == [(READ, 0)]
+
+    def test_unknown_registers_branch_over_domain(self):
+        """From `wrote` with an unknown register, the optimistic branch
+        (register already holds the token) gives a 1-step path."""
+        machine = SpinOrCommit()
+        path = shortest_solo_path(machine, ("wrote", "v"), {})
+        assert len(path) == 1
+
+    def test_non_terminating_machine_detected(self):
+        class Forever(NondetMachine):
+            name, registers, value_domain = "forever", 1, (None,)
+
+            def initial_state(self, value):
+                return "spin"
+
+            def is_final(self, state):
+                return False
+
+            def output(self, state):
+                raise AssertionError
+
+            def steps(self, state):
+                return ((READ, 0),)
+
+            def transition(self, state, step, response):
+                return "spin"
+
+        with pytest.raises(DivergenceError):
+            shortest_solo_path(Forever(), "spin", {}, max_nodes=1_000)
+
+
+class TestConvertedMachine:
+    def test_same_register_count(self):
+        for machine in (SpinOrCommit(), TokenRace()):
+            assert ConvertedMachine(machine).registers == machine.registers
+
+    def test_policy_is_deterministic_and_memoized(self):
+        converted = ConvertedMachine(SpinOrCommit())
+        state = converted.machine.initial_state("v")
+        first = converted.next_step(state, {})
+        second = converted.next_step(state, {})
+        assert first == second == (WRITE, 0, "token")
+
+    def test_every_step_is_allowed_by_nu(self):
+        """Π′ ⊆ Π: each chosen step belongs to the original ν."""
+        machine = TokenRace()
+        converted = ConvertedMachine(machine)
+        output, _, _ = solo_run_machine(converted, 1)
+        for (state, view), step in converted._policy.items():
+            assert step in machine.steps(state)
+        assert output == 1
+
+    def test_solo_measure_strictly_decreases_after_coverage(self):
+        """The Theorem 4 potential: once the local view covers every
+        register (the paper's prefix α′), the shortest-path length strictly
+        decreases to 1, bounding the rest of the run."""
+        for machine, value in ((SpinOrCommit(), "v"), (TokenRace(), 0)):
+            converted = ConvertedMachine(machine)
+            output, measures, covered_at = solo_run_machine(converted, value)
+            assert output is not None
+            assert measures  # took at least one step
+            tail = measures[covered_at:]
+            assert all(
+                later < earlier for earlier, later in zip(tail, tail[1:])
+            )
+            assert measures[-1] == 1
+
+    def test_potential_can_rise_before_coverage(self):
+        """Before all registers are known, an optimistic branch can be
+        falsified by a real read — the reason the paper's argument needs
+        the α′ prefix.  TokenRace exhibits the rise."""
+        converted = ConvertedMachine(TokenRace())
+        _output, measures, covered_at = solo_run_machine(converted, 0)
+        head = measures[: covered_at + 1]
+        assert any(
+            later > earlier for earlier, later in zip(head, head[1:])
+        ) or covered_at <= 1
+
+    def test_solo_from_adversarial_contents(self):
+        """Obstruction-freedom from arbitrary reachable contents: seed the
+        registers with junk and the solo run still terminates."""
+        machine = TokenRace()
+        converted = ConvertedMachine(machine)
+        for contents in ({0: 0, 1: 1}, {0: 1, 1: None}, {0: None, 1: 0}):
+            output, measures, _covered = solo_run_machine(
+                converted, 1, initial_contents=dict(contents)
+            )
+            assert output in (0, 1)
+            assert len(measures) <= 10
+
+
+class TestRuntimeExecution:
+    def test_converted_runs_concurrently(self):
+        machine = TokenRace()
+        converted = ConvertedMachine(machine)
+        registers = make_registers(machine)
+        for seed in range(10):
+            system = System()
+            for index, value in enumerate((0, 1)):
+                system.add_process(converted_body(converted, registers, value))
+            # Fresh registers per run.
+            for register in registers:
+                register.value = None
+            result = system.run(RandomScheduler(seed), max_steps=5_000)
+            for output in result.outputs.values():
+                assert output in (0, 1)
+
+    def test_nondet_body_with_seeded_chooser(self):
+        machine = SpinOrCommit()
+        registers = make_registers(machine)
+        rng = random.Random(3)
+        system = System()
+        system.add_process(
+            nondet_body(machine, registers, "v", chooser=rng.choice)
+        )
+        result = system.run(RoundRobinScheduler(), max_steps=10_000)
+        # Randomized: terminates with probability 1; seed 3 terminates.
+        assert result.outputs.get(0) == "v"
+
+    def test_converted_execution_replayable_in_original(self):
+        """Record Π′'s steps, then drive Π with a chooser replaying them:
+        the executions coincide — every execution of Π′ is one of Π."""
+        machine = SpinOrCommit()
+        converted = ConvertedMachine(machine)
+        registers = make_registers(machine, prefix="A")
+        system = System()
+        system.add_process(converted_body(converted, registers, "v"))
+        result = system.run(RoundRobinScheduler(), max_steps=1_000)
+        recorded = [
+            (event.op, event.args)
+            for event in system.trace.steps()
+        ]
+        assert result.outputs[0] == "v"
+
+        steps_iter = iter(recorded)
+
+        def replay_chooser(options):
+            op, args = next(steps_iter)
+            for option in options:
+                if op == "read" and option[0] == READ:
+                    return option
+                if op == "write" and option[0] == WRITE and option[2] == args[0]:
+                    return option
+            raise AssertionError(f"recorded step {op}{args} not in ν")
+
+        registers2 = make_registers(machine, prefix="B")
+        system2 = System()
+        system2.add_process(
+            nondet_body(machine, registers2, "v", chooser=replay_chooser)
+        )
+        result2 = system2.run(RoundRobinScheduler(), max_steps=1_000)
+        assert result2.outputs[0] == "v"
+
+    def test_register_count_mismatch_rejected(self):
+        machine = TokenRace()
+        converted = ConvertedMachine(machine)
+        with pytest.raises(ValidationError):
+            converted_body(converted, make_registers(SpinOrCommit()), 0)

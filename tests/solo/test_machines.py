@@ -1,0 +1,97 @@
+"""Tests for the Appendix A machine model and example machines."""
+
+import random
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.solo import SpinOrCommit, TokenRace
+from repro.solo.machines import READ, WRITE
+
+
+class TestSpinOrCommit:
+    def setup_method(self):
+        self.machine = SpinOrCommit()
+
+    def test_initial_state_not_final(self):
+        state = self.machine.initial_state("v")
+        assert not self.machine.is_final(state)
+
+    def test_nondeterministic_choice_in_start(self):
+        state = self.machine.initial_state("v")
+        steps = self.machine.steps(state)
+        assert (READ, 0) in steps
+        assert (WRITE, 0, "token") in steps
+
+    def test_spin_path_never_terminates(self):
+        """The all-reads choice sequence loops forever in `start`."""
+        state = self.machine.initial_state("v")
+        for _ in range(50):
+            state = self.machine.transition(state, (READ, 0), None)
+            assert state == ("start", "v")
+
+    def test_commit_path_terminates_in_two_steps(self):
+        state = self.machine.initial_state("v")
+        state = self.machine.transition(state, (WRITE, 0, "token"), "token")
+        state = self.machine.transition(state, (READ, 0), "token")
+        assert self.machine.is_final(state)
+        assert self.machine.output(state) == "v"
+
+    def test_overwritten_token_retries(self):
+        state = self.machine.initial_state("v")
+        state = self.machine.transition(state, (WRITE, 0, "token"), "token")
+        state = self.machine.transition(state, (READ, 0), "other")
+        assert state == ("start", "v")
+
+    def test_output_of_nonfinal_rejected(self):
+        with pytest.raises(ValidationError):
+            self.machine.output(self.machine.initial_state("v"))
+
+
+class TestTokenRace:
+    def setup_method(self):
+        self.machine = TokenRace()
+
+    def test_input_domain_enforced(self):
+        with pytest.raises(ValidationError):
+            self.machine.initial_state(7)
+
+    def test_claim_then_verify_terminates(self):
+        state = self.machine.initial_state(1)
+        state = self.machine.transition(state, (WRITE, 0, 1), 1)
+        state = self.machine.transition(state, (READ, 0), 1)
+        state = self.machine.transition(state, (READ, 1), 1)
+        assert self.machine.is_final(state)
+        assert self.machine.output(state) == 1
+
+    def test_mismatch_adopts_register_zero(self):
+        state = self.machine.initial_state(1)
+        state = self.machine.transition(state, (WRITE, 1, 1), 1)
+        state = self.machine.transition(state, (READ, 0), 0)
+        state = self.machine.transition(state, (READ, 1), 1)
+        assert state == ("start", 0, None)
+
+    def test_idle_reads_spin(self):
+        state = self.machine.initial_state(0)
+        for _ in range(10):
+            state = self.machine.transition(state, (READ, 0), None)
+        assert state == ("start", 0, None)
+
+    def test_random_choice_sequences_stay_well_formed(self):
+        """Fuzz ν/δ closure: every chooser path stays inside the state
+        machine (no ValidationError) and outputs are inputs when final."""
+        rng = random.Random(5)
+        for _ in range(50):
+            state = self.machine.initial_state(rng.choice((0, 1)))
+            contents = {0: None, 1: None}
+            for _step in range(30):
+                if self.machine.is_final(state):
+                    assert self.machine.output(state) in (0, 1)
+                    break
+                step = rng.choice(self.machine.steps(state))
+                if step[0] == READ:
+                    response = contents[step[1]]
+                else:
+                    contents[step[1]] = step[2]
+                    response = step[2]
+                state = self.machine.transition(state, step, response)

@@ -1,0 +1,33 @@
+"""Keep docs/API.md in sync with the code (regeneration is a no-op)."""
+
+import pathlib
+import subprocess
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def test_api_index_is_fresh(tmp_path):
+    target = ROOT / "docs" / "API.md"
+    before = target.read_text()
+    subprocess.run(
+        [sys.executable, str(ROOT / "tools" / "gen_api_index.py")],
+        check=True,
+        capture_output=True,
+    )
+    after = target.read_text()
+    assert before == after, (
+        "docs/API.md is stale: run `python tools/gen_api_index.py`"
+    )
+
+
+def test_api_index_covers_core_modules(tmp_path):
+    text = (ROOT / "docs" / "API.md").read_text()
+    for module in (
+        "repro.core.simulation",
+        "repro.core.invariant",
+        "repro.augmented.object",
+        "repro.protocols.base",
+        "repro.solo.conversion",
+    ):
+        assert f"## `{module}`" in text

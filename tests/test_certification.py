@@ -1,0 +1,129 @@
+"""The claims ledger: one acceptance test per headline paper claim.
+
+Each test here is intentionally high level — it re-derives a claim of the
+paper end to end through the public API, the way a referee would spot-check
+the reproduction.  Detailed coverage lives in the per-module suites; this
+file is the table of contents.
+"""
+
+import math
+
+import pytest
+
+from repro.core import (
+    approx_space_lower_bound,
+    check_correspondence,
+    consensus_space_bound,
+    kset_space_lower_bound,
+    kset_space_upper_bound,
+    run_approx_simulation,
+    run_simulation,
+    simulated_process_count,
+)
+from repro.core.sweep import sweep_simulation
+from repro.protocols import (
+    AveragingApprox,
+    KSetAgreementTask,
+    RacingConsensus,
+    RotatingWrites,
+    TruncatedProtocol,
+)
+from repro.runtime import RoundRobinScheduler
+from repro.solo import ConvertedMachine, SpinOrCommit, TokenRace
+from repro.solo.conversion import solo_run_machine
+
+
+class TestClaimsLedger:
+    def test_theorem3_formula_and_pivot(self):
+        """CLAIM (Theorem 3): x-obstruction-free k-set agreement for n > k
+        processes needs ⌊(n-x)/(k+1-x)⌋+1 registers; the simulation can be
+        instantiated exactly below that."""
+        for k, x, m in [(1, 1, 3), (2, 1, 2), (3, 2, 4), (4, 4, 5)]:
+            n = simulated_process_count(m, k, x)
+            assert kset_space_lower_bound(n, k, x) == m + 1
+
+    def test_consensus_needs_exactly_n_registers(self):
+        """CLAIM (corollary): consensus bounds meet at n — and the
+        executable upper bound (racing consensus) uses exactly n."""
+        for n in (2, 5, 33):
+            assert consensus_space_bound(n) == n
+        assert RacingConsensus(7).m == 7
+
+    def test_reduction_falsifies_below_the_bound(self):
+        """CLAIM (Theorem 3, constructive content): a consensus protocol on
+        fewer registers than the bound, run through the simulation, loses
+        agreement."""
+        report = sweep_simulation(
+            TruncatedProtocol(RacingConsensus(2), 1), k=1, x=1,
+            inputs=[0, 1], seeds=range(10), task=KSetAgreementTask(1),
+        )
+        assert report.safety_violations == 10
+
+    def test_simulation_is_wait_free_and_valid(self):
+        """CLAIM (Lemmas 30, 31): on a correct protocol every simulator
+        decides, and decisions are simulator inputs."""
+        report = sweep_simulation(
+            RotatingWrites(7, 3, rounds=5), k=2, x=1, inputs=[5, 2, 8],
+            seeds=range(10), verify_correspondence=True,
+        )
+        assert report.all_decided == 10
+        assert report.clean
+        assert set(report.decisions_histogram) <= {5, 2, 8}
+
+    def test_pasts_are_genuinely_revised_and_verified(self):
+        """CLAIM (the technique): covering simulators insert hidden steps
+        into simulated pasts, and an independent reconstruction (Lemma 28)
+        validates every insertion."""
+        total_hidden = 0
+        for seed in range(25):
+            from repro.runtime import RandomScheduler
+
+            outcome = run_simulation(
+                RotatingWrites(7, 3, rounds=8), k=2, x=1, inputs=[5, 2, 8],
+                scheduler=RandomScheduler(seed), max_steps=600_000,
+            )
+            correspondence = check_correspondence(outcome)
+            assert correspondence.ok, correspondence.violations
+            total_hidden += correspondence.hidden_steps
+        assert total_hidden > 0
+
+    def test_theorem4_conversion(self):
+        """CLAIM (Theorem 4): nondeterministic solo termination converts to
+        obstruction-freedom with the same registers."""
+        for machine, value in ((SpinOrCommit(), "v"), (TokenRace(), 1)):
+            converted = ConvertedMachine(machine)
+            assert converted.registers == machine.registers
+            output, measures, covered_at = solo_run_machine(converted, value)
+            assert output is not None
+            tail = measures[covered_at:]
+            assert all(b < a for a, b in zip(tail, tail[1:]))
+
+    def test_appendix_d_epsilon_independence(self):
+        """CLAIM (Lemma 33 / Appendix D): the two-simulator reduction's
+        step count depends on m only; for small ε it undercuts the
+        Hoest-Shavit log3(1/ε) bound, forcing ⌊n/2⌋+1 registers."""
+        steps = {}
+        for exponent in (8, 16, 32):
+            protocol = TruncatedProtocol(
+                AveragingApprox(4, 2.0 ** -exponent), 2
+            )
+            outcome = run_approx_simulation(
+                protocol, [0, 1], RoundRobinScheduler()
+            )
+            assert outcome.all_decided
+            steps[exponent] = outcome.max_steps_taken
+        assert len(set(steps.values())) == 1
+        assert steps[32] < math.log(2.0 ** 32, 3)
+        assert approx_space_lower_bound(10) == 6
+
+    def test_bounds_never_cross(self):
+        """CLAIM (consistency): the lower bound never exceeds the [BRS15]
+        upper bound anywhere on the admissible grid."""
+        for n in range(2, 40):
+            for k in range(1, 6):
+                for x in range(1, k + 1):
+                    if n <= k:
+                        continue
+                    assert kset_space_lower_bound(n, k, x) <= (
+                        kset_space_upper_bound(n, k, x)
+                    )

@@ -1,0 +1,46 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_bounds(self, capsys):
+        assert main(["bounds", "--n-max", "4", "--k-max", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "lower" in out
+        assert "yes" in out  # consensus rows are tight
+
+    def test_simulate(self, capsys):
+        assert main(["simulate", "--k", "1", "--m", "2", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Lemma 28 correspondence: OK" in out
+
+    def test_falsify(self, capsys):
+        assert main(["falsify", "--runs", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "safety violation" in out
+        assert "3/3" in out
+
+    def test_falsify_larger_m_still_below_bound(self, capsys):
+        """n is derived from m, so any m sits below the Theorem 3 bound —
+        the simulation pivot — and the falsifier always has work to do."""
+        assert main(["falsify", "--m", "3", "--runs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Theorem 3 bound=4" in out
+
+    def test_approx(self, capsys):
+        assert main(["approx", "--m", "2", "--eps-exp", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "ε-independent" in out
+        assert "beats the lower bound" in out
+
+    def test_check(self, capsys):
+        assert main(["check", "--seed", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "all Appendix B lemma checks passed" in out
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["not-a-command"])

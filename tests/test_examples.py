@@ -1,0 +1,59 @@
+"""Smoke tests for the example scripts — they must keep running as the
+library evolves (examples are documentation that can rot)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, timeout=240):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        result = run_example("quickstart.py")
+        assert result.returncode == 0, result.stderr
+        assert "Lemma 28 correspondence: OK" in result.stdout
+        assert "counterexample schedule" in result.stdout
+
+    def test_falsifier(self):
+        result = run_example("falsify_underprovisioned_consensus.py")
+        assert result.returncode == 0, result.stderr
+        assert "safety:agreement: 20/20" in result.stdout
+
+    def test_revision_microscope(self):
+        result = run_example("revision_microscope.py")
+        assert result.returncode == 0, result.stderr
+        assert "HIDDEN (inserted)" in result.stdout
+        assert "revised" in result.stdout
+
+    def test_approx_step_complexity(self):
+        result = run_example("approx_step_complexity.py")
+        assert result.returncode == 0, result.stderr
+        assert "simulation beats the lower bound" in result.stdout
+
+    def test_derandomize(self):
+        result = run_example("derandomize_protocol.py")
+        assert result.returncode == 0, result.stderr
+        assert "strictly decreasing" in result.stdout
+
+    def test_two_simulations(self):
+        result = run_example("two_simulations.py")
+        assert result.returncode == 0, result.stderr
+        assert "7/7" in result.stdout
+        assert "hidden steps retroactively inserted" in result.stdout
+
+    def test_campaign(self):
+        result = run_example("campaign.py")
+        assert result.returncode == 0, result.stderr
+        assert "campaign complete: all claims held." in result.stdout

@@ -1,0 +1,81 @@
+"""Tests for the Get-timestamp object."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.runtime import RandomScheduler, RoundRobinScheduler, System
+from repro.timestamps import TimestampObject
+
+
+class TestSequential:
+    def test_repeated_gets_increase(self):
+        obj = TimestampObject("T", pids=[0])
+        sys_ = System()
+
+        def body(proc):
+            first = yield from obj.get_timestamp(proc.pid)
+            second = yield from obj.get_timestamp(proc.pid)
+            third = yield from obj.get_timestamp(proc.pid)
+            return [first, second, third]
+
+        sys_.add_process(body)
+        result = sys_.run(RoundRobinScheduler())
+        seq = result.outputs[0]
+        assert seq[0] < seq[1] < seq[2]
+
+    def test_unknown_pid_rejected(self):
+        obj = TimestampObject("T", pids=[0])
+        with pytest.raises(ModelError):
+            list(obj.get_timestamp(7))
+
+    def test_duplicate_pids_rejected(self):
+        with pytest.raises(ModelError):
+            TimestampObject("T", pids=[1, 1])
+
+    def test_register_count(self):
+        assert TimestampObject("T", pids=[0, 1, 2]).register_count() == 3
+
+
+class TestConcurrent:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_get_timestamp_specification(self, seed):
+        """Every Get-timestamp returns a value strictly larger than all
+        values returned by Get-timestamps that completed before it began."""
+        pids = [0, 1, 2]
+        obj = TimestampObject("T", pids=pids)
+        sys_ = System()
+        intervals = []  # (start_seq, end_seq, timestamp)
+
+        def body(proc):
+            for _ in range(3):
+                start = len(sys_.trace.steps())
+                ts = yield from obj.get_timestamp(proc.pid)
+                end = len(sys_.trace.steps())
+                intervals.append((start, end, ts))
+
+        for _ in pids:
+            sys_.add_process(body)
+        result = sys_.run(RandomScheduler(seed))
+        assert result.completed
+        for start_a, end_a, ts_a in intervals:
+            for start_b, end_b, ts_b in intervals:
+                if end_a <= start_b:  # a completed before b began
+                    assert ts_b > ts_a
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_all_timestamps_distinct(self, seed):
+        pids = [0, 1, 2, 3]
+        obj = TimestampObject("T", pids=pids)
+        sys_ = System()
+
+        def body(proc):
+            out = []
+            for _ in range(2):
+                out.append((yield from obj.get_timestamp(proc.pid)))
+            return out
+
+        for _ in pids:
+            sys_.add_process(body)
+        result = sys_.run(RandomScheduler(seed))
+        everything = [ts for out in result.outputs.values() for ts in out]
+        assert len(set(everything)) == len(everything)

@@ -1,0 +1,102 @@
+"""Unit and property tests for lexicographic vector timestamps."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.timestamps import VectorTimestamp
+
+vectors = st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=6)
+
+
+def same_size_pair():
+    return st.integers(min_value=1, max_value=6).flatmap(
+        lambda n: st.tuples(
+            st.lists(st.integers(0, 50), min_size=n, max_size=n),
+            st.lists(st.integers(0, 50), min_size=n, max_size=n),
+        )
+    )
+
+
+class TestConstruction:
+    def test_zero(self):
+        assert VectorTimestamp.zero(3).as_tuple() == (0, 0, 0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            VectorTimestamp([])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            VectorTimestamp([1, -1])
+
+    def test_immutable(self):
+        ts = VectorTimestamp([1, 2])
+        with pytest.raises(AttributeError):
+            ts.components = (9, 9)
+
+    def test_bump_out_of_range(self):
+        with pytest.raises(ValidationError):
+            VectorTimestamp([1]).bump(5)
+
+
+class TestOrdering:
+    def test_lexicographic_not_componentwise(self):
+        # (1, 0) > (0, 99): lexicographic order is decided by the first
+        # differing component, unlike the component-wise partial order.
+        assert VectorTimestamp([1, 0]) > VectorTimestamp([0, 99])
+
+    def test_equal(self):
+        assert VectorTimestamp([1, 2]) == VectorTimestamp([1, 2])
+
+    def test_size_mismatch_raises(self):
+        with pytest.raises(ValidationError):
+            VectorTimestamp([1]) < VectorTimestamp([1, 2])
+
+    def test_incomparable_with_other_types(self):
+        assert VectorTimestamp([1]) != (1,)
+
+    def test_hashable_and_consistent(self):
+        a, b = VectorTimestamp([3, 4]), VectorTimestamp([3, 4])
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+
+class TestProperties:
+    @given(vectors)
+    def test_bump_own_component_strictly_increases(self, comps):
+        ts = VectorTimestamp(comps)
+        for i in range(len(comps)):
+            assert ts.bump(i) > ts
+
+    @given(same_size_pair())
+    def test_total_order(self, pair):
+        a, b = VectorTimestamp(pair[0]), VectorTimestamp(pair[1])
+        assert (a < b) + (a == b) + (a > b) == 1
+
+    @given(same_size_pair(), vectors)
+    def test_transitivity(self, pair, third):
+        size = len(pair[0])
+        c_comps = (third * size)[:size]
+        a, b, c = (
+            VectorTimestamp(pair[0]),
+            VectorTimestamp(pair[1]),
+            VectorTimestamp(c_comps),
+        )
+        if a <= b and b <= c:
+            assert a <= c
+
+    @given(vectors)
+    def test_zero_is_minimum(self, comps):
+        assert VectorTimestamp.zero(len(comps)) <= VectorTimestamp(comps)
+
+    @given(same_size_pair())
+    def test_new_timestamp_rule_dominates(self, pair):
+        """The Figure 1 New-timestamp rule: copying counts that are
+        component-wise >= another vector and bumping your own component
+        yields a lexicographically larger timestamp (Corollary 11 shape)."""
+        mine, other = pair
+        merged = [max(a, b) for a, b in zip(mine, other)]
+        bumped = VectorTimestamp(merged).bump(0)
+        assert bumped > VectorTimestamp(other)
