@@ -1,0 +1,59 @@
+"""E13 — the parallel campaign engine: speedup and identity.
+
+Runs a 240-seed Lemma-28-verified simulation sweep through
+``repro.campaign`` at ``workers=1`` and ``workers=4`` and tables the
+wall-clock speedup alongside proof that the two reports are equal — the
+perf win is measured, not asserted.  The ≥2× speedup expectation is only
+enforced when the host actually has ≥4 CPUs and the pool path engaged
+(on smaller hosts the table still prints, with the fallback noted)."""
+
+import os
+
+import pytest
+
+from repro.campaign import sweep_simulation_campaign
+from repro.protocols import RotatingWrites
+
+SEEDS = range(240)
+
+
+def run_at(workers):
+    return sweep_simulation_campaign(
+        RotatingWrites(7, 3, rounds=6), k=2, x=1, inputs=[5, 2, 8],
+        seeds=SEEDS, verify_correspondence=True, workers=workers,
+    )
+
+
+def test_campaign_speedup(benchmark, table):
+    serial = run_at(1)
+    parallel = benchmark.pedantic(
+        run_at, args=(4,), rounds=1, iterations=1
+    )
+    assert parallel.report == serial.report
+    assert parallel.report.summary() == serial.report.summary()
+    assert serial.report.clean and serial.report.runs == 240
+
+    speedup = (
+        serial.telemetry.wall_seconds / parallel.telemetry.wall_seconds
+        if parallel.telemetry.wall_seconds > 0 else float("inf")
+    )
+    rows = []
+    for result in (serial, parallel):
+        t = result.telemetry
+        rows.append((
+            t.workers, t.mode, f"{t.wall_seconds:.2f}",
+            f"{t.runs_per_second:.1f}", f"{t.utilization:.0%}",
+        ))
+    table(
+        f"E13: campaign speedup on a 240-seed verified sweep "
+        f"(host cpus={os.cpu_count()}, speedup={speedup:.2f}x, "
+        f"reports identical)",
+        ["workers", "mode", "wall s", "runs/sec", "utilization"],
+        rows,
+    )
+    if (os.cpu_count() or 1) >= 4 and parallel.telemetry.mode.startswith(
+        "pool"
+    ):
+        assert speedup >= 2.0, (
+            f"expected >=2x speedup at workers=4, got {speedup:.2f}x"
+        )

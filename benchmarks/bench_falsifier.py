@@ -1,59 +1,55 @@
-"""E4 — Theorem 3 as a falsifier.
+"""E4 — Theorem 3 as a falsifier, through the campaign engine.
 
 Feeds the simulation protocols squeezed below the space bound and reports
 what breaks — the mechanically observable content of "no such protocol
 exists".  The headline row: consensus on fewer than n registers loses
-agreement in essentially every schedule."""
+agreement in essentially every schedule.
 
-from collections import Counter
+Since the parallel-campaign refactor the sweeps run through
+``repro.campaign`` (the same code path ``repro campaign`` and
+``examples/campaign.py`` use), so this benchmark times the engine's
+single-worker path; the multi-worker speedup is measured separately in
+``bench_campaign.py``."""
 
 import pytest
 
-from repro.core import (
-    check_correspondence,
-    kset_space_lower_bound,
-    run_simulation,
-    simulated_process_count,
-)
+from repro.campaign import sweep_simulation_campaign
+from repro.core import kset_space_lower_bound, simulated_process_count
 from repro.protocols import KSetAgreementTask, RacingConsensus, TruncatedProtocol
-from repro.runtime import RandomScheduler
 
 
-def falsify(k, x, m, seeds):
+def falsify(k, x, m, seeds, workers=1):
     n = simulated_process_count(m, k, x)
-    task = KSetAgreementTask(k)
-    tally = Counter()
-    for seed in seeds:
-        protocol = TruncatedProtocol(RacingConsensus(n), m)
-        outcome = run_simulation(
-            protocol, k=k, x=x, inputs=list(range(k + 1)),
-            scheduler=RandomScheduler(seed), max_steps=400_000,
-        )
-        if outcome.task_violations(task):
-            tally["safety"] += 1
-        elif outcome.result.diverged:
-            tally["diverged"] += 1
-        else:
-            tally["clean"] += 1
-    return n, tally
+    result = sweep_simulation_campaign(
+        TruncatedProtocol(RacingConsensus(n), m), k=k, x=x,
+        inputs=list(range(k + 1)), seeds=seeds,
+        task=KSetAgreementTask(k), max_steps=400_000, workers=workers,
+    )
+    return n, result
 
 
 @pytest.mark.parametrize("k,x,m", [(1, 1, 1), (2, 1, 1), (2, 1, 2)])
 def test_falsifier_sweep(benchmark, table, k, x, m):
-    n, tally = benchmark.pedantic(
+    n, result = benchmark.pedantic(
         falsify, args=(k, x, m, range(15)), rounds=1, iterations=1
     )
+    report = result.report
     bound = kset_space_lower_bound(n, k, x)
     assert m < bound
+    assert report.runs == 15
     table(
         f"E4: outcomes below the bound (k={k}, x={x}, m={m}, n={n}, "
         f"bound={bound})",
-        ["safety violations", "divergences", "clean runs"],
-        [(tally["safety"], tally["diverged"], tally["clean"])],
+        ["safety violations", "divergences", "fully decided",
+         "runs/sec"],
+        [(report.safety_violations, report.divergences,
+          report.all_decided,
+          f"{result.telemetry.runs_per_second:.1f}")],
     )
     if (k, x, m) in ((1, 1, 1), (2, 1, 1)):
         # Far below the bound, random schedules break safety every time.
-        assert tally["safety"] == 15
+        assert report.safety_violations == 15
+        assert report.first_violating_seed == 0
 
 
 def test_machinery_faithful_on_broken_protocols(benchmark, table):
@@ -61,16 +57,12 @@ def test_machinery_faithful_on_broken_protocols(benchmark, table):
     violation belongs to the protocol, never to the simulation."""
 
     def sweep():
-        faithful = 0
-        for seed in range(10):
-            protocol = TruncatedProtocol(RacingConsensus(3), 1)
-            outcome = run_simulation(
-                protocol, k=1, x=1, inputs=[0, 1],
-                scheduler=RandomScheduler(seed), max_steps=300_000,
-            )
-            if check_correspondence(outcome).ok:
-                faithful += 1
-        return faithful
+        result = sweep_simulation_campaign(
+            TruncatedProtocol(RacingConsensus(3), 1), k=1, x=1,
+            inputs=[0, 1], seeds=range(10), max_steps=300_000,
+            verify_correspondence=True, workers=1,
+        )
+        return 10 - result.report.correspondence_failures
 
     faithful = benchmark.pedantic(sweep, rounds=1, iterations=1)
     assert faithful == 10

@@ -7,13 +7,18 @@ Usage::
     python -m repro falsify [--k 1] [--x 1] [--m 1] [--runs 10]
     python -m repro approx [--m 2] [--eps-exp 16]
     python -m repro check [--seed 0]
+    python -m repro campaign [--seeds 50] [--workers N] [--chunk-size C]
 
 ``bounds`` prints the Theorem 3 table; ``simulate`` runs the revisionist
 simulation on a correct workload and checks the Lemma 28 invariant;
 ``falsify`` feeds it an under-provisioned consensus protocol and reports
 the violations; ``approx`` runs the Appendix D reduction and shows the
 ε-independent step count; ``check`` runs the Appendix B lemma checkers on
-a random augmented-snapshot execution.
+a random augmented-snapshot execution; ``campaign`` runs the safety
+oracles as hardware-parallel seed/fuzz campaigns through
+:mod:`repro.campaign`, printing per-experiment reports with throughput
+telemetry (results are byte-identical for any worker count — see
+docs/CAMPAIGNS.md).
 """
 
 from __future__ import annotations
@@ -151,6 +156,86 @@ def cmd_check(args) -> int:
     return 0
 
 
+def cmd_campaign(args) -> int:
+    from repro.campaign import (
+        fuzz_campaign,
+        sweep_protocol_campaign,
+        sweep_simulation_campaign,
+    )
+    from repro.core import kset_space_lower_bound
+    from repro.protocols import (
+        KSetAgreementTask,
+        MinSeen,
+        RacingConsensus,
+        TruncatedProtocol,
+    )
+
+    if args.workers is not None and args.workers < 1:
+        print(f"error: --workers must be >= 1, got {args.workers}",
+              file=sys.stderr)
+        return 2
+    if args.chunk_size is not None and args.chunk_size < 1:
+        print(f"error: --chunk-size must be >= 1, got {args.chunk_size}",
+              file=sys.stderr)
+        return 2
+    seeds = range(args.seeds)
+    options = dict(workers=args.workers, chunk_size=args.chunk_size)
+    failures = 0
+
+    def show(title, result, ok):
+        nonlocal failures
+        print(f"{title}:")
+        print(f"   {result.report.summary()}")
+        print(f"   {result.telemetry.summary()}")
+        if not ok:
+            failures += 1
+            print("   EXPECTATION FAILED")
+
+    if args.experiment in ("falsify", "all"):
+        bound = kset_space_lower_bound(2, 1, 1)
+        result = sweep_simulation_campaign(
+            TruncatedProtocol(RacingConsensus(2), 1), k=1, x=1,
+            inputs=[0, 1], seeds=seeds, task=KSetAgreementTask(1),
+            **options,
+        )
+        show(
+            f"Theorem 3 falsifier (consensus on 1 register, bound {bound})",
+            result,
+            result.report.safety_violations == result.report.runs,
+        )
+        print(f"   first violating seed: "
+              f"{result.report.first_violating_seed}")
+
+    if args.experiment in ("protocol", "all"):
+        for protocol, inputs, task in (
+            (RacingConsensus(3), [0, 1, 1], KSetAgreementTask(1)),
+            (MinSeen(3, rounds=2), [4, 1, 9], KSetAgreementTask(3)),
+        ):
+            result = sweep_protocol_campaign(
+                protocol, inputs, seeds, task=task, **options
+            )
+            show(f"protocol safety: {protocol.name}", result,
+                 result.report.clean)
+
+    if args.experiment in ("fuzz", "all"):
+        result = fuzz_campaign(
+            TruncatedProtocol(RacingConsensus(3), 1), [0, 1, 2],
+            KSetAgreementTask(1), runs=args.fuzz_runs,
+            schedule_length=40, seed=args.seed, **options,
+        )
+        ok = not result.report.clean
+        show("schedule fuzz (truncated consensus, must violate)", result, ok)
+        if result.report.minimized is not None:
+            print(f"   minimized counterexample: "
+                  f"{result.report.minimized.minimized}")
+
+    if failures:
+        print(f"\ncampaign FAILED: {failures} expectation(s) violated")
+    else:
+        print("\ncampaign complete: all expectations held")
+    return 0 if failures == 0 else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -185,6 +270,21 @@ def build_parser() -> argparse.ArgumentParser:
     check = sub.add_parser("check", help="Appendix B lemma checks")
     check.add_argument("--seed", type=int, default=0)
     check.set_defaults(func=cmd_check)
+
+    campaign = sub.add_parser(
+        "campaign", help="parallel seed-sweep / fuzz campaigns"
+    )
+    campaign.add_argument("--seeds", type=int, default=50)
+    campaign.add_argument("--workers", type=int, default=None)
+    campaign.add_argument("--chunk-size", type=int, default=None)
+    campaign.add_argument(
+        "--experiment",
+        choices=["falsify", "protocol", "fuzz", "all"],
+        default="all",
+    )
+    campaign.add_argument("--fuzz-runs", type=int, default=200)
+    campaign.add_argument("--seed", type=int, default=0)
+    campaign.set_defaults(func=cmd_campaign)
     return parser
 
 

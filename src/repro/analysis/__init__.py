@@ -22,7 +22,13 @@ from repro.analysis.explore import (
     check_obstruction_freedom,
     explore_protocol,
 )
-from repro.analysis.fuzz import FuzzReport, fuzz_protocol
+from repro.analysis.fuzz import (
+    FuzzReport,
+    ViolationRecord,
+    fuzz_protocol,
+    run_rng,
+    schedule_for_run,
+)
 from repro.analysis.linearizability import (
     CompletedOperation,
     check_linearizable,
@@ -62,5 +68,8 @@ __all__ = [
     "measure_protocol_space",
     "measure_system_registers",
     "FuzzReport",
+    "ViolationRecord",
     "fuzz_protocol",
+    "run_rng",
+    "schedule_for_run",
 ]

@@ -5,30 +5,138 @@ small-scope; the fuzzer scales to larger instances by sampling random
 schedules, checking task safety on each, and shrinking any violation to a
 locally minimal counterexample.  Together they are the two safety oracles
 every protocol in this repository is held to.
+
+Each fuzz run draws its schedule from an RNG derived from
+``(campaign seed, run index)`` — see :func:`run_rng` — so run ``i`` sees
+the same schedule whether the campaign executes serially or is sharded
+across workers by :mod:`repro.campaign`.  Partial :class:`FuzzReport`
+objects from disjoint run ranges recombine with :meth:`FuzzReport.merge`;
+the determinism contract is documented in docs/CAMPAIGNS.md.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Any, List, Optional, Sequence
+from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.analysis.shrink import ShrinkResult, shrink_schedule, violates
 from repro.protocols.base import DECIDE, Protocol
 
+#: Default cap on retained violating schedules per report.
+DEFAULT_MAX_SAVED_VIOLATIONS = 10
+
+_GOLDEN64 = 0x9E3779B97F4A7C15
+_MASK64 = (1 << 64) - 1
+
+
+@dataclass(frozen=True)
+class ViolationRecord:
+    """One violating fuzz run: its absolute run index and its schedule."""
+
+    run_index: int
+    schedule: Tuple[int, ...]
+
+    @property
+    def sort_key(self) -> Tuple[int, Tuple[int, ...]]:
+        """Total order used to keep merges deterministic."""
+        return (self.run_index, self.schedule)
+
 
 @dataclass
 class FuzzReport:
-    """Outcome of a fuzzing campaign."""
+    """Outcome of a fuzzing campaign.
+
+    ``violations`` retains up to ``max_saved_violations`` violating
+    schedules, ordered by run index (the cap keeps the *lowest* run
+    indices, so sharded campaigns merge deterministically);
+    ``violating_runs`` counts all of them, including those beyond the
+    cap.  ``max_saved_violations`` is configuration, not data, and is
+    excluded from equality comparisons.
+    """
 
     runs: int = 0
     violating_runs: int = 0
-    first_violation_schedule: Optional[List[int]] = None
+    violations: List[ViolationRecord] = field(default_factory=list)
+    max_saved_violations: int = field(
+        default=DEFAULT_MAX_SAVED_VIOLATIONS, compare=False
+    )
     minimized: Optional[ShrinkResult] = None
 
     @property
     def clean(self) -> bool:
+        """True when no sampled schedule violated the task."""
         return self.violating_runs == 0
+
+    @property
+    def first_violation_schedule(self) -> Optional[List[int]]:
+        """The schedule of the lowest-indexed violating run, if any."""
+        if not self.violations:
+            return None
+        return list(self.violations[0].schedule)
+
+    def record_violation(self, run_index: int, schedule: Sequence[int]) -> None:
+        """Count a violating run, retaining its schedule under the cap.
+
+        Retained records are kept sorted by run index; when the cap is
+        exceeded the highest-indexed record is dropped, so the retained
+        set is always the ``max_saved_violations`` lowest run indices.
+        """
+        self.violating_runs += 1
+        record = ViolationRecord(run_index, tuple(schedule))
+        self.violations.append(record)
+        self.violations.sort(key=lambda r: r.sort_key)
+        del self.violations[self.max_saved_violations:]
+
+    def merge(self, other: "FuzzReport") -> "FuzzReport":
+        """Combine two partial reports from disjoint run ranges (pure).
+
+        Associative and commutative, with ``FuzzReport()`` as identity:
+        run tallies sum; retained violations are the ``cap`` lowest run
+        indices of the union, where ``cap`` is the smaller of the two
+        sides' caps; ``minimized`` follows whichever side contributes
+        the overall first (lowest-indexed) violation.
+        """
+        cap = min(self.max_saved_violations, other.max_saved_violations)
+        violations = sorted(
+            self.violations + other.violations, key=lambda r: r.sort_key
+        )[:cap]
+        if not self.violations:
+            minimized = other.minimized
+        elif not other.violations:
+            minimized = self.minimized
+        elif (
+            self.violations[0].sort_key <= other.violations[0].sort_key
+        ):
+            minimized = self.minimized
+        else:
+            minimized = other.minimized
+        return FuzzReport(
+            runs=self.runs + other.runs,
+            violating_runs=self.violating_runs + other.violating_runs,
+            violations=violations,
+            max_saved_violations=cap,
+            minimized=minimized,
+        )
+
+    def summary(self) -> str:
+        """One-line human summary."""
+        saved = len(self.violations)
+        return (
+            f"{self.runs} runs: {self.violating_runs} violating "
+            f"({saved} schedule{'s' if saved != 1 else ''} retained)"
+        )
+
+
+def run_rng(seed: int, run_index: int) -> random.Random:
+    """The RNG for fuzz run ``run_index`` of a campaign seeded ``seed``.
+
+    Derived by a fixed 64-bit mix, so every run's schedule is a pure
+    function of ``(seed, run_index)`` — independent of which worker
+    executes the run, or in what order.  This is the contract that makes
+    parallel fuzz campaigns byte-identical to serial ones.
+    """
+    return random.Random((seed * _GOLDEN64 + run_index) & _MASK64)
 
 
 def random_schedule(
@@ -36,6 +144,13 @@ def random_schedule(
 ) -> List[int]:
     """A uniformly random schedule of process indices."""
     return [rng.randrange(processes) for _ in range(length)]
+
+
+def schedule_for_run(
+    seed: int, run_index: int, processes: int, length: int
+) -> List[int]:
+    """The exact schedule fuzz run ``run_index`` samples (reproducible)."""
+    return random_schedule(run_rng(seed, run_index), processes, length)
 
 
 def fuzz_protocol(
@@ -46,23 +161,30 @@ def fuzz_protocol(
     schedule_length: int = 60,
     seed: int = 0,
     shrink: bool = True,
+    run_offset: int = 0,
+    max_saved_violations: int = DEFAULT_MAX_SAVED_VIOLATIONS,
 ) -> FuzzReport:
     """Sample random schedules, check safety, shrink the first violation.
 
     Schedules are replayed over the pure configuration space, so a
-    violating schedule in the report reproduces deterministically.
+    violating schedule in the report reproduces deterministically.  The
+    run indices covered are ``run_offset .. run_offset + runs - 1``; a
+    sharded campaign passes disjoint offsets to workers and merges the
+    partial reports (:meth:`FuzzReport.merge`), yielding the same report
+    as one serial call over the whole range.  Up to
+    ``max_saved_violations`` violating schedules are retained.
     """
-    rng = random.Random(seed)
-    report = FuzzReport()
-    for _ in range(runs):
+    report = FuzzReport(max_saved_violations=max_saved_violations)
+    for index in range(run_offset, run_offset + runs):
         report.runs += 1
-        schedule = random_schedule(rng, len(inputs), schedule_length)
+        schedule = schedule_for_run(
+            seed, index, len(inputs), schedule_length
+        )
         if violates(protocol, inputs, task, schedule):
-            report.violating_runs += 1
-            if report.first_violation_schedule is None:
-                report.first_violation_schedule = schedule
-                if shrink:
-                    report.minimized = shrink_schedule(
-                        protocol, inputs, task, schedule
-                    )
+            first = report.violating_runs == 0
+            report.record_violation(index, schedule)
+            if first and shrink:
+                report.minimized = shrink_schedule(
+                    protocol, inputs, task, schedule
+                )
     return report

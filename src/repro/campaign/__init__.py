@@ -1,0 +1,53 @@
+"""Parallel experiment campaigns with deterministic report merging.
+
+The safety oracles of this reproduction — seed sweeps
+(:mod:`repro.core.sweep`) and schedule fuzzing
+(:mod:`repro.analysis.fuzz`) — are embarrassingly parallel across seeds
+and runs.  This package shards those unit ranges across a
+``multiprocessing`` worker pool and folds the partial reports back with
+each report class's associative, commutative ``merge()``, so a parallel
+campaign's report is **byte-identical** to a serial one regardless of
+worker count, chunk size, or completion order (the contract, and why it
+holds, is documented in docs/CAMPAIGNS.md and enforced by
+tests/campaign/).
+
+* :mod:`repro.campaign.engine` — :func:`run_campaign` and the
+  per-oracle wrappers (:func:`sweep_simulation_campaign`,
+  :func:`sweep_protocol_campaign`, :func:`fuzz_campaign`);
+* :mod:`repro.campaign.jobs` — picklable job descriptions workers run;
+* :mod:`repro.campaign.partition` — workers/chunk-size policy;
+* :mod:`repro.campaign.telemetry` — per-chunk timing and throughput.
+"""
+
+from repro.campaign.engine import (
+    CampaignResult,
+    fuzz_campaign,
+    run_campaign,
+    sweep_protocol_campaign,
+    sweep_simulation_campaign,
+)
+from repro.campaign.jobs import FuzzJob, SweepProtocolJob, SweepSimulationJob
+from repro.campaign.partition import (
+    ShardingPolicy,
+    auto_chunk_size,
+    auto_workers,
+    plan_chunks,
+)
+from repro.campaign.telemetry import CampaignTelemetry, ChunkStats
+
+__all__ = [
+    "CampaignResult",
+    "run_campaign",
+    "sweep_simulation_campaign",
+    "sweep_protocol_campaign",
+    "fuzz_campaign",
+    "SweepSimulationJob",
+    "SweepProtocolJob",
+    "FuzzJob",
+    "ShardingPolicy",
+    "auto_workers",
+    "auto_chunk_size",
+    "plan_chunks",
+    "CampaignTelemetry",
+    "ChunkStats",
+]

@@ -1,0 +1,220 @@
+"""The parallel campaign executor.
+
+:func:`run_campaign` shards a job's unit range into chunks
+(:mod:`repro.campaign.partition`), executes the chunks on a
+``multiprocessing`` worker pool, and folds the partial reports back into
+one with the report class's associative ``merge()`` — always in ascending
+chunk order, so even dictionary insertion order in the merged report
+matches a serial run and the result is byte-identical regardless of
+which worker finished first.
+
+Execution degrades gracefully: ``workers=1``, an empty campaign, or a
+platform without usable process pools all take the in-process path, which
+runs the identical chunk/merge pipeline on the calling thread (same
+report, no processes).  Timing telemetry for either path is collected in
+a :class:`~repro.campaign.telemetry.CampaignTelemetry` alongside — never
+inside — the merged report.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.campaign.jobs import FuzzJob, SweepProtocolJob, SweepSimulationJob
+from repro.campaign.partition import ShardingPolicy, plan_chunks
+from repro.campaign.telemetry import CampaignTelemetry, ChunkStats
+
+
+@dataclass
+class CampaignResult:
+    """A merged report plus the telemetry of producing it."""
+
+    report: Any
+    telemetry: CampaignTelemetry
+
+    def summary(self) -> str:
+        """Two lines: the scientific summary, then the throughput one."""
+        return f"{self.report.summary()}\n{self.telemetry.summary()}"
+
+
+def _execute_chunk(
+    job: Any, index: int, start: int, stop: int
+) -> Tuple[int, Any, ChunkStats]:
+    """Run one chunk, timing its body; executes in worker or parent."""
+    wall_start = time.perf_counter()
+    cpu_start = time.process_time()
+    report = job.run_range(start, stop)
+    stats = ChunkStats(
+        index=index,
+        start=start,
+        stop=stop,
+        wall_seconds=time.perf_counter() - wall_start,
+        cpu_seconds=time.process_time() - cpu_start,
+        worker=f"pid:{os.getpid()}",
+    )
+    return index, report, stats
+
+
+def _pool_context() -> "multiprocessing.context.BaseContext":
+    """The multiprocessing context to use: fork when the platform has it.
+
+    Fork keeps worker startup cheap (no re-import of the library); on
+    platforms without it the default start method is used, and failures
+    at pool-construction time fall back to in-process execution.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def _run_chunks_pooled(
+    job: Any, chunks: List[Tuple[int, int]], workers: int
+) -> Tuple[Dict[int, Tuple[Any, ChunkStats]], str]:
+    """Execute chunks on a process pool; returns results and mode tag.
+
+    Raises whatever the platform raises if pools are unusable — the
+    caller catches and falls back to in-process execution.
+    """
+    context = _pool_context()
+    results: Dict[int, Tuple[Any, ChunkStats]] = {}
+    with ProcessPoolExecutor(
+        max_workers=workers, mp_context=context
+    ) as pool:
+        futures = [
+            pool.submit(_execute_chunk, job, index, start, stop)
+            for index, (start, stop) in enumerate(chunks)
+        ]
+        for future in futures:
+            index, report, stats = future.result()
+            results[index] = (report, stats)
+    return results, f"pool:{context.get_start_method()}"
+
+
+def _run_chunks_inprocess(
+    job: Any, chunks: List[Tuple[int, int]]
+) -> Dict[int, Tuple[Any, ChunkStats]]:
+    """Execute chunks serially on the calling thread (same pipeline)."""
+    results: Dict[int, Tuple[Any, ChunkStats]] = {}
+    for index, (start, stop) in enumerate(chunks):
+        chunk_index, report, stats = _execute_chunk(job, index, start, stop)
+        results[chunk_index] = (report, stats)
+    return results
+
+
+def run_campaign(
+    job: Any,
+    workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+) -> CampaignResult:
+    """Execute a campaign job, in parallel when possible.
+
+    ``workers``/``chunk_size`` default to the auto policy
+    (:meth:`~repro.campaign.partition.ShardingPolicy.resolve`).  The
+    merged report is identical — including summaries — for every choice
+    of ``workers`` and ``chunk_size``; only the telemetry differs.
+    """
+    total = job.total_units()
+    policy = ShardingPolicy.resolve(total, workers, chunk_size)
+    chunks = plan_chunks(total, policy.chunk_size)
+
+    wall_start = time.perf_counter()
+    mode = "in-process"
+    if policy.workers > 1 and len(chunks) > 1:
+        try:
+            results, mode = _run_chunks_pooled(job, chunks, policy.workers)
+        except (OSError, ValueError, RuntimeError, ImportError):
+            results = _run_chunks_inprocess(job, chunks)
+            mode = "in-process (pool unavailable)"
+    else:
+        results = _run_chunks_inprocess(job, chunks)
+    wall_seconds = time.perf_counter() - wall_start
+
+    report = job.empty_report()
+    stats_in_order: List[ChunkStats] = []
+    for index in range(len(chunks)):
+        chunk_report, stats = results[index]
+        report = report.merge(chunk_report)
+        stats_in_order.append(stats)
+    report = job.finalize(report)
+
+    telemetry = CampaignTelemetry(
+        workers=policy.workers,
+        chunk_size=policy.chunk_size,
+        mode=mode,
+        wall_seconds=wall_seconds,
+        chunks=stats_in_order,
+    )
+    return CampaignResult(report=report, telemetry=telemetry)
+
+
+def sweep_simulation_campaign(
+    protocol,
+    k: int,
+    x: int,
+    inputs,
+    seeds,
+    task=None,
+    verify_correspondence: bool = False,
+    max_steps: int = 500_000,
+    workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+    **run_kwargs,
+) -> CampaignResult:
+    """Sharded :func:`~repro.core.sweep.sweep_simulation` over seeds."""
+    job = SweepSimulationJob(
+        protocol=protocol, k=k, x=x, inputs=tuple(inputs),
+        seeds=tuple(seeds), task=task,
+        verify_correspondence=verify_correspondence, max_steps=max_steps,
+        run_kwargs=dict(run_kwargs),
+    )
+    return run_campaign(job, workers=workers, chunk_size=chunk_size)
+
+
+def sweep_protocol_campaign(
+    protocol,
+    inputs,
+    seeds,
+    task=None,
+    max_steps: int = 100_000,
+    workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+) -> CampaignResult:
+    """Sharded :func:`~repro.core.sweep.sweep_protocol` over seeds."""
+    job = SweepProtocolJob(
+        protocol=protocol, inputs=tuple(inputs), seeds=tuple(seeds),
+        task=task, max_steps=max_steps,
+    )
+    return run_campaign(job, workers=workers, chunk_size=chunk_size)
+
+
+def fuzz_campaign(
+    protocol,
+    inputs,
+    task,
+    runs: int = 200,
+    schedule_length: int = 60,
+    seed: int = 0,
+    shrink: bool = True,
+    max_saved_violations: Optional[int] = None,
+    workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+) -> CampaignResult:
+    """Sharded :func:`~repro.analysis.fuzz.fuzz_protocol` over runs."""
+    from repro.analysis.fuzz import DEFAULT_MAX_SAVED_VIOLATIONS
+
+    job = FuzzJob(
+        protocol=protocol, inputs=tuple(inputs), task=task, runs=runs,
+        schedule_length=schedule_length, seed=seed, shrink=shrink,
+        max_saved_violations=(
+            DEFAULT_MAX_SAVED_VIOLATIONS
+            if max_saved_violations is None
+            else max_saved_violations
+        ),
+    )
+    return run_campaign(job, workers=workers, chunk_size=chunk_size)

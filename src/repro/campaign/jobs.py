@@ -1,0 +1,141 @@
+"""Campaign job types: picklable descriptions of sharded experiments.
+
+A job captures everything a worker process needs to run one chunk of a
+campaign — protocol, task, parameters, and the full unit range — as a
+frozen (hence picklable) dataclass.  The engine ships the job to workers
+with ``(start, stop)`` chunk bounds; :meth:`run_range` executes the
+chunk through the ordinary serial harness (:mod:`repro.core.sweep`,
+:mod:`repro.analysis.fuzz`) and returns a partial report for merging.
+
+Because workers call the *same* serial functions over sub-ranges, the
+parallel path cannot drift from the serial one: the differential suite
+(tests/campaign/test_differential.py) holds them byte-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from repro.analysis.fuzz import (
+    DEFAULT_MAX_SAVED_VIOLATIONS,
+    FuzzReport,
+    fuzz_protocol,
+)
+from repro.analysis.shrink import shrink_schedule
+from repro.core.sweep import SweepReport, sweep_protocol, sweep_simulation
+from repro.protocols.base import Protocol
+
+
+@dataclass(frozen=True)
+class SweepSimulationJob:
+    """A :func:`~repro.core.sweep.sweep_simulation` campaign over seeds."""
+
+    protocol: Protocol
+    k: int
+    x: int
+    inputs: Tuple[Any, ...]
+    seeds: Tuple[int, ...]
+    task: Any = None
+    verify_correspondence: bool = False
+    max_steps: int = 500_000
+    run_kwargs: Dict[str, Any] = field(default_factory=dict)
+
+    def total_units(self) -> int:
+        """Number of schedulable units: one per seed."""
+        return len(self.seeds)
+
+    def empty_report(self) -> SweepReport:
+        """The merge identity for this job's report type."""
+        return SweepReport()
+
+    def run_range(self, start: int, stop: int) -> SweepReport:
+        """Execute seeds ``start..stop-1`` through the serial harness."""
+        return sweep_simulation(
+            self.protocol, k=self.k, x=self.x, inputs=list(self.inputs),
+            seeds=list(self.seeds[start:stop]), task=self.task,
+            verify_correspondence=self.verify_correspondence,
+            max_steps=self.max_steps, **self.run_kwargs,
+        )
+
+    def finalize(self, report: SweepReport) -> SweepReport:
+        """Post-merge hook; sweeps need no finalization."""
+        return report
+
+
+@dataclass(frozen=True)
+class SweepProtocolJob:
+    """A :func:`~repro.core.sweep.sweep_protocol` campaign over seeds."""
+
+    protocol: Protocol
+    inputs: Tuple[Any, ...]
+    seeds: Tuple[int, ...]
+    task: Any = None
+    max_steps: int = 100_000
+
+    def total_units(self) -> int:
+        """Number of schedulable units: one per seed."""
+        return len(self.seeds)
+
+    def empty_report(self) -> SweepReport:
+        """The merge identity for this job's report type."""
+        return SweepReport()
+
+    def run_range(self, start: int, stop: int) -> SweepReport:
+        """Execute seeds ``start..stop-1`` through the serial harness."""
+        return sweep_protocol(
+            self.protocol, list(self.inputs),
+            list(self.seeds[start:stop]), task=self.task,
+            max_steps=self.max_steps,
+        )
+
+    def finalize(self, report: SweepReport) -> SweepReport:
+        """Post-merge hook; sweeps need no finalization."""
+        return report
+
+
+@dataclass(frozen=True)
+class FuzzJob:
+    """A :func:`~repro.analysis.fuzz.fuzz_protocol` campaign over runs.
+
+    Workers fuzz their run range with shrinking disabled (shrinking
+    mid-chunk would duplicate work and is not merge-stable); if
+    ``shrink`` is requested, :meth:`finalize` shrinks the overall first
+    violation once, in the parent — exactly what a serial
+    ``fuzz_protocol`` call would have shrunk.
+    """
+
+    protocol: Protocol
+    inputs: Tuple[Any, ...]
+    task: Any
+    runs: int = 200
+    schedule_length: int = 60
+    seed: int = 0
+    shrink: bool = True
+    max_saved_violations: int = DEFAULT_MAX_SAVED_VIOLATIONS
+
+    def total_units(self) -> int:
+        """Number of schedulable units: one per fuzz run."""
+        return self.runs
+
+    def empty_report(self) -> FuzzReport:
+        """The merge identity, carrying this job's retention cap."""
+        return FuzzReport(max_saved_violations=self.max_saved_violations)
+
+    def run_range(self, start: int, stop: int) -> FuzzReport:
+        """Fuzz runs ``start..stop-1`` (no shrinking inside workers)."""
+        return fuzz_protocol(
+            self.protocol, list(self.inputs), self.task,
+            runs=stop - start, schedule_length=self.schedule_length,
+            seed=self.seed, shrink=False, run_offset=start,
+            max_saved_violations=self.max_saved_violations,
+        )
+
+    def finalize(self, report: FuzzReport) -> FuzzReport:
+        """Shrink the merged report's first violation, if requested."""
+        if self.shrink and report.violations and report.minimized is None:
+            report.minimized = shrink_schedule(
+                self.protocol, list(self.inputs), self.task,
+                report.first_violation_schedule,
+            )
+        return report

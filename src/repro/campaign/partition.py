@@ -1,0 +1,82 @@
+"""Sharding policy: how a campaign's unit range is cut into chunks.
+
+A campaign is a range of *units* (seed indices for sweeps, run indices
+for fuzzing).  The engine cuts ``[0, total)`` into contiguous chunks and
+hands each chunk to a worker.  Chunking only affects scheduling — the
+merged report is identical for every chunking (docs/CAMPAIGNS.md) — so
+the policy here is purely about throughput: enough chunks per worker to
+even out load imbalance, few enough that per-chunk overhead stays noise.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import List, Tuple
+
+#: Target number of chunks handed to each worker (load-balancing slack).
+CHUNKS_PER_WORKER = 4
+
+
+def auto_workers(total_units: int) -> int:
+    """Default worker count: one per CPU, never more than units."""
+    cpus = os.cpu_count() or 1
+    return max(1, min(cpus, total_units))
+
+
+def auto_chunk_size(total_units: int, workers: int) -> int:
+    """Default chunk size: ~``CHUNKS_PER_WORKER`` chunks per worker."""
+    if total_units <= 0:
+        return 1
+    target_chunks = max(1, workers) * CHUNKS_PER_WORKER
+    return max(1, -(-total_units // target_chunks))
+
+
+def plan_chunks(total_units: int, chunk_size: int) -> List[Tuple[int, int]]:
+    """Cut ``[0, total_units)`` into ``(start, stop)`` chunks, in order.
+
+    Chunks are contiguous, disjoint, cover the whole range, and all but
+    the last have exactly ``chunk_size`` units.
+    """
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    return [
+        (start, min(start + chunk_size, total_units))
+        for start in range(0, total_units, chunk_size)
+    ]
+
+
+@dataclass(frozen=True)
+class ShardingPolicy:
+    """Resolved execution parameters for one campaign.
+
+    ``workers`` and ``chunk_size`` are the values actually used after
+    applying the auto defaults to the user's (possibly ``None``)
+    requests.
+    """
+
+    workers: int
+    chunk_size: int
+
+    @staticmethod
+    def resolve(
+        total_units: int,
+        workers: "int | None" = None,
+        chunk_size: "int | None" = None,
+    ) -> "ShardingPolicy":
+        """Fill in auto defaults for any parameter left as ``None``."""
+        resolved_workers = (
+            auto_workers(total_units) if workers is None else workers
+        )
+        if resolved_workers < 1:
+            raise ValueError(f"workers must be >= 1, got {resolved_workers}")
+        resolved_chunk = (
+            auto_chunk_size(total_units, resolved_workers)
+            if chunk_size is None
+            else chunk_size
+        )
+        if resolved_chunk < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {resolved_chunk}")
+        return ShardingPolicy(
+            workers=resolved_workers, chunk_size=resolved_chunk
+        )

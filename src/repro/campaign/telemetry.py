@@ -1,0 +1,92 @@
+"""Per-chunk timing and throughput telemetry for campaigns.
+
+Telemetry answers "was the parallelism worth it?" without ever touching
+the scientific result: :class:`CampaignTelemetry` lives *next to* the
+merged report inside a :class:`~repro.campaign.engine.CampaignResult`,
+never inside it, so reports stay byte-identical across worker counts
+while the timing story varies freely with the hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+
+@dataclass(frozen=True)
+class ChunkStats:
+    """Timing for one executed chunk.
+
+    ``wall_seconds``/``cpu_seconds`` are measured inside the worker
+    around the chunk body; ``worker`` identifies the executing process
+    (a pid for pool workers, ``"in-process"`` for the serial path).
+    """
+
+    index: int
+    start: int
+    stop: int
+    wall_seconds: float
+    cpu_seconds: float
+    worker: str
+
+    @property
+    def units(self) -> int:
+        """Number of units (seeds / fuzz runs) this chunk covered."""
+        return self.stop - self.start
+
+
+@dataclass
+class CampaignTelemetry:
+    """Aggregated timing/throughput for one campaign execution."""
+
+    workers: int
+    chunk_size: int
+    mode: str
+    wall_seconds: float = 0.0
+    chunks: List[ChunkStats] = field(default_factory=list)
+
+    @property
+    def total_units(self) -> int:
+        """Total units executed across all chunks."""
+        return sum(chunk.units for chunk in self.chunks)
+
+    @property
+    def runs_per_second(self) -> float:
+        """End-to-end throughput: units over campaign wall time."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.total_units / self.wall_seconds
+
+    @property
+    def cpu_seconds(self) -> float:
+        """Total CPU time burned inside chunk bodies, all workers."""
+        return sum(chunk.cpu_seconds for chunk in self.chunks)
+
+    @property
+    def busy_seconds(self) -> float:
+        """Total wall time spent inside chunk bodies, all workers."""
+        return sum(chunk.wall_seconds for chunk in self.chunks)
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the worker pool's wall-clock capacity spent busy.
+
+        1.0 means every worker was inside a chunk body for the whole
+        campaign; low values mean workers idled (too few chunks, skewed
+        chunk costs, or pool startup dominating).
+        """
+        capacity = self.workers * self.wall_seconds
+        if capacity <= 0:
+            return 0.0
+        return min(1.0, self.busy_seconds / capacity)
+
+    def summary(self) -> str:
+        """One-line human summary of the execution telemetry."""
+        return (
+            f"{self.total_units} units in {self.wall_seconds:.2f}s wall "
+            f"({self.runs_per_second:.1f} runs/sec, "
+            f"cpu {self.cpu_seconds:.2f}s) — "
+            f"{len(self.chunks)} chunks of ≤{self.chunk_size} on "
+            f"{self.workers} worker{'s' if self.workers != 1 else ''} "
+            f"[{self.mode}], utilization {self.utilization:.0%}"
+        )

@@ -9,6 +9,12 @@ CLI, and user code produce consistent, comparable reports:
 * :func:`sweep_protocol` — plain protocol executions across seeds;
 * :class:`SweepReport` — outcome tallies plus extremes (slowest run, first
   violating seed) that the write-ups quote.
+
+Reports form a commutative monoid under :meth:`SweepReport.merge` with
+:class:`SweepReport()` as the identity, which is what lets the parallel
+campaign engine (:mod:`repro.campaign`) shard a seed range across workers
+and fold the partial reports back together in any order without changing
+the result.  The determinism contract is spelled out in docs/CAMPAIGNS.md.
 """
 
 from __future__ import annotations
@@ -24,7 +30,12 @@ from repro.runtime.scheduler import RandomScheduler
 
 @dataclass
 class SweepReport:
-    """Aggregated outcomes of a seed sweep."""
+    """Aggregated outcomes of a seed sweep.
+
+    ``first_violating_seed`` is the *minimum* violating seed (not the
+    first encountered), so that merging partial reports from a sharded
+    sweep is order-independent.
+    """
 
     runs: int = 0
     completed: int = 0
@@ -50,6 +61,49 @@ class SweepReport:
             self.decisions_histogram[value] = (
                 self.decisions_histogram.get(value, 0) + 1
             )
+
+    def record_violation(self, seed: int) -> None:
+        """Count a safety violation, keeping the minimum violating seed."""
+        self.safety_violations += 1
+        if (
+            self.first_violating_seed is None
+            or seed < self.first_violating_seed
+        ):
+            self.first_violating_seed = seed
+
+    def merge(self, other: "SweepReport") -> "SweepReport":
+        """Combine two partial reports into a new one (pure).
+
+        The operation is associative and commutative, and
+        ``SweepReport()`` is its identity: tallies sum, histograms fold,
+        ``max_steps_observed`` takes the max, and
+        ``first_violating_seed`` takes the minimum of the non-``None``
+        sides — so a sharded sweep merges to the same report no matter
+        how the shards are grouped or ordered.
+        """
+        seeds = [
+            s for s in (self.first_violating_seed, other.first_violating_seed)
+            if s is not None
+        ]
+        histogram: Dict[Any, int] = {}
+        for part in (self, other):
+            for value, count in part.decisions_histogram.items():
+                histogram[value] = histogram.get(value, 0) + count
+        return SweepReport(
+            runs=self.runs + other.runs,
+            completed=self.completed + other.completed,
+            all_decided=self.all_decided + other.all_decided,
+            safety_violations=self.safety_violations + other.safety_violations,
+            divergences=self.divergences + other.divergences,
+            correspondence_failures=(
+                self.correspondence_failures + other.correspondence_failures
+            ),
+            first_violating_seed=min(seeds) if seeds else None,
+            max_steps_observed=max(
+                self.max_steps_observed, other.max_steps_observed
+            ),
+            decisions_histogram=histogram,
+        )
 
     def summary(self) -> str:
         """One-line human summary."""
@@ -96,9 +150,7 @@ def sweep_simulation(
         if outcome.result.diverged:
             report.divergences += 1
         if task is not None and outcome.task_violations(task):
-            report.safety_violations += 1
-            if report.first_violating_seed is None:
-                report.first_violating_seed = seed
+            report.record_violation(seed)
         if verify_correspondence and not check_correspondence(outcome).ok:
             report.correspondence_failures += 1
     return report
@@ -128,7 +180,5 @@ def sweep_protocol(
         if result.diverged:
             report.divergences += 1
         if task is not None and task.check(list(inputs), result.outputs):
-            report.safety_violations += 1
-            if report.first_violating_seed is None:
-                report.first_violating_seed = seed
+            report.record_violation(seed)
     return report

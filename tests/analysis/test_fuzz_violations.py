@@ -1,0 +1,106 @@
+"""Tests for multi-violation retention in the fuzzer.
+
+``fuzz_protocol`` historically discarded every violating schedule after
+the first; it now retains up to ``max_saved_violations`` of them (so a
+sharded campaign can report violations found by every worker) while the
+single-violation behavior — first schedule, shrunken counterexample —
+stays exactly as before.
+"""
+
+import pytest
+
+from repro.analysis.fuzz import fuzz_protocol, schedule_for_run
+from repro.analysis.shrink import violates
+from repro.protocols import (
+    KSetAgreementTask,
+    RacingConsensus,
+    TruncatedProtocol,
+)
+
+
+def broken_consensus():
+    return TruncatedProtocol(RacingConsensus(3), 1)
+
+
+def fuzz(**kwargs):
+    defaults = dict(runs=80, schedule_length=40, seed=1)
+    defaults.update(kwargs)
+    return fuzz_protocol(
+        broken_consensus(), [0, 1, 2], KSetAgreementTask(1), **defaults
+    )
+
+
+class TestViolationRetention:
+    def test_retains_up_to_cap(self):
+        report = fuzz(max_saved_violations=5)
+        assert report.violating_runs > 5
+        assert len(report.violations) == 5
+
+    def test_cap_keeps_lowest_run_indices(self):
+        capped = fuzz(max_saved_violations=3)
+        full = fuzz(max_saved_violations=10_000)
+        assert capped.violations == full.violations[:3]
+        indices = [record.run_index for record in capped.violations]
+        assert indices == sorted(indices)
+
+    def test_every_retained_schedule_actually_violates(self):
+        report = fuzz(max_saved_violations=6)
+        for record in report.violations:
+            assert violates(
+                broken_consensus(), [0, 1, 2], KSetAgreementTask(1),
+                list(record.schedule),
+            )
+            assert list(record.schedule) == schedule_for_run(
+                1, record.run_index, processes=3, length=40
+            )
+
+    def test_violating_runs_counts_beyond_cap(self):
+        capped = fuzz(max_saved_violations=2)
+        uncapped = fuzz(max_saved_violations=10_000)
+        assert capped.violating_runs == uncapped.violating_runs
+        assert capped.violating_runs > len(capped.violations)
+
+
+class TestSingleViolationBehavior:
+    def test_first_violation_schedule_is_lowest_indexed(self):
+        report = fuzz()
+        assert report.first_violation_schedule == list(
+            report.violations[0].schedule
+        )
+        assert report.violations[0].run_index == min(
+            record.run_index for record in report.violations
+        )
+
+    def test_minimized_corresponds_to_first_violation(self):
+        report = fuzz(shrink=True)
+        assert report.minimized is not None
+        assert report.minimized.original == report.first_violation_schedule
+        assert violates(
+            broken_consensus(), [0, 1, 2], KSetAgreementTask(1),
+            report.minimized.minimized,
+        )
+
+    def test_shrink_false_leaves_minimized_unset(self):
+        report = fuzz(shrink=False)
+        assert not report.clean
+        assert report.minimized is None
+
+    def test_clean_report_has_no_violations(self):
+        report = fuzz_protocol(
+            RacingConsensus(3), [0, 1, 1], KSetAgreementTask(1),
+            runs=60, schedule_length=50, seed=2,
+        )
+        assert report.clean
+        assert report.violations == []
+        assert report.first_violation_schedule is None
+
+
+class TestRunOffset:
+    def test_offset_shifts_absolute_indices(self):
+        whole = fuzz(runs=60, max_saved_violations=10_000)
+        first = fuzz(runs=30, run_offset=0, max_saved_violations=10_000)
+        second = fuzz(runs=30, run_offset=30, max_saved_violations=10_000)
+        assert first.merge(second) == whole
+        assert all(
+            record.run_index >= 30 for record in second.violations
+        )

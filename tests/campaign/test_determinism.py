@@ -1,0 +1,71 @@
+"""Seed-determinism regression: campaigns are reproducible bit-for-bit.
+
+The contract (docs/CAMPAIGNS.md): the same campaign invoked twice — with
+the same seeds but *different* worker counts and chunk sizes — produces
+identical reports and identical summaries.  Telemetry may differ; the
+science may not.
+"""
+
+import pytest
+
+from repro.analysis.fuzz import schedule_for_run
+from repro.campaign import fuzz_campaign, sweep_protocol_campaign
+from repro.protocols import (
+    KSetAgreementTask,
+    RacingConsensus,
+    TruncatedProtocol,
+)
+
+CONFIGS = [
+    dict(workers=1, chunk_size=None),
+    dict(workers=2, chunk_size=3),
+    dict(workers=4, chunk_size=5),
+    dict(workers=2, chunk_size=11),
+]
+
+
+def sweep_once(**config):
+    return sweep_protocol_campaign(
+        TruncatedProtocol(RacingConsensus(4), 1), [0, 1, 0, 1],
+        range(14), task=KSetAgreementTask(1), **config,
+    )
+
+
+def fuzz_once(**config):
+    return fuzz_campaign(
+        TruncatedProtocol(RacingConsensus(3), 1), [0, 1, 2],
+        KSetAgreementTask(1), runs=70, schedule_length=40, seed=9,
+        **config,
+    )
+
+
+class TestCampaignDeterminism:
+    def test_sweep_identical_across_configs(self):
+        baseline = sweep_once(**CONFIGS[0])
+        for config in CONFIGS[1:]:
+            other = sweep_once(**config)
+            assert other.report == baseline.report, config
+            assert repr(other.report) == repr(baseline.report), config
+            assert other.report.summary() == baseline.report.summary()
+
+    def test_fuzz_identical_across_configs(self):
+        baseline = fuzz_once(**CONFIGS[0])
+        for config in CONFIGS[1:]:
+            other = fuzz_once(**config)
+            assert other.report == baseline.report, config
+            assert repr(other.report) == repr(baseline.report), config
+            assert other.report.summary() == baseline.report.summary()
+
+    def test_repeated_invocation_identical(self):
+        first = sweep_once(workers=2, chunk_size=4)
+        second = sweep_once(workers=2, chunk_size=4)
+        assert first.report == second.report
+        assert repr(first.report) == repr(second.report)
+
+    def test_fuzz_schedules_are_pure_functions_of_seed_and_index(self):
+        # The per-run RNG derivation the whole contract rests on.
+        a = schedule_for_run(9, 41, processes=3, length=40)
+        b = schedule_for_run(9, 41, processes=3, length=40)
+        assert a == b
+        assert schedule_for_run(9, 42, 3, 40) != a
+        assert schedule_for_run(10, 41, 3, 40) != a

@@ -1,0 +1,140 @@
+"""Property tests: report merging is a commutative monoid.
+
+``merge()`` on :class:`SweepReport` and :class:`FuzzReport` must be
+associative and commutative with the default-constructed report as
+identity — that algebra is exactly what lets the campaign engine fold
+worker results in any grouping without changing the outcome.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.fuzz import FuzzReport, ViolationRecord
+from repro.core.sweep import SweepReport
+
+values = st.sampled_from(["a", "b", 0, 1, 7])
+
+histograms = st.dictionaries(values, st.integers(1, 50), max_size=4)
+
+sweep_reports = st.builds(
+    SweepReport,
+    runs=st.integers(0, 100),
+    completed=st.integers(0, 300),
+    all_decided=st.integers(0, 100),
+    safety_violations=st.integers(0, 100),
+    divergences=st.integers(0, 100),
+    correspondence_failures=st.integers(0, 100),
+    first_violating_seed=st.none() | st.integers(0, 10_000),
+    max_steps_observed=st.integers(0, 10_000),
+    decisions_histogram=histograms,
+)
+
+
+def schedules():
+    return st.lists(st.integers(0, 3), min_size=1, max_size=8).map(tuple)
+
+
+def fuzz_report_in_range(lo, hi):
+    """Reports whose violation run indices live in ``[lo, hi)``.
+
+    Disjoint ranges per report mirror the engine's contract (each worker
+    owns a disjoint run range) and keep tie-breaking out of play.
+    """
+    def build(indices, scheds, runs_extra):
+        records = sorted(
+            (ViolationRecord(i, s) for i, s in zip(indices, scheds)),
+            key=lambda r: r.sort_key,
+        )
+        return FuzzReport(
+            runs=len(records) + runs_extra,
+            violating_runs=len(records),
+            violations=records,
+        )
+
+    return st.builds(
+        build,
+        st.lists(
+            st.integers(lo, hi - 1), unique=True, min_size=0, max_size=6
+        ),
+        st.lists(schedules(), min_size=6, max_size=6),
+        st.integers(0, 40),
+    )
+
+
+class TestSweepReportMonoid:
+    @settings(max_examples=60)
+    @given(a=sweep_reports, b=sweep_reports)
+    def test_commutative(self, a, b):
+        assert a.merge(b) == b.merge(a)
+
+    @settings(max_examples=60)
+    @given(a=sweep_reports, b=sweep_reports, c=sweep_reports)
+    def test_associative(self, a, b, c):
+        assert a.merge(b).merge(c) == a.merge(b.merge(c))
+
+    @settings(max_examples=60)
+    @given(r=sweep_reports)
+    def test_identity(self, r):
+        assert SweepReport().merge(r) == r
+        assert r.merge(SweepReport()) == r
+
+    @settings(max_examples=60)
+    @given(r=sweep_reports)
+    def test_merge_is_pure(self, r):
+        before = repr(r)
+        r.merge(r)
+        assert repr(r) == before
+
+
+class TestFuzzReportMonoid:
+    @settings(max_examples=60)
+    @given(
+        a=fuzz_report_in_range(0, 1000),
+        b=fuzz_report_in_range(1000, 2000),
+    )
+    def test_commutative(self, a, b):
+        assert a.merge(b) == b.merge(a)
+
+    @settings(max_examples=60)
+    @given(
+        a=fuzz_report_in_range(0, 1000),
+        b=fuzz_report_in_range(1000, 2000),
+        c=fuzz_report_in_range(2000, 3000),
+    )
+    def test_associative(self, a, b, c):
+        assert a.merge(b).merge(c) == a.merge(b.merge(c))
+
+    @settings(max_examples=60)
+    @given(r=fuzz_report_in_range(0, 3000))
+    def test_identity(self, r):
+        assert FuzzReport().merge(r) == r
+        assert r.merge(FuzzReport()) == r
+
+    @settings(max_examples=60)
+    @given(
+        a=fuzz_report_in_range(0, 1000),
+        b=fuzz_report_in_range(1000, 2000),
+    )
+    def test_merged_violations_sorted_and_capped(self, a, b):
+        merged = a.merge(b)
+        keys = [r.sort_key for r in merged.violations]
+        assert keys == sorted(keys)
+        assert len(merged.violations) <= merged.max_saved_violations
+        assert merged.violating_runs == (
+            a.violating_runs + b.violating_runs
+        )
+
+    @settings(max_examples=60)
+    @given(
+        a=fuzz_report_in_range(0, 1000),
+        b=fuzz_report_in_range(1000, 2000),
+    )
+    def test_first_violation_is_global_minimum(self, a, b):
+        merged = a.merge(b)
+        union = a.violations + b.violations
+        if union:
+            assert merged.violations[0] == min(
+                union, key=lambda r: r.sort_key
+            )
+        else:
+            assert merged.first_violation_schedule is None

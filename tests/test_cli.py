@@ -41,6 +41,25 @@ class TestCli:
         out = capsys.readouterr().out
         assert "all Appendix B lemma checks passed" in out
 
+    def test_campaign(self, capsys):
+        assert main([
+            "campaign", "--seeds", "8", "--workers", "2",
+            "--fuzz-runs", "60",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "campaign complete: all expectations held" in out
+        assert "runs/sec" in out
+        assert "first violating seed: 0" in out
+
+    def test_campaign_single_experiment(self, capsys):
+        assert main([
+            "campaign", "--seeds", "5", "--workers", "1",
+            "--experiment", "protocol",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "protocol safety" in out
+        assert "falsifier" not in out
+
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):
             main(["not-a-command"])
