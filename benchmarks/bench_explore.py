@@ -1,0 +1,65 @@
+"""E14 — sharded bounded-exhaustive exploration: throughput and identity.
+
+Explores racing consensus (n=3) to a 17-step horizon through
+``repro.campaign`` at ``workers=1`` and ``workers=4``, sharded over the
+27 depth-3 schedule prefixes, and tables configurations/second alongside
+proof that the two :class:`ExplorationReport` objects are identical —
+the perf win is measured, not asserted.  The ≥2× speedup expectation is
+only enforced when the host actually has ≥4 CPUs and the pool path
+engaged (on smaller hosts the table still prints, with the fallback
+noted)."""
+
+import os
+
+from repro.campaign import explore_campaign
+from repro.protocols import KSetAgreementTask, RacingConsensus
+
+BOUNDS = dict(max_configs=400_000, max_steps=17, prefix_depth=3)
+
+
+def run_at(workers):
+    return explore_campaign(
+        RacingConsensus(3), [0, 1, 2], KSetAgreementTask(1),
+        workers=workers, **BOUNDS,
+    )
+
+
+def test_explore_speedup(benchmark, table):
+    serial = run_at(1)
+    parallel = benchmark.pedantic(
+        run_at, args=(4,), rounds=1, iterations=1
+    )
+    assert parallel.report == serial.report
+    assert repr(parallel.report) == repr(serial.report)
+    assert parallel.report.summary() == serial.report.summary()
+    assert serial.report.safe
+
+    speedup = (
+        serial.telemetry.wall_seconds / parallel.telemetry.wall_seconds
+        if parallel.telemetry.wall_seconds > 0 else float("inf")
+    )
+    rows = []
+    for result in (serial, parallel):
+        t = result.telemetry
+        configs_per_second = (
+            result.report.configurations / t.wall_seconds
+            if t.wall_seconds > 0 else float("inf")
+        )
+        rows.append((
+            t.workers, t.mode, f"{t.wall_seconds:.2f}",
+            f"{configs_per_second:,.0f}", f"{t.utilization:.0%}",
+        ))
+    table(
+        f"E14: sharded exploration of {serial.report.configurations} "
+        f"configurations over 27 prefix subtrees "
+        f"(host cpus={os.cpu_count()}, speedup={speedup:.2f}x, "
+        f"reports identical)",
+        ["workers", "mode", "wall s", "configs/sec", "utilization"],
+        rows,
+    )
+    if (os.cpu_count() or 1) >= 4 and parallel.telemetry.mode.startswith(
+        "pool"
+    ):
+        assert speedup >= 2.0, (
+            f"expected >=2x speedup at workers=4, got {speedup:.2f}x"
+        )

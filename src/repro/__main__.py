@@ -8,6 +8,7 @@ Usage::
     python -m repro approx [--m 2] [--eps-exp 16]
     python -m repro check [--seed 0]
     python -m repro campaign [--seeds 50] [--workers N] [--chunk-size C]
+    python -m repro explore [--scenario truncated] [--workers N]
 
 ``bounds`` prints the Theorem 3 table; ``simulate`` runs the revisionist
 simulation on a correct workload and checks the Lemma 28 invariant;
@@ -18,7 +19,9 @@ a random augmented-snapshot execution; ``campaign`` runs the safety
 oracles as hardware-parallel seed/fuzz campaigns through
 :mod:`repro.campaign`, printing per-experiment reports with throughput
 telemetry (results are byte-identical for any worker count — see
-docs/CAMPAIGNS.md).
+docs/CAMPAIGNS.md); ``explore`` runs the bounded-exhaustive model
+checker sharded over schedule-prefix subtrees, optionally verifying the
+sharded report against a serial run.
 """
 
 from __future__ import annotations
@@ -236,6 +239,77 @@ def cmd_campaign(args) -> int:
     return 0 if failures == 0 else 1
 
 
+def cmd_explore(args) -> int:
+    from repro.analysis import explore_protocol
+    from repro.campaign import explore_campaign
+    from repro.protocols import (
+        KSetAgreementTask,
+        MinSeen,
+        RacingConsensus,
+        TruncatedProtocol,
+    )
+
+    if args.workers is not None and args.workers < 1:
+        print(f"error: --workers must be >= 1, got {args.workers}",
+              file=sys.stderr)
+        return 2
+    if args.chunk_size is not None and args.chunk_size < 1:
+        print(f"error: --chunk-size must be >= 1, got {args.chunk_size}",
+              file=sys.stderr)
+        return 2
+
+    scenarios = {
+        # name: (protocol, inputs, task, expect_safe)
+        "truncated": (
+            TruncatedProtocol(RacingConsensus(3), 1), [0, 1, 2],
+            KSetAgreementTask(1), False,
+        ),
+        "racing": (
+            RacingConsensus(2), [0, 1], KSetAgreementTask(1), True,
+        ),
+        "minseen": (
+            MinSeen(2), [0, 1], KSetAgreementTask(2), True,
+        ),
+    }
+    protocol, inputs, task, expect_safe = scenarios[args.scenario]
+
+    result = explore_campaign(
+        protocol, inputs, task,
+        max_configs=args.max_configs, max_steps=args.max_steps,
+        stop_at_first_violation=not args.collect_all,
+        prefix_depth=args.prefix_depth,
+        workers=args.workers, chunk_size=args.chunk_size,
+    )
+    print(f"exploring {protocol.name} on inputs {inputs} "
+          f"(prefix depth {args.prefix_depth}):")
+    print(f"   {result.report.summary()}")
+    print(f"   {result.telemetry.summary()}")
+    if result.report.counterexample is not None:
+        print(f"   counterexample schedule: {result.report.counterexample}")
+
+    failures = 0
+    if result.report.safe != expect_safe:
+        failures += 1
+        print(f"   EXPECTATION FAILED: expected "
+              f"{'safe' if expect_safe else 'unsafe'}")
+
+    if args.verify_serial:
+        serial = explore_protocol(
+            protocol, inputs, task,
+            max_configs=args.max_configs, max_steps=args.max_steps,
+            stop_at_first_violation=not args.collect_all,
+            prefix_depth=args.prefix_depth,
+        )
+        if result.report == serial and repr(result.report) == repr(serial):
+            print("   serial verification: sharded report identical")
+        else:
+            failures += 1
+            print("   serial verification FAILED:")
+            print(f"      sharded: {result.report!r}")
+            print(f"      serial:  {serial!r}")
+    return 0 if failures == 0 else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -285,6 +359,29 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--fuzz-runs", type=int, default=200)
     campaign.add_argument("--seed", type=int, default=0)
     campaign.set_defaults(func=cmd_campaign)
+
+    explore = sub.add_parser(
+        "explore", help="sharded bounded-exhaustive model checking"
+    )
+    explore.add_argument(
+        "--scenario",
+        choices=["truncated", "racing", "minseen"],
+        default="truncated",
+    )
+    explore.add_argument("--max-configs", type=int, default=200_000)
+    explore.add_argument("--max-steps", type=int, default=30)
+    explore.add_argument("--prefix-depth", type=int, default=2)
+    explore.add_argument("--workers", type=int, default=None)
+    explore.add_argument("--chunk-size", type=int, default=None)
+    explore.add_argument(
+        "--collect-all", action="store_true",
+        help="keep exploring past the first violation",
+    )
+    explore.add_argument(
+        "--verify-serial", action="store_true",
+        help="re-run serially and assert the sharded report is identical",
+    )
+    explore.set_defaults(func=cmd_explore)
     return parser
 
 

@@ -20,7 +20,10 @@ from repro.analysis.covering import CoveringReport, build_covering
 from repro.analysis.explore import (
     ExplorationReport,
     check_obstruction_freedom,
+    explore_prefix_range,
     explore_protocol,
+    schedule_prefixes,
+    unit_budget,
 )
 from repro.analysis.fuzz import (
     FuzzReport,
@@ -50,6 +53,9 @@ from repro.analysis.space import (
 __all__ = [
     "ExplorationReport",
     "explore_protocol",
+    "explore_prefix_range",
+    "schedule_prefixes",
+    "unit_budget",
     "check_obstruction_freedom",
     "CompletedOperation",
     "check_linearizable",

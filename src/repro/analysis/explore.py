@@ -3,10 +3,10 @@
 Because protocol states are hashable and transitions pure, a whole system
 configuration is the pair ``(process states, M contents)`` and the
 asynchronous adversary is just "which undecided process moves next".  This
-module enumerates that choice tree with memoization, checking task safety
-(validity and agreement are monotone in the set of decisions, so they can
-be checked as decisions appear) and optionally probing progress by running
-solo extensions from reachable configurations.
+module enumerates that choice tree with depth-aware memoization, checking
+task safety (validity and agreement are monotone in the set of decisions,
+so they can be checked as decisions appear) and optionally probing
+progress by running solo extensions from reachable configurations.
 
 Protocols like racing consensus have unbounded round numbers, so the full
 configuration space is infinite; exploration is therefore *bounded*
@@ -14,6 +14,25 @@ exhaustive: complete up to ``max_configs``/``max_steps`` and reported as
 truncated beyond.  A safety bug within the bound is a real counterexample
 (the discovered schedule is replayable); absence of bugs is evidence in the
 small-scope sense.
+
+Soundness under a depth bound requires more than a visited set: a
+configuration first reached at depth ``d`` may be reached again later by a
+*strictly shorter* path, and the subtree that was cut off at ``d`` (or at
+the ``max_steps`` horizon) can hide violations that the shorter arrival
+would reach within the bound.  The explorer therefore memoizes the best
+(minimum) depth at which each configuration was expanded and re-expands on
+any strictly shallower arrival — never on a deeper one, so cycles stay
+pruned and the search stays finite.
+
+Exploration shards: :func:`schedule_prefixes` cuts the interleaving tree
+into the subtrees below every viable schedule prefix of a fixed length,
+and :func:`explore_prefix_range` explores any contiguous range of those
+subtrees, each with a fresh memo table, merging the per-subtree
+:class:`ExplorationReport` objects in prefix order.  Because each unit's
+report is a pure function of ``(protocol, inputs, task, prefix, bounds)``
+and ``merge()`` is a commutative monoid, the campaign engine
+(:mod:`repro.campaign`) can distribute the units across worker processes
+and reproduce the serial report byte for byte — see docs/CAMPAIGNS.md.
 """
 
 from __future__ import annotations
@@ -30,13 +49,19 @@ class ExplorationReport:
     """Outcome of :func:`explore_protocol`.
 
     Attributes:
-        violations: distinct safety violations found (empty = safe within
-            the explored space).
+        violations: distinct safety violations found, sorted (empty = safe
+            within the explored space).
         configurations: number of distinct configurations visited.
-        truncated: True if the bound cut exploration short.
+        truncated: True if a bound cut exploration short.
         fully_decided: number of configurations where every process decided.
-        counterexample: a schedule (list of process indices) reaching the
-            first violation, if any — replay it to debug the protocol.
+        counterexample: the lexicographically least schedule (list of
+            process indices) known to reach a violating configuration, if
+            any — replay it to debug the protocol.
+
+    Reports form a commutative monoid under :meth:`merge` with
+    ``ExplorationReport()`` as identity, which is what lets sharded
+    exploration (:mod:`repro.campaign`) recombine per-subtree reports in
+    any grouping without changing the result.
     """
 
     violations: List[str] = field(default_factory=list)
@@ -49,6 +74,39 @@ class ExplorationReport:
     def safe(self) -> bool:
         return not self.violations
 
+    def merge(self, other: "ExplorationReport") -> "ExplorationReport":
+        """Combine two partial reports from disjoint subtrees (pure).
+
+        Associative and commutative, with ``ExplorationReport()`` as
+        identity: tallies sum, ``truncated`` ORs, violations take the
+        sorted union, and ``counterexample`` keeps the lexicographically
+        least non-``None`` schedule — order-free extremes, so sharded
+        exploration merges to the same report however units are grouped.
+        """
+        candidates = [
+            c for c in (self.counterexample, other.counterexample)
+            if c is not None
+        ]
+        return ExplorationReport(
+            violations=sorted(set(self.violations) | set(other.violations)),
+            configurations=self.configurations + other.configurations,
+            truncated=self.truncated or other.truncated,
+            fully_decided=self.fully_decided + other.fully_decided,
+            counterexample=list(min(candidates)) if candidates else None,
+        )
+
+    def summary(self) -> str:
+        """One-line human summary."""
+        verdict = (
+            "safe" if self.safe
+            else f"{len(self.violations)} distinct violation(s)"
+        )
+        return (
+            f"{self.configurations} configurations explored: {verdict}, "
+            f"{self.fully_decided} fully decided"
+            f"{', truncated' if self.truncated else ''}"
+        )
+
 
 def _decisions(protocol: Protocol, states: Tuple) -> Dict[int, Any]:
     out = {}
@@ -59,6 +117,259 @@ def _decisions(protocol: Protocol, states: Tuple) -> Dict[int, Any]:
     return out
 
 
+def _step(
+    protocol: Protocol, states: Tuple, memory: Tuple, index: int
+) -> Tuple[Tuple, Tuple]:
+    """Apply one step of (undecided) process ``index``; pure."""
+    kind, payload = protocol.poised(states[index])
+    if kind == SCAN:
+        new_state = protocol.advance(states[index], memory)
+        new_memory = memory
+    else:
+        component, value = payload
+        new_state = protocol.advance(states[index], None)
+        new_memory = memory[:component] + (value,) + memory[component + 1:]
+    return states[:index] + (new_state,) + states[index + 1:], new_memory
+
+
+def effective_prefix_depth(prefix_depth: int, max_steps: Optional[int]) -> int:
+    """Cap the sharding depth at the exploration depth bound.
+
+    Prefixes longer than ``max_steps`` would root subtrees beyond the
+    horizon the caller asked about; capping keeps sharding pure execution
+    geometry with no effect on which configurations are in scope.
+    """
+    if prefix_depth < 0:
+        raise ValidationError(
+            f"prefix_depth must be >= 0, got {prefix_depth}"
+        )
+    if max_steps is not None:
+        return min(prefix_depth, max_steps)
+    return prefix_depth
+
+
+def schedule_prefixes(
+    protocol: Protocol, inputs: Sequence[Any], depth: int
+) -> Tuple[Tuple[int, ...], ...]:
+    """All viable schedule prefixes of length ``depth``, in lex order.
+
+    A prefix is viable when every step it schedules is by a process that
+    is still undecided at that point.  Prefixes along which every process
+    decides before ``depth`` are kept at their shorter length (their
+    subtree is just the terminal configuration).  The tuple is the
+    canonical unit decomposition sharded exploration distributes over.
+    """
+    states = tuple(
+        protocol.initial_state(i, v) for i, v in enumerate(inputs)
+    )
+    memory: Tuple = (None,) * protocol.m
+    prefixes: List[Tuple[int, ...]] = []
+
+    def extend(states: Tuple, memory: Tuple, prefix: Tuple[int, ...]) -> None:
+        if len(prefix) == depth:
+            prefixes.append(prefix)
+            return
+        viable = [
+            i for i in range(len(inputs))
+            if protocol.poised(states[i])[0] != DECIDE
+        ]
+        if not viable:
+            prefixes.append(prefix)
+            return
+        for index in viable:
+            new_states, new_memory = _step(protocol, states, memory, index)
+            extend(new_states, new_memory, prefix + (index,))
+
+    extend(states, memory, ())
+    return tuple(prefixes)
+
+
+def unit_budget(max_configs: int, units: int) -> int:
+    """The per-subtree configuration budget for a ``units``-way sharding.
+
+    Derived once from the *total* budget so that serial and sharded
+    exploration of the same decomposition impose identical limits.
+    """
+    return max(1, -(-max_configs // max(1, units)))
+
+
+def _check_config(
+    report: ExplorationReport,
+    protocol: Protocol,
+    inputs: Sequence[Any],
+    task,
+    states: Tuple,
+    schedule: Tuple[int, ...],
+    stop_at_first_violation: bool,
+) -> Tuple[Dict[int, Any], bool]:
+    """Safety-check one configuration against the task.
+
+    Returns ``(decided map, stop)`` where ``stop`` means a violation was
+    found and the caller asked to stop at the first one.  The recorded
+    counterexample is the lexicographically least violating schedule seen
+    so far, keeping the report independent of traversal order.
+    """
+    decided = _decisions(protocol, states)
+    if not decided:
+        return decided, False
+    found = task.check(list(inputs), decided)
+    if not found:
+        return decided, False
+    for violation in found:
+        if violation not in report.violations:
+            report.violations.append(violation)
+    as_list = list(schedule)
+    if report.counterexample is None or as_list < report.counterexample:
+        report.counterexample = as_list
+    return decided, stop_at_first_violation
+
+
+def _explore_unit(
+    protocol: Protocol,
+    inputs: Sequence[Any],
+    task,
+    prefix: Tuple[int, ...],
+    max_configs: int,
+    max_steps: Optional[int],
+    stop_at_first_violation: bool,
+) -> ExplorationReport:
+    """Explore the interleaving subtree below one schedule prefix.
+
+    The unit owns (counts and checks) the configurations along its prefix
+    path only where this prefix is the lexicographically least viable
+    continuation — so across the full prefix decomposition every interior
+    path position is owned by exactly one unit — plus everything the
+    frontier reaches below the prefix.  ``best_depth`` memoizes the
+    minimum depth each configuration was expanded at; a strictly
+    shallower arrival re-expands (the depth-bound soundness fix), a
+    deeper or equal one is pruned.
+    """
+    report = ExplorationReport()
+    best_depth: Dict[Tuple, int] = {}
+
+    # Pass 1: walk the prefix, recording the path and whether each step
+    # took the least viable index (the ownership rule needs the suffix).
+    states = tuple(
+        protocol.initial_state(i, v) for i, v in enumerate(inputs)
+    )
+    memory: Tuple = (None,) * protocol.m
+    path: List[Tuple[Tuple, Tuple]] = []
+    least_viable: List[bool] = []
+    for index in prefix:
+        path.append((states, memory))
+        viable = [
+            i for i in range(len(inputs))
+            if protocol.poised(states[i])[0] != DECIDE
+        ]
+        least_viable.append(bool(viable) and index == viable[0])
+        states, memory = _step(protocol, states, memory, index)
+    owned_from = len(prefix)
+    for flag in reversed(least_viable):
+        if not flag:
+            break
+        owned_from -= 1
+
+    # Pass 2: seed the memo with the path configurations and check the
+    # owned interior ones (in path order, same count/check/budget
+    # sequence as the frontier loop below).
+    for depth, (p_states, p_memory) in enumerate(path):
+        key = (p_states, p_memory)
+        if key in best_depth:
+            continue
+        best_depth[key] = depth
+        if depth < owned_from:
+            continue
+        report.configurations += 1
+        _decided, stop = _check_config(
+            report, protocol, inputs, task, p_states, prefix[:depth],
+            stop_at_first_violation,
+        )
+        if stop:
+            report.violations.sort()
+            return report
+        if report.configurations >= max_configs:
+            report.truncated = True
+            report.violations.sort()
+            return report
+
+    # Pass 3: frontier exploration below the prefix.  LIFO with children
+    # pushed in ascending index order, so higher indices expand first —
+    # the historical traversal order, kept for comparable truncation
+    # behaviour (the *report* no longer depends on it).
+    frontier: List[Tuple[Tuple, Tuple, int, Tuple[int, ...]]] = [
+        (states, memory, len(prefix), prefix)
+    ]
+    while frontier:
+        states, memory, depth, schedule = frontier.pop()
+        key = (states, memory)
+        prior = best_depth.get(key)
+        if prior is not None and depth >= prior:
+            continue
+        first_visit = prior is None
+        best_depth[key] = depth
+        if first_visit:
+            report.configurations += 1
+
+        decided, stop = _check_config(
+            report, protocol, inputs, task, states, schedule,
+            stop_at_first_violation,
+        )
+        if stop:
+            break
+        all_decided = len(decided) == len(inputs)
+        if all_decided and first_visit:
+            report.fully_decided += 1
+        if report.configurations >= max_configs:
+            report.truncated = True
+            break
+        if all_decided:
+            continue
+        if max_steps is not None and depth >= max_steps:
+            report.truncated = True
+            continue
+
+        for index in range(len(inputs)):
+            if index in decided:
+                continue
+            new_states, new_memory = _step(protocol, states, memory, index)
+            frontier.append(
+                (new_states, new_memory, depth + 1, schedule + (index,))
+            )
+    report.violations.sort()
+    return report
+
+
+def explore_prefix_range(
+    protocol: Protocol,
+    inputs: Sequence[Any],
+    task,
+    prefixes: Sequence[Tuple[int, ...]],
+    start: int,
+    stop: int,
+    max_configs: int = 200_000,
+    max_steps: Optional[int] = None,
+    stop_at_first_violation: bool = True,
+) -> ExplorationReport:
+    """Explore units ``start..stop-1`` of a prefix decomposition.
+
+    ``prefixes`` must be the *full* decomposition (normally from
+    :func:`schedule_prefixes`): the per-unit budget is derived from
+    ``max_configs`` over its total length, so disjoint ranges merged
+    together equal one call over the whole range.  This is the serial
+    function :class:`repro.campaign.ExploreJob` workers execute.
+    """
+    budget = unit_budget(max_configs, len(prefixes))
+    report = ExplorationReport()
+    for prefix in prefixes[start:stop]:
+        report = report.merge(
+            _explore_unit(
+                protocol, inputs, task, tuple(prefix), budget, max_steps,
+                stop_at_first_violation,
+            )
+        )
+    return report
+
+
 def explore_protocol(
     protocol: Protocol,
     inputs: Sequence[Any],
@@ -66,6 +377,7 @@ def explore_protocol(
     max_configs: int = 200_000,
     max_steps: Optional[int] = None,
     stop_at_first_violation: bool = True,
+    prefix_depth: int = 0,
 ) -> ExplorationReport:
     """Explore every interleaving of a protocol instance, checking safety.
 
@@ -79,64 +391,25 @@ def explore_protocol(
         max_steps: optional per-run depth bound (schedule length).
         stop_at_first_violation: stop early (with counterexample) or keep
             collecting distinct violations.
+        prefix_depth: shard the search into the subtrees below every
+            viable schedule prefix of this length, each explored with a
+            fresh memo and a ``max_configs``-derived budget.  ``0`` (the
+            default) is the classic single-rooted search; a sharded
+            campaign (:func:`repro.campaign.explore_campaign`) with the
+            same ``prefix_depth`` reproduces this function's report
+            exactly.
     """
     if len(inputs) > protocol.n:
         raise ValidationError(
             f"{protocol.name} supports n={protocol.n}, got {len(inputs)} inputs"
         )
-    initial_states = tuple(
-        protocol.initial_state(i, v) for i, v in enumerate(inputs)
+    depth = effective_prefix_depth(prefix_depth, max_steps)
+    prefixes = schedule_prefixes(protocol, inputs, depth)
+    return explore_prefix_range(
+        protocol, inputs, task, prefixes, 0, len(prefixes),
+        max_configs=max_configs, max_steps=max_steps,
+        stop_at_first_violation=stop_at_first_violation,
     )
-    initial_memory = (None,) * protocol.m
-    report = ExplorationReport()
-    seen = set()
-    # DFS stack: (states, memory, depth, schedule-so-far)
-    stack = [(initial_states, initial_memory, 0, ())]
-    while stack:
-        states, memory, depth, schedule = stack.pop()
-        key = (states, memory)
-        if key in seen:
-            continue
-        seen.add(key)
-        report.configurations += 1
-        if report.configurations >= max_configs:
-            report.truncated = True
-            break
-
-        decided = _decisions(protocol, states)
-        if decided:
-            for violation in task.check(list(inputs), decided):
-                if violation not in report.violations:
-                    report.violations.append(violation)
-                    if report.counterexample is None:
-                        report.counterexample = list(schedule)
-            if report.violations and stop_at_first_violation:
-                break
-        if len(decided) == len(inputs):
-            report.fully_decided += 1
-            continue
-        if max_steps is not None and depth >= max_steps:
-            report.truncated = True
-            continue
-
-        for index in range(len(inputs)):
-            if index in decided:
-                continue
-            kind, payload = protocol.poised(states[index])
-            if kind == SCAN:
-                new_state = protocol.advance(states[index], memory)
-                new_memory = memory
-            elif kind == UPDATE:
-                component, value = payload
-                new_state = protocol.advance(states[index], None)
-                as_list = list(memory)
-                as_list[component] = value
-                new_memory = tuple(as_list)
-            else:  # pragma: no cover - decided handled above
-                continue
-            new_states = states[:index] + (new_state,) + states[index + 1:]
-            stack.append((new_states, new_memory, depth + 1, schedule + (index,)))
-    return report
 
 
 def check_obstruction_freedom(
@@ -150,10 +423,17 @@ def check_obstruction_freedom(
 
     Returns violations (empty = obstruction-free on all probes).  The
     schedules are lists of process indices; steps by decided processes are
-    skipped.
+    skipped.  Schedule entries outside ``range(len(inputs))`` are a
+    :class:`~repro.errors.ValidationError`.
     """
     violations = []
     for schedule in sample_schedules:
+        for position, index in enumerate(schedule):
+            if not 0 <= index < len(inputs):
+                raise ValidationError(
+                    f"{protocol.name}: schedule entry {index} at position "
+                    f"{position} out of range for {len(inputs)} processes"
+                )
         states = [protocol.initial_state(i, v) for i, v in enumerate(inputs)]
         memory: List[Any] = [None] * protocol.m
         for index in schedule:

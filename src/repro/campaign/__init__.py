@@ -1,9 +1,11 @@
 """Parallel experiment campaigns with deterministic report merging.
 
 The safety oracles of this reproduction — seed sweeps
-(:mod:`repro.core.sweep`) and schedule fuzzing
-(:mod:`repro.analysis.fuzz`) — are embarrassingly parallel across seeds
-and runs.  This package shards those unit ranges across a
+(:mod:`repro.core.sweep`), schedule fuzzing
+(:mod:`repro.analysis.fuzz`), and bounded-exhaustive exploration
+(:mod:`repro.analysis.explore`) — are embarrassingly parallel across
+seeds, runs, and schedule-prefix subtrees.  This package shards those
+unit ranges across a
 ``multiprocessing`` worker pool and folds the partial reports back with
 each report class's associative, commutative ``merge()``, so a parallel
 campaign's report is **byte-identical** to a serial one regardless of
@@ -13,7 +15,8 @@ tests/campaign/).
 
 * :mod:`repro.campaign.engine` — :func:`run_campaign` and the
   per-oracle wrappers (:func:`sweep_simulation_campaign`,
-  :func:`sweep_protocol_campaign`, :func:`fuzz_campaign`);
+  :func:`sweep_protocol_campaign`, :func:`fuzz_campaign`,
+  :func:`explore_campaign`);
 * :mod:`repro.campaign.jobs` — picklable job descriptions workers run;
 * :mod:`repro.campaign.partition` — workers/chunk-size policy;
 * :mod:`repro.campaign.telemetry` — per-chunk timing and throughput.
@@ -21,12 +24,18 @@ tests/campaign/).
 
 from repro.campaign.engine import (
     CampaignResult,
+    explore_campaign,
     fuzz_campaign,
     run_campaign,
     sweep_protocol_campaign,
     sweep_simulation_campaign,
 )
-from repro.campaign.jobs import FuzzJob, SweepProtocolJob, SweepSimulationJob
+from repro.campaign.jobs import (
+    ExploreJob,
+    FuzzJob,
+    SweepProtocolJob,
+    SweepSimulationJob,
+)
 from repro.campaign.partition import (
     ShardingPolicy,
     auto_chunk_size,
@@ -41,9 +50,11 @@ __all__ = [
     "sweep_simulation_campaign",
     "sweep_protocol_campaign",
     "fuzz_campaign",
+    "explore_campaign",
     "SweepSimulationJob",
     "SweepProtocolJob",
     "FuzzJob",
+    "ExploreJob",
     "ShardingPolicy",
     "auto_workers",
     "auto_chunk_size",

@@ -20,12 +20,18 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import pickle
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.campaign.jobs import FuzzJob, SweepProtocolJob, SweepSimulationJob
+from repro.campaign.jobs import (
+    ExploreJob,
+    FuzzJob,
+    SweepProtocolJob,
+    SweepSimulationJob,
+)
 from repro.campaign.partition import ShardingPolicy, plan_chunks
 from repro.campaign.telemetry import CampaignTelemetry, ChunkStats
 
@@ -126,11 +132,24 @@ def run_campaign(
     wall_start = time.perf_counter()
     mode = "in-process"
     if policy.workers > 1 and len(chunks) > 1:
+        # Besides platform failures (no semaphores, fork unavailable), an
+        # unpicklable job — e.g. a lambda task — surfaces from
+        # future.result() as PicklingError, AttributeError, or TypeError
+        # depending on interpreter and payload; all of them take the same
+        # documented in-process fallback, tagged with the cause.
         try:
             results, mode = _run_chunks_pooled(job, chunks, policy.workers)
-        except (OSError, ValueError, RuntimeError, ImportError):
+        except (
+            OSError,
+            ValueError,
+            RuntimeError,
+            ImportError,
+            AttributeError,
+            TypeError,
+            pickle.PicklingError,
+        ) as error:
             results = _run_chunks_inprocess(job, chunks)
-            mode = "in-process (pool unavailable)"
+            mode = f"in-process (pool unavailable: {type(error).__name__})"
     else:
         results = _run_chunks_inprocess(job, chunks)
     wall_seconds = time.perf_counter() - wall_start
@@ -189,6 +208,33 @@ def sweep_protocol_campaign(
     job = SweepProtocolJob(
         protocol=protocol, inputs=tuple(inputs), seeds=tuple(seeds),
         task=task, max_steps=max_steps,
+    )
+    return run_campaign(job, workers=workers, chunk_size=chunk_size)
+
+
+def explore_campaign(
+    protocol,
+    inputs,
+    task,
+    max_configs: int = 200_000,
+    max_steps: Optional[int] = None,
+    stop_at_first_violation: bool = True,
+    prefix_depth: int = 2,
+    workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+) -> CampaignResult:
+    """Sharded bounded-exhaustive exploration over schedule-prefix subtrees.
+
+    Equivalent to :func:`~repro.analysis.explore.explore_protocol` with
+    the same ``prefix_depth``: the merged
+    :class:`~repro.analysis.explore.ExplorationReport` is field-for-field
+    identical for every ``workers``/``chunk_size`` choice.
+    """
+    job = ExploreJob(
+        protocol=protocol, inputs=tuple(inputs), task=task,
+        max_configs=max_configs, max_steps=max_steps,
+        stop_at_first_violation=stop_at_first_violation,
+        prefix_depth=prefix_depth,
     )
     return run_campaign(job, workers=workers, chunk_size=chunk_size)
 

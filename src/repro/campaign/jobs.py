@@ -17,6 +17,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple
 
+from repro.analysis.explore import (
+    ExplorationReport,
+    effective_prefix_depth,
+    explore_prefix_range,
+    schedule_prefixes,
+)
 from repro.analysis.fuzz import (
     DEFAULT_MAX_SAVED_VIOLATIONS,
     FuzzReport,
@@ -138,4 +144,54 @@ class FuzzJob:
                 self.protocol, list(self.inputs), self.task,
                 report.first_violation_schedule,
             )
+        return report
+
+
+@dataclass(frozen=True)
+class ExploreJob:
+    """A sharded :func:`~repro.analysis.explore.explore_protocol` campaign.
+
+    The schedulable units are the viable schedule prefixes of length
+    ``prefix_depth`` (:func:`~repro.analysis.explore.schedule_prefixes`):
+    each unit is the interleaving subtree below one prefix, explored with
+    a fresh memo table and a per-unit budget derived from ``max_configs``
+    over the whole decomposition.  Workers run disjoint prefix ranges
+    through the same serial function
+    (:func:`~repro.analysis.explore.explore_prefix_range`), so the merged
+    :class:`~repro.analysis.explore.ExplorationReport` is identical to a
+    serial ``explore_protocol`` call with the same ``prefix_depth``.
+    """
+
+    protocol: Protocol
+    inputs: Tuple[Any, ...]
+    task: Any
+    max_configs: int = 200_000
+    max_steps: Optional[int] = None
+    stop_at_first_violation: bool = True
+    prefix_depth: int = 2
+
+    def _prefixes(self) -> Tuple[Tuple[int, ...], ...]:
+        """The canonical unit decomposition (pure, cheap to recompute)."""
+        depth = effective_prefix_depth(self.prefix_depth, self.max_steps)
+        return schedule_prefixes(self.protocol, list(self.inputs), depth)
+
+    def total_units(self) -> int:
+        """Number of schedulable units: one per schedule prefix."""
+        return len(self._prefixes())
+
+    def empty_report(self) -> ExplorationReport:
+        """The merge identity for this job's report type."""
+        return ExplorationReport()
+
+    def run_range(self, start: int, stop: int) -> ExplorationReport:
+        """Explore prefix subtrees ``start..stop-1`` serially and merge."""
+        return explore_prefix_range(
+            self.protocol, list(self.inputs), self.task, self._prefixes(),
+            start, stop, max_configs=self.max_configs,
+            max_steps=self.max_steps,
+            stop_at_first_violation=self.stop_at_first_violation,
+        )
+
+    def finalize(self, report: ExplorationReport) -> ExplorationReport:
+        """Post-merge hook; exploration needs no finalization."""
         return report

@@ -2,7 +2,14 @@
 
 import pytest
 
-from repro.analysis import check_obstruction_freedom, explore_protocol
+from repro.analysis import (
+    check_obstruction_freedom,
+    explore_prefix_range,
+    explore_protocol,
+    schedule_prefixes,
+    unit_budget,
+)
+from repro.analysis.explore import ExplorationReport
 from repro.errors import ValidationError
 from repro.protocols import (
     ImmediateDecide,
@@ -11,6 +18,201 @@ from repro.protocols import (
     RacingConsensus,
     TruncatedProtocol,
 )
+from repro.protocols.base import DECIDE, SCAN, UPDATE, Protocol
+
+
+class DiamondTrap(Protocol):
+    """Regression gadget for the depth-memoization soundness bug.
+
+    The configuration after p0's first update is reachable both by the
+    one-step schedule ``[0]`` and by the three-step diamond ``[1, 0, 1]``
+    (p1's idle scan/update round-trips through component 1 without
+    changing it).  Under ``max_steps=3``, DFS reaches that configuration
+    first at depth 3 — already at the horizon, so its subtree (where p1
+    observes "go", arms, and decides 999 against p0's input 0) is cut
+    off.  The later depth-1 arrival via ``[0]`` must re-expand it to find
+    the violation; a memo on ``(states, memory)`` alone prunes it and
+    reports safe.
+    """
+
+    n, m, name = 2, 2, "diamond-trap"
+
+    def initial_state(self, index, value):
+        return ("p0", 0, value) if index == 0 else ("p1", "idle-scan")
+
+    def poised(self, state):
+        if state[0] == "p0":
+            steps = [(UPDATE, (0, "go")), (SCAN, None), (DECIDE, state[2])]
+            return steps[min(state[1], 2)]
+        phase = state[1]
+        if phase == "idle-scan":
+            return (SCAN, None)
+        if phase == "idle-upd":
+            return (UPDATE, (1, None))
+        if phase == "armed":
+            return (UPDATE, (1, "bomb"))
+        return (DECIDE, 999)
+
+    def advance(self, state, observation=None):
+        if state[0] == "p0":
+            return ("p0", state[1] + 1, state[2])
+        phase = state[1]
+        if phase == "idle-scan":
+            if observation[0] == "go":
+                return ("p1", "armed")
+            return ("p1", "idle-upd")
+        if phase == "idle-upd":
+            return ("p1", "idle-scan")
+        return ("p1", "fire")
+
+
+class LastConfigBad(Protocol):
+    """Regression gadget for the budget off-by-one: the single successor
+    configuration (where the lone process decides a non-input) is the
+    ``max_configs``-th one counted, and must still be safety-checked."""
+
+    n, m, name = 1, 1, "last-config-bad"
+
+    def initial_state(self, index, value):
+        return "start"
+
+    def poised(self, state):
+        if state == "start":
+            return (UPDATE, (0, "x"))
+        return (DECIDE, 999)
+
+    def advance(self, state, observation=None):
+        return "done"
+
+
+class TestDepthMemoizationRegression:
+    def test_shallower_arrival_reexpanded(self):
+        # Fails on the pre-fix explorer (memo on configuration alone):
+        # it reports safe under max_steps=3 because the depth-3 arrival
+        # poisons the memo before the depth-1 arrival gets there.
+        report = explore_protocol(
+            DiamondTrap(), [0, 1], KSetAgreementTask(1), max_steps=3
+        )
+        assert not report.safe
+        assert report.counterexample == [0, 1, 1]
+
+    def test_deep_only_violation_stays_out_of_reach(self):
+        # Soundness cuts both ways: the violation needs 3 steps past
+        # p0's update, so max_steps=2 must NOT report it.
+        report = explore_protocol(
+            DiamondTrap(), [0, 1], KSetAgreementTask(1), max_steps=2
+        )
+        assert report.safe
+        assert report.truncated
+
+    def test_final_budgeted_config_checked(self):
+        # Fails on the pre-fix explorer (budget break before the safety
+        # check): the 2nd configuration is the violating one.
+        report = explore_protocol(
+            LastConfigBad(), [0], KSetAgreementTask(1), max_configs=2
+        )
+        assert not report.safe
+
+    def test_budget_is_respected(self):
+        report = explore_protocol(
+            RacingConsensus(2), [0, 1], KSetAgreementTask(1), max_configs=10
+        )
+        assert report.configurations <= 10
+
+
+class TestScheduleSharding:
+    def test_prefixes_are_viable_and_lexicographic(self):
+        prefixes = schedule_prefixes(RacingConsensus(2), [0, 1], 3)
+        assert prefixes == tuple(sorted(prefixes))
+        assert all(len(p) == 3 for p in prefixes)
+        assert all(all(i in (0, 1) for i in p) for p in prefixes)
+
+    def test_early_decided_prefixes_kept_short(self):
+        # When every process is decided before the sharding depth, the
+        # prefix is kept at its shorter length instead of being padded
+        # with unviable steps.
+        class BornDecided(Protocol):
+            n, m, name = 2, 1, "born-decided"
+
+            def initial_state(self, index, value):
+                return value
+
+            def poised(self, state):
+                return (DECIDE, state)
+
+            def advance(self, state, observation=None):
+                return state
+
+        assert schedule_prefixes(BornDecided(), [0, 1], 4) == ((),)
+        # ImmediateDecide takes two steps (update, decide); at depth 4
+        # every viable prefix is a complete 4-step interleaving.
+        prefixes = schedule_prefixes(ImmediateDecide(2), [0, 1], 4)
+        assert all(sorted(p) == [0, 0, 1, 1] for p in prefixes)
+
+    def test_depth_zero_is_single_empty_prefix(self):
+        assert schedule_prefixes(RacingConsensus(2), [0, 1], 0) == ((),)
+
+    def test_unit_budget_ceil_division(self):
+        assert unit_budget(10, 4) == 3
+        assert unit_budget(12, 4) == 3
+        assert unit_budget(1, 100) == 1
+        assert unit_budget(100, 0) == 100
+
+    def test_negative_prefix_depth_rejected(self):
+        with pytest.raises(ValidationError):
+            explore_protocol(
+                RacingConsensus(2), [0, 1], KSetAgreementTask(1),
+                prefix_depth=-1,
+            )
+
+    def test_prefix_range_halves_merge_to_serial(self):
+        protocol = TruncatedProtocol(RacingConsensus(3), 1)
+        task = KSetAgreementTask(1)
+        bounds = dict(max_configs=100_000, max_steps=20)
+        serial = explore_protocol(
+            protocol, [0, 1, 2], task, prefix_depth=2, **bounds
+        )
+        prefixes = schedule_prefixes(protocol, [0, 1, 2], 2)
+        half = len(prefixes) // 2
+        left = explore_prefix_range(
+            protocol, [0, 1, 2], task, prefixes, 0, half, **bounds
+        )
+        right = explore_prefix_range(
+            protocol, [0, 1, 2], task, prefixes, half, len(prefixes),
+            **bounds
+        )
+        merged = left.merge(right)
+        assert merged == serial
+        assert repr(merged) == repr(serial)
+
+    def test_prefix_depths_agree_on_safety(self):
+        # Determinism is a per-decomposition contract: different prefix
+        # depths may stop at different first violations, but every depth
+        # must agree on the verdict and return a replayable schedule.
+        from repro.analysis.bivalence import (
+            initial_configuration,
+            step_configuration,
+        )
+
+        protocol = TruncatedProtocol(RacingConsensus(3), 1)
+        task = KSetAgreementTask(1)
+        for depth in (0, 1, 2):
+            report = explore_protocol(
+                protocol, [0, 1, 2], task, max_configs=200_000,
+                max_steps=20, prefix_depth=depth,
+            )
+            assert not report.safe
+            assert len(report.counterexample) <= 20
+            config = initial_configuration(protocol, [0, 1, 2])
+            for index in report.counterexample:
+                config = step_configuration(protocol, config, index)
+            states, _memory = config
+            decided = {
+                i: protocol.decision(state)
+                for i, state in enumerate(states)
+                if protocol.decision(state) is not None
+            }
+            assert task.check([0, 1, 2], decided) != []
 
 
 class TestExploreBasics:
@@ -115,6 +317,13 @@ class TestObstructionProbes:
             NeverDecide(), [0], [[0, 0, 0]], solo_budget=200
         )
         assert violations
+
+    def test_out_of_range_schedule_entry_rejected(self):
+        with pytest.raises(ValidationError) as excinfo:
+            check_obstruction_freedom(MinSeen(2), [5, 3], [[0, 2, 1]])
+        assert "out of range" in str(excinfo.value)
+        with pytest.raises(ValidationError):
+            check_obstruction_freedom(MinSeen(2), [5, 3], [[-1]])
 
     def test_decided_processes_skipped(self):
         # Schedule longer than the protocol's life: decided steps skipped.

@@ -92,7 +92,28 @@ class TestEngineExecution:
             task=KSetAgreementTask(3),
         )
         result = run_campaign(minseen_job(), workers=4, chunk_size=3)
-        assert result.telemetry.mode == "in-process (pool unavailable)"
+        assert result.telemetry.mode == "in-process (pool unavailable: OSError)"
+        assert result.report == serial
+
+    def test_unpicklable_job_falls_back_in_process(self):
+        # A task defined inside a function can't cross a process
+        # boundary: pickling it raises out of the pool path
+        # (PicklingError/AttributeError depending on interpreter), which
+        # must take the documented in-process fallback, not crash.
+        class LocalTask:
+            def check(self, inputs, outputs):
+                return []
+
+        job = SweepProtocolJob(
+            protocol=MinSeen(3, rounds=2), inputs=(4, 1, 9),
+            seeds=tuple(range(10)),
+            task=LocalTask(),
+        )
+        serial = job.run_range(0, 10)
+        result = run_campaign(job, workers=4, chunk_size=3)
+        assert result.telemetry.mode.startswith(
+            "in-process (pool unavailable:"
+        )
         assert result.report == serial
 
     def test_telemetry_accounts_every_unit_once(self):

@@ -9,6 +9,7 @@ worker results in any grouping without changing the outcome.
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.analysis.explore import ExplorationReport
 from repro.analysis.fuzz import FuzzReport, ViolationRecord
 from repro.core.sweep import SweepReport
 
@@ -59,6 +60,75 @@ def fuzz_report_in_range(lo, hi):
         st.lists(schedules(), min_size=6, max_size=6),
         st.integers(0, 40),
     )
+
+
+violation_messages = st.lists(
+    st.sampled_from(["agreement: {0, 1}", "validity: 7", "validity: 9"]),
+    unique=True, max_size=3,
+).map(sorted)
+
+exploration_reports = st.builds(
+    ExplorationReport,
+    violations=violation_messages,
+    configurations=st.integers(0, 10_000),
+    truncated=st.booleans(),
+    fully_decided=st.integers(0, 10_000),
+    counterexample=st.none() | st.lists(
+        st.integers(0, 3), min_size=1, max_size=8
+    ),
+)
+
+
+class TestExplorationReportMonoid:
+    @settings(max_examples=60)
+    @given(a=exploration_reports, b=exploration_reports)
+    def test_commutative(self, a, b):
+        assert a.merge(b) == b.merge(a)
+
+    @settings(max_examples=60)
+    @given(a=exploration_reports, b=exploration_reports,
+           c=exploration_reports)
+    def test_associative(self, a, b, c):
+        assert a.merge(b).merge(c) == a.merge(b.merge(c))
+
+    @settings(max_examples=60)
+    @given(r=exploration_reports)
+    def test_identity(self, r):
+        assert ExplorationReport().merge(r) == r
+        assert r.merge(ExplorationReport()) == r
+
+    @settings(max_examples=60)
+    @given(a=exploration_reports, b=exploration_reports)
+    def test_merge_is_pure(self, a, b):
+        before_a, before_b = repr(a), repr(b)
+        a.merge(b)
+        assert repr(a) == before_a
+        assert repr(b) == before_b
+
+    @settings(max_examples=60)
+    @given(a=exploration_reports, b=exploration_reports)
+    def test_counterexample_is_lexicographic_minimum(self, a, b):
+        merged = a.merge(b)
+        candidates = [
+            c for c in (a.counterexample, b.counterexample)
+            if c is not None
+        ]
+        if candidates:
+            assert merged.counterexample == min(candidates)
+        else:
+            assert merged.counterexample is None
+
+    @settings(max_examples=60)
+    @given(a=exploration_reports, b=exploration_reports)
+    def test_tallies_sum_and_violations_union(self, a, b):
+        merged = a.merge(b)
+        assert merged.configurations == a.configurations + b.configurations
+        assert merged.fully_decided == a.fully_decided + b.fully_decided
+        assert merged.truncated == (a.truncated or b.truncated)
+        assert merged.violations == sorted(
+            set(a.violations) | set(b.violations)
+        )
+        assert merged.safe == (a.safe and b.safe)
 
 
 class TestSweepReportMonoid:

@@ -60,6 +60,32 @@ class TestCli:
         assert "protocol safety" in out
         assert "falsifier" not in out
 
+    def test_explore_truncated_finds_violation(self, capsys):
+        assert main([
+            "explore", "--scenario", "truncated", "--workers", "2",
+            "--verify-serial",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "violation" in out
+        assert "counterexample schedule" in out
+        assert "serial verification: sharded report identical" in out
+
+    def test_explore_safe_scenarios(self, capsys):
+        for scenario in ("racing", "minseen"):
+            assert main([
+                "explore", "--scenario", scenario, "--workers", "2",
+                "--verify-serial",
+            ]) == 0
+            out = capsys.readouterr().out
+            assert "safe" in out
+            assert "serial verification: sharded report identical" in out
+
+    def test_explore_rejects_bad_workers(self, capsys):
+        assert main(["explore", "--workers", "0"]) == 2
+        assert "--workers must be >= 1" in capsys.readouterr().err
+        assert main(["explore", "--chunk-size", "-3"]) == 2
+        assert "--chunk-size must be >= 1" in capsys.readouterr().err
+
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):
             main(["not-a-command"])
