@@ -9,16 +9,8 @@ import math
 
 import pytest
 
-from repro.core import check_correspondence, run_approx_simulation
-from repro.protocols import AveragingApprox, TruncatedProtocol
-from repro.runtime import RoundRobinScheduler
-
-
-def simulate(m, eps):
-    protocol = TruncatedProtocol(AveragingApprox(2 * m, eps), m)
-    outcome = run_approx_simulation(protocol, [0, 1], RoundRobinScheduler())
-    assert outcome.all_decided
-    return outcome
+from repro.bench.workloads import approx_reduction_outcome as simulate
+from repro.core import check_correspondence
 
 
 @pytest.mark.parametrize("m", [1, 2, 3])

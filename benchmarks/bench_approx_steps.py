@@ -8,6 +8,7 @@ import math
 
 import pytest
 
+from repro.bench.workloads import approx_protocol_steps as steps_of
 from repro.protocols import (
     ApproxAgreementTask,
     AveragingApprox,
@@ -15,12 +16,6 @@ from repro.protocols import (
     run_protocol,
 )
 from repro.runtime import RandomScheduler, RoundRobinScheduler
-
-
-def steps_of(protocol, inputs, scheduler):
-    system, result = run_protocol(protocol, inputs, scheduler, max_steps=200_000)
-    assert result.completed
-    return max(process.steps_taken for process in system.processes.values())
 
 
 @pytest.mark.parametrize("exponent", [4, 8, 16, 24])

@@ -3,30 +3,14 @@
 Runs mixed Scan/Block-Update workloads across (k+1, m) shapes and random
 schedules, measuring operation throughput and validating the Appendix B
 lemmas on every execution; reports atomic-vs-☡ Block-Update rates per rank
-(rank 0 must never yield — Lemma 16)."""
+(rank 0 must never yield — Lemma 16).  The workload itself lives in
+:mod:`repro.bench.workloads`, shared with ``repro bench run``; this module
+is the pytest-benchmark adapter that times it and prints the tables."""
 
 import pytest
 
-from repro.augmented import AugmentedSnapshot
 from repro.augmented.linearization import check_all, linearize
-from repro.runtime import RandomScheduler, System
-
-
-def workload(k_plus_1, m, rounds, seed):
-    system = System()
-    aug = AugmentedSnapshot("M", components=m, pids=list(range(k_plus_1)))
-
-    def body(proc):
-        for r in range(rounds):
-            comps = [(proc.pid + r) % m]
-            yield from aug.block_update(proc.pid, comps, [f"{proc.pid}.{r}"])
-            yield from aug.scan(proc.pid)
-
-    for _ in range(k_plus_1):
-        system.add_process(body)
-    result = system.run(RandomScheduler(seed), max_steps=1_000_000)
-    assert result.completed
-    return system, aug
+from repro.bench.workloads import augmented_workload as workload
 
 
 @pytest.mark.parametrize("k_plus_1,m", [(2, 2), (3, 3), (5, 4)])

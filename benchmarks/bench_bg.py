@@ -7,23 +7,16 @@ register overhead."""
 
 import pytest
 
+from repro.bench.workloads import bg_outcome
 from repro.core import run_bg_simulation
-from repro.protocols import MinSeen, RotatingWrites
-from repro.runtime import RandomScheduler
+from repro.protocols import RotatingWrites
 
 
 @pytest.mark.parametrize("simulators", [1, 2, 3, 4])
 def test_bg_completion(benchmark, table, simulators):
     inputs = [5, 2, 8, 1]
-    protocol = RotatingWrites(4, 3, rounds=3)
 
-    def run():
-        return run_bg_simulation(
-            protocol, inputs, simulators=simulators,
-            scheduler=RandomScheduler(13), max_steps=500_000,
-        )
-
-    outcome = benchmark(run)
+    outcome = benchmark(bg_outcome, simulators)
     assert outcome.completed_processes == len(inputs)
     table(
         f"E11: BG simulation ({simulators} simulators, 4 processes)",

@@ -6,8 +6,8 @@ constant k, x), and the simulation-arithmetic pivot (m simulatable iff
 strictly below the bound).
 """
 
+from repro.bench.workloads import bounds_grid
 from repro.core import (
-    bound_table,
     kset_space_lower_bound,
     kset_space_upper_bound,
     max_simulatable_registers,
@@ -16,9 +16,7 @@ from repro.core import (
 
 
 def test_bound_grid(benchmark, table):
-    rows = benchmark(
-        bound_table, ns=range(2, 65), ks=range(1, 9), xs=range(1, 9)
-    )
+    rows = benchmark(bounds_grid, 64)
     assert rows
     # Print the headline slice: x = 1 (obstruction-free), selected n.
     display = [

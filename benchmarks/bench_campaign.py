@@ -9,19 +9,13 @@ enforced when the host actually has ≥4 CPUs and the pool path engaged
 
 import os
 
-import pytest
+from repro.bench.workloads import campaign_sweep
 
-from repro.campaign import sweep_simulation_campaign
-from repro.protocols import RotatingWrites
-
-SEEDS = range(240)
+SEEDS = 240
 
 
 def run_at(workers):
-    return sweep_simulation_campaign(
-        RotatingWrites(7, 3, rounds=6), k=2, x=1, inputs=[5, 2, 8],
-        seeds=SEEDS, verify_correspondence=True, workers=workers,
-    )
+    return campaign_sweep(workers=workers, seeds=SEEDS)
 
 
 def test_campaign_speedup(benchmark, table):

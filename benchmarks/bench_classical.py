@@ -15,12 +15,9 @@ from repro.analysis import (
     classify_valence,
     explore_protocol,
 )
+from repro.bench.workloads import classical_falsification
 from repro.analysis.covering import release_covering
-from repro.protocols import (
-    KSetAgreementTask,
-    RacingConsensus,
-    TruncatedProtocol,
-)
+from repro.protocols import RacingConsensus
 
 
 def test_bivalence_classification(benchmark, table):
@@ -108,15 +105,7 @@ def test_exhaustive_checking_cost(benchmark, table):
     """The model-checker sweep that validated every protocol, timed on the
     1-register impossibility instance [DGFKR15's k-set 1-register result,
     in the small]."""
-    broken = TruncatedProtocol(RacingConsensus(3), 1)
-
-    def run():
-        return explore_protocol(
-            broken, [0, 1, 2], KSetAgreementTask(1),
-            max_configs=300_000, max_steps=40,
-        )
-
-    report = benchmark(run)
+    report = benchmark(classical_falsification, 300_000, 40)
     assert not report.safe
     table(
         "E10d: exhaustive falsification of 3-process consensus on 1 register",

@@ -11,17 +11,13 @@ noted)."""
 
 import os
 
-from repro.campaign import explore_campaign
-from repro.protocols import KSetAgreementTask, RacingConsensus
+from repro.bench.workloads import explore_sharded
 
 BOUNDS = dict(max_configs=400_000, max_steps=17, prefix_depth=3)
 
 
 def run_at(workers):
-    return explore_campaign(
-        RacingConsensus(3), [0, 1, 2], KSetAgreementTask(1),
-        workers=workers, **BOUNDS,
-    )
+    return explore_sharded(workers=workers, **BOUNDS)
 
 
 def test_explore_speedup(benchmark, table):

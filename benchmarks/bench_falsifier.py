@@ -13,19 +13,10 @@ single-worker path; the multi-worker speedup is measured separately in
 
 import pytest
 
+from repro.bench.workloads import falsifier_sweep as falsify
 from repro.campaign import sweep_simulation_campaign
-from repro.core import kset_space_lower_bound, simulated_process_count
-from repro.protocols import KSetAgreementTask, RacingConsensus, TruncatedProtocol
-
-
-def falsify(k, x, m, seeds, workers=1):
-    n = simulated_process_count(m, k, x)
-    result = sweep_simulation_campaign(
-        TruncatedProtocol(RacingConsensus(n), m), k=k, x=x,
-        inputs=list(range(k + 1)), seeds=seeds,
-        task=KSetAgreementTask(k), max_steps=400_000, workers=workers,
-    )
-    return n, result
+from repro.core import kset_space_lower_bound
+from repro.protocols import RacingConsensus, TruncatedProtocol
 
 
 @pytest.mark.parametrize("k,x,m", [(1, 1, 1), (2, 1, 1), (2, 1, 2)])

@@ -5,17 +5,8 @@ past-revision it validates (hidden steps inserted and re-derived)."""
 
 import pytest
 
-from repro.core import check_correspondence, run_simulation
-from repro.protocols import RotatingWrites
-from repro.runtime import RandomScheduler
-
-
-def outcome_for(seed, rounds=8):
-    protocol = RotatingWrites(7, 3, rounds=rounds)
-    return run_simulation(
-        protocol, k=2, x=1, inputs=[5, 2, 8],
-        scheduler=RandomScheduler(seed), max_steps=600_000,
-    )
+from repro.bench.workloads import invariant_outcome as outcome_for
+from repro.core import check_correspondence
 
 
 @pytest.mark.parametrize("seed", [0, 7, 13])

@@ -9,6 +9,7 @@ operation" — the concrete price of the paper's w.l.o.g. assumption.
 
 import pytest
 
+from repro.bench.workloads import registers_lowering
 from repro.core import run_simulation
 from repro.protocols import (
     KSetAgreementTask,
@@ -18,7 +19,6 @@ from repro.protocols import (
     TruncatedProtocol,
     run_protocol,
 )
-from repro.protocols.registers_runtime import run_protocol_on_registers
 from repro.runtime import RandomScheduler
 
 
@@ -27,12 +27,7 @@ def test_protocol_lowering_cost(benchmark, table, n):
     inputs = list(range(n))
     protocol = MinSeen(n, rounds=2)
 
-    def run():
-        return run_protocol_on_registers(
-            protocol, inputs, RandomScheduler(5), max_steps=1_000_000
-        )
-
-    system, result, snapshot = benchmark(run)
+    system, result, snapshot = benchmark(registers_lowering, n)
     assert result.completed
     native_system, native_result = run_protocol(
         protocol, inputs, RandomScheduler(5)

@@ -7,24 +7,18 @@ across (k, x, m)."""
 
 import pytest
 
+from repro.bench.workloads import positive_simulation
 from repro.core import run_simulation
-from repro.protocols import MinSeen, RotatingWrites, TruncatedProtocol
+from repro.protocols import RotatingWrites
 from repro.runtime import RandomScheduler
 
 
 @pytest.mark.parametrize("k,x,m", [(1, 1, 2), (2, 1, 3), (3, 1, 2), (3, 2, 2)])
 def test_simulation_positive(benchmark, table, k, x, m):
     n = (k + 1 - x) * m + x
-    protocol = RotatingWrites(n, m, rounds=4)
     inputs = list(range(10, 10 + k + 1))
 
-    def run():
-        return run_simulation(
-            protocol, k=k, x=x, inputs=inputs,
-            scheduler=RandomScheduler(31), max_steps=600_000,
-        )
-
-    outcome = benchmark(run)
+    outcome = benchmark(positive_simulation, k, x, m, 31)
     assert outcome.result.completed
     assert outcome.all_decided
     for value in outcome.decisions.values():

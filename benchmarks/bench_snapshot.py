@@ -12,26 +12,9 @@ from repro.analysis.linearizability import (
     check_linearizable,
     history_from_trace,
 )
-from repro.memory import AfekSnapshot
+from repro.bench.workloads import snapshot_single_writer as run_single_writer
 from repro.memory.afek import AfekMWSnapshot
 from repro.runtime import RandomScheduler, System
-
-
-def run_single_writer(n, rounds, seed):
-    writers = list(range(n))
-    snapshot = AfekSnapshot("S", writers=writers, initial=None)
-    system = System()
-
-    def body(proc):
-        for r in range(rounds):
-            yield from snapshot.update(proc.pid, (proc.pid, r))
-            yield from snapshot.scan(proc.pid)
-
-    for _ in writers:
-        system.add_process(body)
-    result = system.run(RandomScheduler(seed), max_steps=2_000_000)
-    assert result.completed
-    return system
 
 
 @pytest.mark.parametrize("n", [2, 4, 8, 12])

@@ -5,17 +5,16 @@ space-preservation and obstruction-freedom claims on the example machines,
 and quantifies the solo-step blowup the paper's Future Work section warns
 about (the conversion preserves space, not solo step complexity)."""
 
-import random
 
 import pytest
 
+from repro.bench.workloads import solo_termination_probe
 from repro.runtime import RandomScheduler, System
 from repro.solo import (
     ConvertedMachine,
     SpinOrCommit,
     TokenRace,
     converted_body,
-    nondet_body,
     shortest_solo_path,
 )
 from repro.solo.conversion import make_registers, solo_run_machine
@@ -46,28 +45,11 @@ def test_policy_construction_cost(benchmark, table, machine_factory, value):
 
 def test_obstruction_freedom_probe(benchmark, table):
     """Converted machines terminate solo from adversarial contents."""
-    machine = TokenRace()
-    converted = ConvertedMachine(machine)
-    contents_grid = [
-        {0: a, 1: b}
-        for a in (None, 0, 1)
-        for b in (None, 0, 1)
-    ]
-
-    def sweep():
-        worst = 0
-        for contents in contents_grid:
-            _out, measures, _cov = solo_run_machine(
-                converted, 1, initial_contents=dict(contents)
-            )
-            worst = max(worst, len(measures))
-        return worst
-
-    worst = benchmark(sweep)
+    configurations, worst = benchmark(solo_termination_probe)
     table(
         "E5b: solo termination from all 9 register contents",
         ["configurations probed", "worst solo steps"],
-        [(len(contents_grid), worst)],
+        [(configurations, worst)],
     )
     assert worst <= 20
 

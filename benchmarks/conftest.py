@@ -1,12 +1,16 @@
 """Shared helpers for the experiment benchmarks.
 
 Each ``bench_*.py`` module regenerates one experiment from DESIGN.md's
-per-experiment index (E1-E10).  Benchmarks both *time* the workload (via
+per-experiment index (E1-E14), as a thin pytest adapter over the shared
+workloads in :mod:`repro.bench.workloads` (the same code path ``repro
+bench run`` measures).  Benchmarks both *time* the workload (via
 pytest-benchmark) and *print* the experiment's table rows, so running
 
     pytest benchmarks/ --benchmark-only -s
 
-reproduces every table of EXPERIMENTS.md.
+reproduces every table of EXPERIMENTS.md.  Collection of bench_*.py is
+configured by ``benchmarks/pytest.ini``; the repo-root pytest.ini never
+collects these modules (see docs/BENCHMARKS.md).
 """
 
 from __future__ import annotations

@@ -22,6 +22,7 @@ The package is layered exactly like the paper:
 """
 
 from repro.errors import (
+    BenchSchemaError,
     DivergenceError,
     LinearizabilityError,
     ModelError,
@@ -43,5 +44,6 @@ __all__ = [
     "SimulationError",
     "DivergenceError",
     "ValidationError",
+    "BenchSchemaError",
     "__version__",
 ]

@@ -9,6 +9,8 @@ Usage::
     python -m repro check [--seed 0]
     python -m repro campaign [--seeds 50] [--workers N] [--chunk-size C]
     python -m repro explore [--scenario truncated] [--workers N]
+    python -m repro bench run [--quick] [--experiments E13,E14]
+    python -m repro bench compare [--baseline baselines/]
 
 ``bounds`` prints the Theorem 3 table; ``simulate`` runs the revisionist
 simulation on a correct workload and checks the Lemma 28 invariant;
@@ -21,7 +23,10 @@ oracles as hardware-parallel seed/fuzz campaigns through
 telemetry (results are byte-identical for any worker count — see
 docs/CAMPAIGNS.md); ``explore`` runs the bounded-exhaustive model
 checker sharded over schedule-prefix subtrees, optionally verifying the
-sharded report against a serial run.
+sharded report against a serial run; ``bench`` measures the EXPERIMENTS.md
+experiments (E1–E14), writes schema-versioned ``BENCH_*.json`` artifacts,
+and regression-gates them against a committed baseline (see
+docs/BENCHMARKS.md).
 """
 
 from __future__ import annotations
@@ -382,6 +387,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="re-run serially and assert the sharded report is identical",
     )
     explore.set_defaults(func=cmd_explore)
+
+    from repro.bench.cli import add_bench_parser
+
+    add_bench_parser(sub)
     return parser
 
 

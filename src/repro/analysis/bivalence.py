@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import ValidationError
-from repro.protocols.base import DECIDE, SCAN, UPDATE, Protocol
+from repro.protocols.base import DECIDE, SCAN, Protocol
 
 
 @dataclass

@@ -20,10 +20,10 @@ rather than failed.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import DivergenceError, ValidationError
-from repro.protocols.base import DECIDE, SCAN, UPDATE, Protocol
+from repro.errors import ValidationError
+from repro.protocols.base import DECIDE, SCAN, Protocol
 
 
 @dataclass

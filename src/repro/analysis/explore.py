@@ -41,7 +41,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import DivergenceError, ValidationError
-from repro.protocols.base import DECIDE, SCAN, UPDATE, Protocol, solo_run
+from repro.protocols.base import DECIDE, SCAN, Protocol, solo_run
 
 
 @dataclass

@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.analysis.shrink import ShrinkResult, shrink_schedule, violates
-from repro.protocols.base import DECIDE, Protocol
+from repro.protocols.base import Protocol
 
 #: Default cap on retained violating schedules per report.
 DEFAULT_MAX_SAVED_VIOLATIONS = 10

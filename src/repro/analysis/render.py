@@ -9,7 +9,7 @@ compose with whatever output channel the caller has.
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, Sequence
+from typing import Any, Optional, Sequence
 
 from repro.augmented.linearization import Linearization
 from repro.core.bounds import BoundRow

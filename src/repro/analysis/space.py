@@ -22,8 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Sequence, Set
 
-from repro.protocols.base import DECIDE, SCAN, UPDATE, Protocol
-from repro.runtime.scheduler import Scheduler
+from repro.protocols.base import DECIDE, SCAN, Protocol
 from repro.runtime.system import System
 
 

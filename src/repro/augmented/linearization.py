@@ -20,11 +20,10 @@ experiment can assert emptiness over thousands of schedules.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.augmented.object import AUG_OP_TAG, AugmentedSnapshot
-from repro.augmented.views import history_counts
 from repro.errors import ValidationError
 from repro.runtime.events import Trace
 from repro.timestamps import VectorTimestamp

@@ -21,13 +21,11 @@ execution intervals and linearization points.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Generator, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Generator, Sequence, Tuple
 
 from repro.augmented.views import (
     YIELD,
-    ScanResult,
     get_view,
-    history_count,
     history_counts,
     is_proper_prefix,
     new_timestamp,

@@ -23,7 +23,7 @@ answer to "why is Figure 1 so careful?".
 
 from __future__ import annotations
 
-from typing import Any, Dict, Generator, List, Sequence, Tuple
+from typing import Any, Dict, Generator, Sequence, Tuple
 
 from repro.augmented.views import (
     get_view,

@@ -9,7 +9,7 @@ results and compute values locally, exactly like lines 1–13 of Figure 1.
 
 from __future__ import annotations
 
-from typing import Any, Optional, Sequence, Tuple
+from typing import Any, Tuple
 
 from repro.errors import ValidationError
 from repro.timestamps import VectorTimestamp

@@ -1,0 +1,78 @@
+"""The benchmark harness: measured experiments as first-class artifacts.
+
+The 14 experiments of EXPERIMENTS.md (E1–E14) back every empirical claim
+in this reproduction, but as pytest-benchmark tests their numbers lived
+only in transient stdout.  This package turns them into the repo's
+perf-regression backbone:
+
+* :mod:`repro.bench.workloads` — each experiment's core workload as a
+  plain callable (shared with ``benchmarks/bench_*.py``);
+* :mod:`repro.bench.experiments` — the discovery registry mapping
+  experiment ids to payloads with quick/full parameterisations;
+* :mod:`repro.bench.runner` — ``repro bench run``: warmup/repeat
+  measurement, median/IQR/throughput, environment fingerprint, and one
+  schema-versioned ``BENCH_<name>.json`` per experiment;
+* :mod:`repro.bench.schema` — the artifact format and its validation;
+* :mod:`repro.bench.compare` — ``repro bench compare``: the noise-aware
+  baseline regression gate CI runs (see docs/BENCHMARKS.md).
+
+Campaign-backed experiments (E4, E13, E14) execute through
+:mod:`repro.campaign`, so their artifacts record the engine's own
+telemetry (mode, workers, utilization) alongside the timing.
+"""
+
+from repro.bench.compare import (
+    DEFAULT_IQR_FACTOR,
+    DEFAULT_THRESHOLD,
+    Comparison,
+    CompareReport,
+    compare_artifacts,
+    compare_runs,
+)
+from repro.bench.experiments import (
+    Experiment,
+    PayloadResult,
+    discover,
+    resolve,
+)
+from repro.bench.runner import (
+    BenchTelemetry,
+    RunReport,
+    measure_experiment,
+    run_experiments,
+)
+from repro.bench.schema import (
+    ARTIFACT_PREFIX,
+    SCHEMA_VERSION,
+    BenchArtifact,
+    EnvironmentFingerprint,
+    load_artifact,
+    load_artifact_dir,
+    median_iqr,
+    write_artifact,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "ARTIFACT_PREFIX",
+    "BenchArtifact",
+    "EnvironmentFingerprint",
+    "load_artifact",
+    "load_artifact_dir",
+    "median_iqr",
+    "write_artifact",
+    "Experiment",
+    "PayloadResult",
+    "discover",
+    "resolve",
+    "BenchTelemetry",
+    "RunReport",
+    "measure_experiment",
+    "run_experiments",
+    "Comparison",
+    "CompareReport",
+    "compare_artifacts",
+    "compare_runs",
+    "DEFAULT_THRESHOLD",
+    "DEFAULT_IQR_FACTOR",
+]

@@ -1,0 +1,333 @@
+"""Discovery registry for the measurable experiments (E1–E14).
+
+Each :class:`Experiment` binds an experiment id to a *payload*: a
+callable taking ``quick`` (bool) and returning a :class:`PayloadResult`
+with the number of work units performed plus the experiment's scalar
+metrics.  ``quick`` selects a CI-sized parameterisation of the same
+workload; ``full`` matches the EXPERIMENTS.md tables.  The runner times
+payload calls from the outside — payloads only do work.
+
+Campaign-backed experiments (E4, E13, E14) run through
+:mod:`repro.campaign` and surface the engine's telemetry (mode, worker
+count, utilization) in their metrics, so a ``BENCH_*.json`` records not
+just *how fast* but *which execution path* produced the number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class PayloadResult:
+    """What one payload execution did: work units plus scalar metrics."""
+
+    units: int
+    metrics: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One discoverable experiment: id, name, and its payload callable."""
+
+    eid: str                    # "E13"
+    name: str                   # "campaign"
+    title: str                  # one line, shown by `repro bench list`
+    payload: Callable[[bool], PayloadResult]
+    campaign_backed: bool = False
+
+    @property
+    def artifact_name(self) -> str:
+        """Canonical ``<eid>_<name>`` stem used in artifact filenames."""
+        return f"{self.eid}_{self.name}"
+
+    def run(self, quick: bool) -> PayloadResult:
+        """Execute the payload once at the requested scale."""
+        return self.payload(quick)
+
+
+_REGISTRY: Dict[str, Experiment] = {}
+
+
+def _register(eid: str, name: str, title: str, campaign_backed: bool = False):
+    """Decorator factory: register a payload function as an experiment."""
+
+    def decorate(payload: Callable[[bool], PayloadResult]):
+        experiment = Experiment(
+            eid=eid, name=name, title=title, payload=payload,
+            campaign_backed=campaign_backed,
+        )
+        _REGISTRY[eid] = experiment
+        return payload
+
+    return decorate
+
+
+def discover() -> List[Experiment]:
+    """All registered experiments, in numeric id order (E1, E2, …)."""
+    return sorted(_REGISTRY.values(), key=lambda e: int(e.eid[1:]))
+
+
+def resolve(selectors: Optional[List[str]]) -> List[Experiment]:
+    """Resolve user selectors to experiments.
+
+    Accepts ids (``E13``), names (``campaign``), or ``<eid>_<name>``
+    stems, case-insensitively; ``None`` or an empty list selects every
+    experiment.  Unknown selectors raise
+    :class:`~repro.errors.ValidationError` listing what exists.
+    """
+    experiments = discover()
+    if not selectors:
+        return experiments
+    by_key = {}
+    for experiment in experiments:
+        by_key[experiment.eid.lower()] = experiment
+        by_key[experiment.name.lower()] = experiment
+        by_key[experiment.artifact_name.lower()] = experiment
+    chosen: List[Experiment] = []
+    for selector in selectors:
+        experiment = by_key.get(selector.strip().lower())
+        if experiment is None:
+            known = ", ".join(e.eid for e in experiments)
+            raise ValidationError(
+                f"unknown experiment {selector!r} (known: {known})"
+            )
+        if experiment not in chosen:
+            chosen.append(experiment)
+    return sorted(chosen, key=lambda e: int(e.eid[1:]))
+
+
+def _campaign_metrics(result) -> Dict[str, Any]:
+    """Engine telemetry worth persisting next to a campaign-backed number."""
+    telemetry = result.telemetry
+    return {
+        "engine_workers": telemetry.workers,
+        "engine_mode": telemetry.mode,
+        "engine_chunks": len(telemetry.chunks),
+        "engine_utilization": round(telemetry.utilization, 4),
+        "engine_runs_per_second": round(telemetry.runs_per_second, 2),
+    }
+
+
+@_register("E1", "augmented",
+           "Augmented snapshot: Appendix B lemma battery over schedules")
+def run_e1(quick: bool) -> PayloadResult:
+    """E1 payload: lemma-checked Scan/Block-Update schedules."""
+    from repro.bench.workloads import augmented_sweep
+
+    seeds = 4 if quick else 12
+    steps, clean = augmented_sweep(seeds)
+    return PayloadResult(
+        units=steps, metrics={"schedules": clean, "violations": 0}
+    )
+
+
+@_register("E2", "bounds", "Theorem 3 bound table across the (n, k, x) grid")
+def run_e2(quick: bool) -> PayloadResult:
+    """E2 payload: compute the lower/upper bound grid."""
+    from repro.bench.workloads import bounds_grid
+
+    rows = bounds_grid(n_max=32 if quick else 64)
+    tight = sum(1 for row in rows if row.tight)
+    return PayloadResult(units=len(rows), metrics={"tight_rows": tight})
+
+
+@_register("E3", "simulation",
+           "Revisionist simulation, verified positive runs")
+def run_e3(quick: bool) -> PayloadResult:
+    """E3 payload: positive simulation runs across seeds."""
+    from repro.bench.workloads import positive_simulation
+
+    seeds = (31,) if quick else (31, 32, 33)
+    steps = 0
+    revisions = 0
+    for seed in seeds:
+        outcome = positive_simulation(k=2, x=1, m=3, seed=seed)
+        steps += len(outcome.system.trace.steps())
+        revisions += outcome.revision_count()
+    return PayloadResult(
+        units=steps, metrics={"runs": len(seeds), "revisions": revisions}
+    )
+
+
+@_register("E4", "falsifier",
+           "Theorem 3 falsifier sweep through the campaign engine",
+           campaign_backed=True)
+def run_e4(quick: bool) -> PayloadResult:
+    """E4 payload: under-provisioned consensus must violate on every seed."""
+    from repro.bench.workloads import falsifier_sweep
+
+    seeds = range(8 if quick else 30)
+    _n, result = falsifier_sweep(k=1, x=1, m=1, seeds=seeds, workers=1)
+    report = result.report
+    assert report.safety_violations == report.runs
+    metrics = {"violations": report.safety_violations}
+    metrics.update(_campaign_metrics(result))
+    return PayloadResult(units=report.runs, metrics=metrics)
+
+
+@_register("E5", "solo_conversion",
+           "Appendix A conversion: solo termination from all contents")
+def run_e5(quick: bool) -> PayloadResult:
+    """E5 payload: probe the converted machine's solo termination."""
+    from repro.bench.workloads import solo_termination_probe
+
+    repeats = 2 if quick else 8
+    configurations = 0
+    worst = 0
+    for _ in range(repeats):
+        probed, steps = solo_termination_probe()
+        configurations += probed
+        worst = max(worst, steps)
+    return PayloadResult(
+        units=configurations, metrics={"worst_solo_steps": worst}
+    )
+
+
+@_register("E6", "approx_steps",
+           "Approximate agreement steps vs the Hoest–Shavit bound")
+def run_e6(quick: bool) -> PayloadResult:
+    """E6 payload: protocol step counts as ε shrinks."""
+    from repro.bench.workloads import approx_steps_sweep
+
+    exponents = (4, 8, 16) if quick else (4, 8, 16, 24)
+    results = approx_steps_sweep(exponents)
+    total = sum(b + a for b, a in results.values())
+    worst = max(b for b, _a in results.values())
+    return PayloadResult(
+        units=total,
+        metrics={"epsilons": len(results), "worst_bisection_steps": worst},
+    )
+
+
+@_register("E7", "approx_reduction",
+           "Appendix D reduction: ε-independent simulator steps")
+def run_e7(quick: bool) -> PayloadResult:
+    """E7 payload: the two-simulator reduction across (m, ε)."""
+    from repro.bench.workloads import approx_reduction_outcome
+
+    ms = (1, 2) if quick else (1, 2, 3)
+    total = 0
+    for m in ms:
+        counts = set()
+        for exponent in (8, 16, 32):
+            outcome = approx_reduction_outcome(m, 2.0 ** -exponent)
+            counts.add(outcome.max_steps_taken)
+            total += outcome.max_steps_taken
+        # Lemma 33: from modest ε down the count depends on m alone.
+        assert len(counts) == 1
+    return PayloadResult(units=total, metrics={"m_values": len(ms)})
+
+
+@_register("E8", "invariant", "Lemma 28 correspondence checker cost")
+def run_e8(quick: bool) -> PayloadResult:
+    """E8 payload: correspondence-check simulation traces."""
+    from repro.bench.workloads import invariant_sweep
+
+    seeds = 3 if quick else 10
+    sigma, hidden = invariant_sweep(seeds)
+    return PayloadResult(
+        units=sigma, metrics={"runs": seeds, "hidden_steps": hidden}
+    )
+
+
+@_register("E9", "snapshot", "AADGMS snapshot-from-registers cost")
+def run_e9(quick: bool) -> PayloadResult:
+    """E9 payload: single-writer snapshot workload register steps."""
+    from repro.bench.workloads import snapshot_single_writer
+
+    n = 6 if quick else 10
+    rounds = 3
+    system = snapshot_single_writer(n, rounds, seed=99)
+    steps = len(system.trace.steps())
+    ops = n * rounds * 2
+    return PayloadResult(
+        units=ops, metrics={"register_steps": steps,
+                            "steps_per_op": round(steps / ops, 2)}
+    )
+
+
+@_register("E10", "classical",
+           "Classical baselines: FLP valence, covering, exhaustive check")
+def run_e10(quick: bool) -> PayloadResult:
+    """E10 payload: bivalence + covering + exhaustive falsification."""
+    from repro.analysis import build_covering, classify_valence
+    from repro.bench.workloads import classical_falsification
+    from repro.protocols import RacingConsensus
+
+    valence = classify_valence(RacingConsensus(2), [0, 1])
+    assert valence.bivalent
+    covering = build_covering(RacingConsensus(3), [0, 1, 0])
+    assert covering.size == 3
+    report = classical_falsification(
+        max_configs=50_000 if quick else 300_000,
+        max_steps=30 if quick else 40,
+    )
+    return PayloadResult(
+        units=report.configurations,
+        metrics={"covering_steps": covering.steps_used,
+                 "counterexample_length": len(report.counterexample)},
+    )
+
+
+@_register("E11", "bg", "Cooperative BG simulation baseline")
+def run_e11(quick: bool) -> PayloadResult:
+    """E11 payload: BG completion across simulator counts."""
+    from repro.bench.workloads import bg_outcome
+
+    counts = (3,) if quick else (1, 2, 3, 4)
+    steps = 0
+    for simulators in counts:
+        outcome = bg_outcome(simulators)
+        steps += outcome.result.steps
+    return PayloadResult(
+        units=steps, metrics={"simulator_counts": len(counts)}
+    )
+
+
+@_register("E12", "registers", "The stack lowered to raw registers")
+def run_e12(quick: bool) -> PayloadResult:
+    """E12 payload: protocol runs over the register-level lowering."""
+    from repro.bench.workloads import registers_lowering
+
+    ns = (3,) if quick else (2, 3, 4)
+    steps = 0
+    registers = 0
+    for n in ns:
+        _system, result, snapshot = registers_lowering(n)
+        steps += result.steps
+        registers += snapshot.register_count()
+    return PayloadResult(
+        units=steps, metrics={"protocols": len(ns),
+                              "registers_used": registers}
+    )
+
+
+@_register("E13", "campaign",
+           "Parallel campaign engine: verified seed sweep throughput",
+           campaign_backed=True)
+def run_e13(quick: bool) -> PayloadResult:
+    """E13 payload: the Lemma-28-verified sweep through the engine."""
+    from repro.bench.workloads import campaign_sweep
+
+    result = campaign_sweep(workers=None, seeds=40 if quick else 240)
+    metrics = _campaign_metrics(result)
+    return PayloadResult(units=result.report.runs, metrics=metrics)
+
+
+@_register("E14", "explore",
+           "Sharded bounded-exhaustive exploration throughput",
+           campaign_backed=True)
+def run_e14(quick: bool) -> PayloadResult:
+    """E14 payload: prefix-sharded exploration through the engine."""
+    from repro.bench.workloads import explore_sharded
+
+    result = explore_sharded(workers=None, max_steps=13 if quick else 17)
+    metrics = _campaign_metrics(result)
+    metrics["violations"] = len(result.report.violations)
+    return PayloadResult(
+        units=result.report.configurations, metrics=metrics
+    )

@@ -1,0 +1,342 @@
+"""The experiment workloads, as plain callables.
+
+Every experiment of EXPERIMENTS.md (E1–E14) used to live only inside a
+pytest-benchmark test; this module lifts each one's core workload into a
+library function so the same code path serves three callers:
+
+* the ``benchmarks/bench_*.py`` modules (thin pytest adapters that time
+  the workload and print the EXPERIMENTS.md tables),
+* the :mod:`repro.bench.runner` (``repro bench run``), which measures the
+  workloads and writes ``BENCH_*.json`` artifacts, and
+* anything else that wants a known-good experiment configuration.
+
+Functions here *run work and return data*; they never print, never time
+themselves, and raise :class:`AssertionError` if the experiment's
+correctness expectations fail (a benchmark number for a broken run is
+worse than no number).  Campaign-backed workloads (E4, E13, E14) route
+through :mod:`repro.campaign` so their numbers exercise the same engine
+and telemetry as ``repro campaign`` / ``repro explore``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+
+def augmented_workload(k_plus_1: int, m: int, rounds: int, seed: int):
+    """E1 core: run a mixed Scan/Block-Update workload to completion.
+
+    Returns ``(system, aug)`` for lemma-checking and step accounting.
+    """
+    from repro.augmented import AugmentedSnapshot
+    from repro.runtime import RandomScheduler, System
+
+    system = System()
+    aug = AugmentedSnapshot("M", components=m, pids=list(range(k_plus_1)))
+
+    def body(proc):
+        for r in range(rounds):
+            comps = [(proc.pid + r) % m]
+            yield from aug.block_update(proc.pid, comps, [f"{proc.pid}.{r}"])
+            yield from aug.scan(proc.pid)
+
+    for _ in range(k_plus_1):
+        system.add_process(body)
+    result = system.run(RandomScheduler(seed), max_steps=1_000_000)
+    assert result.completed
+    return system, aug
+
+
+def augmented_sweep(seeds: int, k_plus_1: int = 3, m: int = 3,
+                    rounds: int = 3) -> Tuple[int, int]:
+    """E1 sweep: Appendix B lemma battery over ``seeds`` random schedules.
+
+    Returns ``(total_steps, clean_schedules)``; every schedule must pass.
+    """
+    from repro.augmented.linearization import check_all
+
+    total_steps = 0
+    clean = 0
+    for seed in range(seeds):
+        system, aug = augmented_workload(k_plus_1, m, rounds, seed)
+        assert check_all(system.trace, aug) == []
+        clean += 1
+        total_steps += len(system.trace.steps())
+    return total_steps, clean
+
+
+def bounds_grid(n_max: int, k_max: int = 8, x_max: int = 8) -> List[Any]:
+    """E2 core: the Theorem 3 lower/upper bound rows across (n, k, x)."""
+    from repro.core import bound_table
+
+    rows = bound_table(
+        ns=range(2, n_max + 1), ks=range(1, k_max + 1),
+        xs=range(1, x_max + 1),
+    )
+    assert rows
+    return rows
+
+
+def positive_simulation(k: int, x: int, m: int, seed: int,
+                        rounds: int = 4, max_steps: int = 600_000):
+    """E3 core: one verified positive run of the revisionist simulation.
+
+    The simulated-process count n is derived from (k, x, m) via the
+    paper's pivot; every simulator must decide a valid value.
+    """
+    from repro.core import run_simulation
+    from repro.protocols import RotatingWrites
+    from repro.runtime import RandomScheduler
+
+    n = (k + 1 - x) * m + x
+    protocol = RotatingWrites(n, m, rounds=rounds)
+    inputs = list(range(10, 10 + k + 1))
+    outcome = run_simulation(
+        protocol, k=k, x=x, inputs=inputs,
+        scheduler=RandomScheduler(seed), max_steps=max_steps,
+    )
+    assert outcome.result.completed
+    assert outcome.all_decided
+    return outcome
+
+
+def falsifier_sweep(k: int, x: int, m: int, seeds, workers: int = 1):
+    """E4 core: Theorem 3 as a falsifier, through the campaign engine.
+
+    Truncates consensus below the bound and sweeps seeds; returns
+    ``(n, CampaignResult)``.  Every seed must exhibit a violation.
+    """
+    from repro.campaign import sweep_simulation_campaign
+    from repro.core import simulated_process_count
+    from repro.protocols import (
+        KSetAgreementTask,
+        RacingConsensus,
+        TruncatedProtocol,
+    )
+
+    n = simulated_process_count(m, k, x)
+    result = sweep_simulation_campaign(
+        TruncatedProtocol(RacingConsensus(n), m), k=k, x=x,
+        inputs=list(range(k + 1)), seeds=seeds,
+        task=KSetAgreementTask(k), max_steps=400_000, workers=workers,
+    )
+    return n, result
+
+
+def solo_termination_probe() -> Tuple[int, int]:
+    """E5 core: converted TokenRace terminates solo from any contents.
+
+    Probes all 9 initial register contents; returns ``(configurations,
+    worst_solo_steps)``.
+    """
+    from repro.solo import ConvertedMachine, TokenRace
+    from repro.solo.conversion import solo_run_machine
+
+    machine = TokenRace()
+    converted = ConvertedMachine(machine)
+    assert converted.registers == machine.registers
+    configurations = 0
+    worst = 0
+    for a in (None, 0, 1):
+        for b in (None, 0, 1):
+            output, measures, _covered = solo_run_machine(
+                converted, 1, initial_contents={0: a, 1: b}
+            )
+            assert output is not None
+            configurations += 1
+            worst = max(worst, len(measures))
+    return configurations, worst
+
+
+def approx_protocol_steps(protocol, inputs, scheduler) -> int:
+    """E6 core: max per-process step count of one approx-agreement run."""
+    from repro.protocols import run_protocol
+
+    system, result = run_protocol(
+        protocol, inputs, scheduler, max_steps=200_000
+    )
+    assert result.completed
+    return max(proc.steps_taken for proc in system.processes.values())
+
+
+def approx_steps_sweep(exponents) -> Dict[int, Tuple[int, int]]:
+    """E6 sweep: bisection and averaging step counts per ε = 2^-exp.
+
+    Returns ``{exponent: (bisection_steps, averaging_steps)}``; both must
+    respect the Theorem 2 lower bound log₃(1/ε).
+    """
+    import math
+
+    from repro.protocols import AveragingApprox, BisectionApprox
+    from repro.runtime import RoundRobinScheduler
+
+    results: Dict[int, Tuple[int, int]] = {}
+    for exponent in exponents:
+        eps = 2.0 ** -exponent
+        lower = math.log(1 / eps, 3)
+        bisection = approx_protocol_steps(
+            BisectionApprox(eps), [0, 1], RoundRobinScheduler()
+        )
+        averaging = approx_protocol_steps(
+            AveragingApprox(2, eps), [0, 1], RoundRobinScheduler()
+        )
+        assert bisection >= lower and averaging >= lower
+        results[exponent] = (bisection, averaging)
+    return results
+
+
+def approx_reduction_outcome(m: int, eps: float):
+    """E7 core: the Appendix D two-simulator reduction, one run."""
+    from repro.core import run_approx_simulation
+    from repro.protocols import AveragingApprox, TruncatedProtocol
+    from repro.runtime import RoundRobinScheduler
+
+    protocol = TruncatedProtocol(AveragingApprox(2 * m, eps), m)
+    outcome = run_approx_simulation(protocol, [0, 1], RoundRobinScheduler())
+    assert outcome.all_decided
+    return outcome
+
+
+def invariant_outcome(seed: int, rounds: int = 8):
+    """E8 core: a simulation run sized for correspondence checking."""
+    from repro.core import run_simulation
+    from repro.protocols import RotatingWrites
+    from repro.runtime import RandomScheduler
+
+    protocol = RotatingWrites(7, 3, rounds=rounds)
+    return run_simulation(
+        protocol, k=2, x=1, inputs=[5, 2, 8],
+        scheduler=RandomScheduler(seed), max_steps=600_000,
+    )
+
+
+def invariant_sweep(seeds: int, rounds: int = 6) -> Tuple[int, int]:
+    """E8 sweep: Lemma 28 correspondence across ``seeds`` schedules.
+
+    Returns ``(total_sigma_length, total_hidden_steps)``; every run must
+    pass the checker.
+    """
+    from repro.core import check_correspondence
+
+    sigma = 0
+    hidden = 0
+    for seed in range(seeds):
+        correspondence = check_correspondence(
+            invariant_outcome(seed, rounds=rounds)
+        )
+        assert correspondence.ok, correspondence.violations
+        sigma += len(correspondence.entries)
+        hidden += correspondence.hidden_steps
+    return sigma, hidden
+
+
+def snapshot_single_writer(n: int, rounds: int, seed: int):
+    """E9 core: AADGMS single-writer snapshot workload to completion."""
+    from repro.memory import AfekSnapshot
+    from repro.runtime import RandomScheduler, System
+
+    writers = list(range(n))
+    snapshot = AfekSnapshot("S", writers=writers, initial=None)
+    system = System()
+
+    def body(proc):
+        for r in range(rounds):
+            yield from snapshot.update(proc.pid, (proc.pid, r))
+            yield from snapshot.scan(proc.pid)
+
+    for _ in writers:
+        system.add_process(body)
+    result = system.run(RandomScheduler(seed), max_steps=2_000_000)
+    assert result.completed
+    return system
+
+
+def classical_falsification(max_configs: int = 300_000,
+                            max_steps: int = 40):
+    """E10 core: exhaustively falsify 3-process consensus on 1 register."""
+    from repro.analysis import explore_protocol
+    from repro.protocols import (
+        KSetAgreementTask,
+        RacingConsensus,
+        TruncatedProtocol,
+    )
+
+    broken = TruncatedProtocol(RacingConsensus(3), 1)
+    report = explore_protocol(
+        broken, [0, 1, 2], KSetAgreementTask(1),
+        max_configs=max_configs, max_steps=max_steps,
+    )
+    assert not report.safe
+    return report
+
+
+def bg_outcome(simulators: int, seed: int = 13):
+    """E11 core: the cooperative BG simulation completes all processes."""
+    from repro.core import run_bg_simulation
+    from repro.protocols import RotatingWrites
+    from repro.runtime import RandomScheduler
+
+    inputs = [5, 2, 8, 1]
+    outcome = run_bg_simulation(
+        RotatingWrites(4, 3, rounds=3), inputs, simulators=simulators,
+        scheduler=RandomScheduler(seed), max_steps=500_000,
+    )
+    assert outcome.completed_processes == len(inputs)
+    return outcome
+
+
+def registers_lowering(n: int, seed: int = 5):
+    """E12 core: run min-seen over the register-level snapshot lowering.
+
+    Returns ``(system, result, snapshot)`` from
+    :func:`~repro.protocols.registers_runtime.run_protocol_on_registers`.
+    """
+    from repro.protocols import MinSeen
+    from repro.protocols.registers_runtime import run_protocol_on_registers
+    from repro.runtime import RandomScheduler
+
+    protocol = MinSeen(n, rounds=2)
+    system, result, snapshot = run_protocol_on_registers(
+        protocol, list(range(n)), RandomScheduler(seed),
+        max_steps=1_000_000,
+    )
+    assert result.completed
+    assert snapshot.register_count() == protocol.m
+    return system, result, snapshot
+
+
+def campaign_sweep(workers: Optional[int], seeds: int = 240):
+    """E13 core: a Lemma-28-verified seed sweep through the engine.
+
+    Returns the :class:`~repro.campaign.engine.CampaignResult`; the
+    report must be clean (no violations, every seed decided).
+    """
+    from repro.campaign import sweep_simulation_campaign
+    from repro.protocols import RotatingWrites
+
+    result = sweep_simulation_campaign(
+        RotatingWrites(7, 3, rounds=6), k=2, x=1, inputs=[5, 2, 8],
+        seeds=range(seeds), verify_correspondence=True, workers=workers,
+    )
+    assert result.report.clean and result.report.runs == seeds
+    return result
+
+
+def explore_sharded(workers: Optional[int], max_steps: int = 17,
+                    max_configs: int = 400_000, prefix_depth: int = 3):
+    """E14 core: sharded bounded-exhaustive exploration of consensus.
+
+    Explores racing consensus (n=3, safe at full provisioning) through
+    the campaign engine; returns the
+    :class:`~repro.campaign.engine.CampaignResult`.
+    """
+    from repro.campaign import explore_campaign
+    from repro.protocols import KSetAgreementTask, RacingConsensus
+
+    result = explore_campaign(
+        RacingConsensus(3), [0, 1, 2], KSetAgreementTask(1),
+        max_configs=max_configs, max_steps=max_steps,
+        prefix_depth=prefix_depth, workers=workers,
+    )
+    assert result.report.safe
+    return result

@@ -36,7 +36,7 @@ from typing import Any, Dict, Generator, List, Optional, Sequence, Tuple
 
 from repro.errors import ModelError, ValidationError
 from repro.memory.snapshot import SingleWriterSnapshot
-from repro.protocols.base import DECIDE, SCAN, UPDATE, Protocol
+from repro.protocols.base import DECIDE, UPDATE, Protocol
 from repro.runtime.events import Annotate, Invoke
 from repro.runtime.scheduler import Scheduler
 from repro.runtime.system import ExecutionResult, System

@@ -45,7 +45,13 @@ from repro.core.simulation import (
     _BlockRecord,
 )
 from repro.errors import DivergenceError
-from repro.protocols.base import DECIDE, SCAN, UPDATE, Protocol, solo_run, solo_run_trace
+from repro.protocols.base import (
+    SCAN,
+    UPDATE,
+    Protocol,
+    solo_run,
+    solo_run_trace,
+)
 
 
 @dataclass

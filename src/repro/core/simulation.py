@@ -38,7 +38,7 @@ from typing import Any, Dict, Generator, List, Optional, Sequence, Tuple
 from repro.augmented.object import AugmentedSnapshot
 from repro.augmented.views import YIELD
 from repro.errors import SimulationError, ValidationError
-from repro.protocols.base import DECIDE, SCAN, UPDATE, Protocol, solo_run
+from repro.protocols.base import DECIDE, SCAN, Protocol, solo_run
 from repro.runtime.events import Annotate
 from repro.runtime.process import Process
 from repro.runtime.scheduler import Scheduler

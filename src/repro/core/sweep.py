@@ -20,7 +20,7 @@ the result.  The determinism contract is spelled out in docs/CAMPAIGNS.md.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Dict, Optional, Sequence
 
 from repro.core.invariant import check_correspondence
 from repro.core.simulation import run_simulation

@@ -60,3 +60,13 @@ class DivergenceError(ReproError):
 
 class ValidationError(ReproError):
     """Invalid argument values supplied to a public API entry point."""
+
+
+class BenchSchemaError(ReproError):
+    """A benchmark artifact failed schema validation.
+
+    Raised when a ``BENCH_*.json`` file is missing, malformed, or carries
+    a ``schema_version`` this harness does not understand.  The
+    comparator treats it as a hard failure: a baseline that cannot be
+    read must fail the regression gate rather than silently pass it.
+    """

@@ -23,7 +23,7 @@ the linearizability checker can validate them against the
 
 from __future__ import annotations
 
-from typing import Any, Dict, Generator, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Generator, List, Sequence, Tuple
 
 from repro.errors import ModelError
 from repro.memory.registers import Register

@@ -13,7 +13,7 @@ the flavour used for the history object ``H`` in Figure 1.
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, Sequence, Tuple
+from typing import Any, List, Sequence, Tuple
 
 from repro.errors import ModelError
 

@@ -102,5 +102,5 @@ class AnonymousSweepConsensus(Protocol):
         if not stale:
             if round_no >= self.decision_round:
                 return ("done", round_no, value)
-            return (f"write:0", round_no + 1, value)
+            return ("write:0", round_no + 1, value)
         return (f"write:{stale[0]}", round_no, value)

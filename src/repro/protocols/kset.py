@@ -22,8 +22,8 @@ from __future__ import annotations
 
 from typing import Any, Tuple
 
-from repro.errors import ProtocolError, ValidationError
-from repro.protocols.base import DECIDE, SCAN, UPDATE, Protocol
+from repro.errors import ValidationError
+from repro.protocols.base import UPDATE, Protocol
 from repro.protocols.racing import RacingConsensus
 
 

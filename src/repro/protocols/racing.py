@@ -29,7 +29,7 @@ the test suite: exhaustive model checking of small instances
 
 from __future__ import annotations
 
-from typing import Any, Optional, Tuple
+from typing import Any, Tuple
 
 from repro.errors import ProtocolError, ValidationError
 from repro.protocols.base import DECIDE, SCAN, UPDATE, Protocol

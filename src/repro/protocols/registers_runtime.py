@@ -19,7 +19,7 @@ from typing import Any, Sequence, Tuple
 
 from repro.errors import ValidationError
 from repro.memory.afek import AfekMWSnapshot
-from repro.protocols.base import DECIDE, SCAN, UPDATE, DECISION_TAG, Protocol
+from repro.protocols.base import DECIDE, SCAN, DECISION_TAG, Protocol
 from repro.runtime.events import Annotate
 from repro.runtime.process import Process
 from repro.runtime.scheduler import Scheduler

@@ -10,9 +10,8 @@ how counterexamples in this repository are shipped: as data.
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Tuple
+from typing import Callable, List
 
-from repro.errors import ValidationError
 from repro.runtime.scheduler import AdversarialScheduler
 from repro.runtime.system import System
 

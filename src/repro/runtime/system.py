@@ -20,11 +20,11 @@ pending operation — exactly the notion of "poised" used throughout the paper
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Generator, List, Optional, Sequence
+from typing import Any, Callable, Dict, Generator, List, Optional
 
 from repro.errors import DivergenceError, ModelError, SchedulerError
 from repro.runtime.events import Annotate, Event, Invoke, Trace
-from repro.runtime.process import CRASHED, DONE, READY, Process
+from repro.runtime.process import DONE, READY, Process
 from repro.runtime.scheduler import Scheduler
 
 

@@ -25,7 +25,7 @@ from repro.errors import DivergenceError, ValidationError
 from repro.memory.registers import Register
 from repro.runtime.events import Invoke
 from repro.runtime.process import Process
-from repro.solo.machines import READ, WRITE, NondetMachine
+from repro.solo.machines import READ, NondetMachine
 
 View = Tuple[Tuple[int, Any], ...]  # sorted (register, value) pairs
 

@@ -16,7 +16,7 @@ reads and writes.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Generator, List, Sequence
+from typing import Any, Generator, List, Sequence
 
 from repro.errors import ModelError
 from repro.memory.snapshot import SingleWriterSnapshot

@@ -5,12 +5,7 @@ import pytest
 from repro.analysis import build_covering
 from repro.analysis.covering import release_covering
 from repro.errors import ValidationError
-from repro.protocols import (
-    ImmediateDecide,
-    MinSeen,
-    RacingConsensus,
-    RotatingWrites,
-)
+from repro.protocols import MinSeen, RacingConsensus, RotatingWrites
 
 
 class TestBuildCovering:

@@ -9,7 +9,6 @@ from repro.analysis import (
     schedule_prefixes,
     unit_budget,
 )
-from repro.analysis.explore import ExplorationReport
 from repro.errors import ValidationError
 from repro.protocols import (
     ImmediateDecide,

@@ -7,7 +7,6 @@ single-violation behavior — first schedule, shrunken counterexample —
 stays exactly as before.
 """
 
-import pytest
 
 from repro.analysis.fuzz import fuzz_protocol, schedule_for_run
 from repro.analysis.shrink import violates

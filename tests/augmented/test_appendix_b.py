@@ -7,7 +7,7 @@ execution is the executable form of the corresponding lemma.
 
 import pytest
 
-from repro.augmented import AugmentedSnapshot, YIELD
+from repro.augmented import AugmentedSnapshot
 from repro.augmented.linearization import (
     check_all,
     check_atomic_block_updates,

@@ -8,7 +8,6 @@ covers all 2^L interleaving prefixes — small-scope certainty to complement
 the seeded sweeps.
 """
 
-import pytest
 
 from repro.augmented import AugmentedSnapshot
 from repro.augmented.linearization import check_all, linearize

@@ -1,0 +1,1 @@
+"""Tests for the benchmark harness (`repro.bench`)."""

@@ -1,0 +1,108 @@
+"""Runner and registry: discovery, measurement, artifact writing."""
+
+import pytest
+
+from repro.bench.experiments import (
+    Experiment,
+    PayloadResult,
+    discover,
+    resolve,
+)
+from repro.bench.runner import measure_experiment, run_experiments
+from repro.bench.schema import load_artifact
+from repro.errors import ValidationError
+
+
+def fake_experiment(calls, eid="E99", name="fake"):
+    """An experiment whose payload just counts invocations."""
+
+    def payload(quick):
+        calls.append(quick)
+        return PayloadResult(units=7, metrics={"invocations": len(calls)})
+
+    return Experiment(eid=eid, name=name, title="fake payload",
+                      payload=payload)
+
+
+class TestRegistry:
+    def test_discovers_all_fourteen_in_order(self):
+        experiments = discover()
+        assert [e.eid for e in experiments] == [
+            f"E{i}" for i in range(1, 15)
+        ]
+
+    def test_campaign_backed_experiments_flagged(self):
+        flagged = {e.eid for e in discover() if e.campaign_backed}
+        assert flagged == {"E4", "E13", "E14"}
+
+    def test_resolve_by_id_name_and_stem(self):
+        assert [e.eid for e in resolve(["E13"])] == ["E13"]
+        assert [e.eid for e in resolve(["explore"])] == ["E14"]
+        assert [e.eid for e in resolve(["e2_bounds"])] == ["E2"]
+
+    def test_resolve_sorts_and_dedupes(self):
+        chosen = resolve(["E14", "E2", "explore"])
+        assert [e.eid for e in chosen] == ["E2", "E14"]
+
+    def test_resolve_unknown_selector_rejected(self):
+        with pytest.raises(ValidationError, match="unknown experiment"):
+            resolve(["E999"])
+
+
+class TestMeasurement:
+    def test_warmup_runs_are_untimed(self):
+        calls = []
+        artifact = measure_experiment(
+            fake_experiment(calls), quick=True, repeats=3, warmup=2,
+        )
+        assert len(calls) == 5          # 2 warmup + 3 timed
+        assert artifact.repeats == 3
+        assert artifact.warmup == 2
+        assert len(artifact.samples_seconds) == 3
+        assert artifact.units == 7
+        assert artifact.mode == "quick"
+
+    def test_invalid_repeats_rejected(self):
+        with pytest.raises(ValidationError, match="repeats"):
+            measure_experiment(fake_experiment([]), quick=True,
+                               repeats=0, warmup=0)
+
+    def test_run_experiments_writes_valid_artifacts(self, tmp_path):
+        calls = []
+        report = run_experiments(
+            out_dir=tmp_path, repeats=2, warmup=0,
+            experiments=[fake_experiment(calls)],
+        )
+        [path] = report.paths
+        assert path.name == "BENCH_E99_fake.json"
+        loaded = load_artifact(path)
+        assert loaded == report.artifacts[0]
+        assert loaded.metrics["invocations"] >= 1
+        assert "E99 fake: 7 units" in report.summary()
+
+    def test_progress_callback_sees_each_experiment(self, tmp_path):
+        lines = []
+        run_experiments(
+            out_dir=tmp_path, repeats=1, warmup=0, progress=lines.append,
+            experiments=[fake_experiment([], eid="E98", name="one"),
+                         fake_experiment([], eid="E97", name="two")],
+        )
+        assert len(lines) == 2
+        assert "E98 one" in lines[0]
+
+
+class TestRealExperiments:
+    """One real registry payload end-to-end (E2 is milliseconds-fast)."""
+
+    def test_e2_quick_writes_schema_valid_artifact(self, tmp_path):
+        report = run_experiments(
+            selectors=["E2"], quick=True, repeats=1, warmup=0,
+            out_dir=tmp_path,
+        )
+        [artifact] = report.artifacts
+        loaded = load_artifact(report.paths[0])
+        assert loaded == artifact
+        assert artifact.experiment == "E2"
+        assert artifact.units == 948     # |grid| for n<=32, k,x<=8
+        assert artifact.median_seconds > 0
+        assert artifact.environment.cpu_count >= 1

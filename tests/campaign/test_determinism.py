@@ -6,7 +6,6 @@ identical reports and identical summaries.  Telemetry may differ; the
 science may not.
 """
 
-import pytest
 
 from repro.analysis.fuzz import schedule_for_run
 from repro.campaign import fuzz_campaign, sweep_protocol_campaign

@@ -8,7 +8,6 @@ certifies all 2^L interleaving prefixes — the simulation analogue of the
 augmented snapshot's exhaustive suite.
 """
 
-import pytest
 
 from repro.core import check_correspondence, run_simulation
 from repro.protocols import KSetAgreementTask, RacingConsensus, RotatingWrites, TruncatedProtocol

@@ -11,7 +11,7 @@ from repro.protocols import (
     RotatingWrites,
     TruncatedProtocol,
 )
-from repro.runtime import RandomScheduler, RoundRobinScheduler
+from repro.runtime import RandomScheduler
 
 
 def run(protocol, k, x, inputs, seed, max_steps=400_000):

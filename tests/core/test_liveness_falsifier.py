@@ -11,7 +11,7 @@ import pytest
 
 from repro.core import run_simulation
 from repro.errors import DivergenceError
-from repro.protocols.base import DECIDE, SCAN, UPDATE, Protocol
+from repro.protocols.base import SCAN, UPDATE, Protocol
 from repro.runtime import RandomScheduler, RoundRobinScheduler
 
 

@@ -1,6 +1,5 @@
 """Tests for the sweep/aggregation harness."""
 
-import pytest
 
 from repro.core.sweep import SweepReport, sweep_protocol, sweep_simulation
 from repro.protocols import (

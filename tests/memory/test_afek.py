@@ -11,7 +11,7 @@ import pytest
 from repro.errors import ModelError
 from repro.memory import AfekSnapshot
 from repro.memory.afek import AfekMWSnapshot
-from repro.runtime import Invoke, RandomScheduler, RoundRobinScheduler, System
+from repro.runtime import RandomScheduler, RoundRobinScheduler, System
 
 
 def run_system(bodies, scheduler=None, max_steps=100_000):

@@ -14,7 +14,7 @@ from repro.protocols.base import (
     run_protocol,
     solo_run,
 )
-from repro.runtime import RandomScheduler, RoundRobinScheduler, System
+from repro.runtime import RoundRobinScheduler, System
 from repro.memory import AtomicSnapshot
 
 

@@ -22,7 +22,7 @@ from repro.protocols.commit_adopt import (
     CommitAdoptConsensus,
     CommitAdoptTask,
 )
-from repro.runtime import RandomScheduler, RoundRobinScheduler, SoloScheduler
+from repro.runtime import RandomScheduler, SoloScheduler
 
 
 class TestTaskChecker:

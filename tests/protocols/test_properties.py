@@ -16,7 +16,7 @@ from repro.protocols import (
     RacingConsensus,
     RotatingWrites,
 )
-from repro.protocols.base import DECIDE, SCAN, UPDATE
+from repro.protocols.base import DECIDE, SCAN
 
 
 def schedules(processes, max_length=60):

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import check_correspondence, run_simulation
+from repro.core import run_simulation
 from repro.errors import ValidationError
 from repro.augmented import AugmentedSnapshot
 from repro.augmented.linearization import extract_operations

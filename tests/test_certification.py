@@ -8,7 +8,6 @@ file is the table of contents.
 
 import math
 
-import pytest
 
 from repro.core import (
     approx_space_lower_bound,

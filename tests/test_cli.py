@@ -89,3 +89,62 @@ class TestCli:
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):
             main(["not-a-command"])
+
+
+class TestBenchCli:
+    """Exit-code contract of the `repro bench` subcommands."""
+
+    def run_quick(self, out_dir):
+        """Measure the fastest experiment into ``out_dir``; returns rc."""
+        return main([
+            "bench", "run", "--quick", "--experiments", "E2",
+            "--repeats", "1", "--warmup", "0", "--out", str(out_dir),
+        ])
+
+    def test_bench_list(self, capsys):
+        assert main(["bench", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "E13" in out and "campaign" in out
+        assert "E14" in out and "explore" in out
+
+    def test_bench_run_writes_artifacts(self, tmp_path, capsys):
+        assert self.run_quick(tmp_path) == 0
+        out = capsys.readouterr().out
+        assert "wrote 1 artifact(s)" in out
+        assert (tmp_path / "BENCH_E2_bounds.json").exists()
+
+    def test_bench_compare_pass_is_zero(self, tmp_path, capsys):
+        base, cur = tmp_path / "base", tmp_path / "cur"
+        assert self.run_quick(base) == 0
+        assert self.run_quick(cur) == 0
+        assert main([
+            "bench", "compare", "--baseline", str(base),
+            "--current", str(cur), "--threshold", "100",
+        ]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_bench_compare_injected_slowdown_is_one(self, tmp_path, capsys):
+        assert self.run_quick(tmp_path) == 0
+        assert main([
+            "bench", "compare", "--baseline", str(tmp_path),
+            "--current", str(tmp_path), "--slowdown", "4.0",
+        ]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+        assert "injected slowdown x4.0" in out
+
+    def test_bench_compare_missing_baseline_is_two(self, tmp_path, capsys):
+        assert self.run_quick(tmp_path) == 0
+        assert main([
+            "bench", "compare",
+            "--baseline", str(tmp_path / "missing"),
+            "--current", str(tmp_path),
+        ]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_bench_run_unknown_experiment_is_two(self, tmp_path, capsys):
+        assert main([
+            "bench", "run", "--experiments", "E999",
+            "--out", str(tmp_path),
+        ]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
