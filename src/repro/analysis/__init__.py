@@ -18,6 +18,7 @@
 from repro.analysis.bivalence import ValenceReport, classify_valence, bivalent_initial_configurations
 from repro.analysis.covering import CoveringReport, build_covering
 from repro.analysis.explore import (
+    ExplorationContext,
     ExplorationReport,
     check_obstruction_freedom,
     explore_prefix_range,
@@ -51,6 +52,7 @@ from repro.analysis.space import (
 )
 
 __all__ = [
+    "ExplorationContext",
     "ExplorationReport",
     "explore_protocol",
     "explore_prefix_range",

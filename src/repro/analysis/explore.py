@@ -33,6 +33,16 @@ report is a pure function of ``(protocol, inputs, task, prefix, bounds)``
 and ``merge()`` is a commutative monoid, the campaign engine
 (:mod:`repro.campaign`) can distribute the units across worker processes
 and reproduce the serial report byte for byte — see docs/CAMPAIGNS.md.
+
+The hot path is cache-heavy: an :class:`ExplorationContext` owns the
+per-protocol transition caches (``poised`` classification and scan/update
+successors), hash-conses whole configurations into interned
+:class:`_Config` nodes with cached hashes and per-configuration successor
+and task-check caches, and tracks decision status incrementally (only the
+stepped process can change it).  The caches hold *pure derived data
+only*, so sharing them across units — or not — cannot change any report;
+docs/PERFORMANCE.md records the purity assumptions they rely on and the
+measured effect.
 """
 
 from __future__ import annotations
@@ -108,28 +118,188 @@ class ExplorationReport:
         )
 
 
-def _decisions(protocol: Protocol, states: Tuple) -> Dict[int, Any]:
-    out = {}
-    for index, state in enumerate(states):
-        kind, payload = protocol.poised(state)
+#: Cache-miss sentinel (``None`` is a legal cached value for states).
+_MISSING = object()
+
+
+class _Config:
+    """One interned system configuration (hash-consed by the context).
+
+    ``states``/``memory`` are the raw tuples; ``decided`` maps decided
+    process indices to their DECIDE payloads in ascending index order;
+    ``undecided`` is the ascending tuple of indices still poised to scan
+    or update.  ``succ`` caches the interned successor per stepped index
+    and ``check_cache`` the task checker's verdict — both pure functions
+    of the configuration given the context's protocol/task, so caching
+    them can never change a report.
+
+    Interning makes identity coincide with configuration equality, so
+    memo tables keyed by ``_Config`` nodes use the default identity hash
+    instead of re-hashing wide state/memory tuples on every lookup.
+    ``decided``/``undecided`` may be shared between a parent and a child
+    that made no new decision; treat them as immutable.
+    """
+
+    __slots__ = ("states", "memory", "decided", "undecided", "succ",
+                 "check_cache")
+
+    def __init__(
+        self,
+        states: Tuple,
+        memory: Tuple,
+        decided: Dict[int, Any],
+        undecided: Tuple[int, ...],
+    ) -> None:
+        self.states = states
+        self.memory = memory
+        self.decided = decided
+        self.undecided = undecided
+        self.succ: Dict[int, "_Config"] = {}
+        self.check_cache: Optional[List[str]] = None
+
+
+class ExplorationContext:
+    """Transition caches for one ``(protocol, inputs, task)`` triple.
+
+    Owns the hot-path caches the explorer, fuzzer, and shrinker share:
+
+    - ``poised(state)`` — the protocol's classification of each distinct
+      process state, computed once per state instead of once per visit;
+    - scan/update successors — ``advance`` results keyed by
+      ``(state, observation)`` for scans (the observation is the memory
+      snapshot) and by ``state`` alone for updates (their observation is
+      always ``None``);
+    - the intern table mapping raw ``(states, memory)`` pairs to
+      :class:`_Config` nodes, each carrying its decided/undecided split
+      (maintained incrementally: only the stepped process can change
+      decision status) and a per-index successor cache.
+
+    Everything cached is *pure derived data* under the documented
+    :class:`~repro.protocols.base.Protocol` contract (hashable immutable
+    states, pure ``poised``/``advance``, pure ``task.check``), so sharing
+    a context across exploration units — or not sharing it, as sharded
+    campaign workers don't — cannot change any report.  The per-unit
+    depth memo is *not* part of the context; each unit keeps its own.
+    See docs/PERFORMANCE.md for the full purity contract and the
+    measured effect.
+    """
+
+    def __init__(
+        self, protocol: Protocol, inputs: Sequence[Any], task: Any = None
+    ) -> None:
+        self.protocol = protocol
+        self.inputs = tuple(inputs)
+        self.task = task
+        self._poised: Dict[Any, Tuple[str, Any]] = {}
+        self._scan_succ: Dict[Tuple[Any, Tuple], Any] = {}
+        self._update_succ: Dict[Any, Tuple[Any, int, Any]] = {}
+        self._configs: Dict[Tuple[Tuple, Tuple], _Config] = {}
+        states = tuple(
+            protocol.initial_state(i, v) for i, v in enumerate(inputs)
+        )
+        self.root = self._intern_scan(states, (None,) * protocol.m)
+
+    def poised(self, state: Any) -> Tuple[str, Any]:
+        """``protocol.poised(state)``, computed once per distinct state."""
+        entry = self._poised.get(state)
+        if entry is None:
+            entry = self._poised[state] = self.protocol.poised(state)
+        return entry
+
+    def _intern_scan(self, states: Tuple, memory: Tuple) -> _Config:
+        """Intern a configuration, deriving the decided split by full scan
+        (used only for roots; children derive it incrementally)."""
+        key = (states, memory)
+        config = self._configs.get(key)
+        if config is None:
+            decided: Dict[int, Any] = {}
+            undecided: List[int] = []
+            for index, state in enumerate(states):
+                kind, payload = self.poised(state)
+                if kind == DECIDE:
+                    decided[index] = payload
+                else:
+                    undecided.append(index)
+            config = _Config(states, memory, decided, tuple(undecided))
+            self._configs[key] = config
+        return config
+
+    def child(self, parent: _Config, index: int) -> _Config:
+        """The configuration after process ``index`` takes one step.
+
+        Stepping a decided process is a no-op returning ``parent``
+        (replay semantics).  The result is interned and cached on the
+        parent, so each edge of the configuration graph pays for its
+        transition exactly once per context.
+        """
+        cached = parent.succ.get(index)
+        if cached is not None:
+            return cached
+        state = parent.states[index]
+        kind, payload = self.poised(state)
         if kind == DECIDE:
-            out[index] = payload
-    return out
+            parent.succ[index] = parent
+            return parent
+        memory = parent.memory
+        if kind == SCAN:
+            scan_key = (state, memory)
+            new_state = self._scan_succ.get(scan_key, _MISSING)
+            if new_state is _MISSING:
+                new_state = self.protocol.advance(state, memory)
+                self._scan_succ[scan_key] = new_state
+            new_memory = memory
+        else:
+            entry = self._update_succ.get(state)
+            if entry is None:
+                component, value = payload
+                entry = (self.protocol.advance(state, None), component, value)
+                self._update_succ[state] = entry
+            new_state, component, value = entry
+            new_memory = (
+                memory[:component] + (value,) + memory[component + 1:]
+            )
+        states = parent.states
+        new_states = states[:index] + (new_state,) + states[index + 1:]
+        key = (new_states, new_memory)
+        config = self._configs.get(key)
+        if config is None:
+            new_kind, new_payload = self.poised(new_state)
+            if new_kind == DECIDE:
+                decided = dict(parent.decided)
+                decided[index] = new_payload
+                if any(k > index for k in parent.decided):
+                    decided = {k: decided[k] for k in sorted(decided)}
+                undecided = tuple(
+                    k for k in parent.undecided if k != index
+                )
+            else:
+                decided = parent.decided
+                undecided = parent.undecided
+            config = _Config(new_states, new_memory, decided, undecided)
+            self._configs[key] = config
+        parent.succ[index] = config
+        return config
 
+    def replay(self, schedule: Sequence[int]) -> _Config:
+        """The configuration a schedule reaches from the root (steps by
+        decided processes are no-ops, matching replay semantics)."""
+        config = self.root
+        child = self.child
+        for index in schedule:
+            config = child(config, index)
+        return config
 
-def _step(
-    protocol: Protocol, states: Tuple, memory: Tuple, index: int
-) -> Tuple[Tuple, Tuple]:
-    """Apply one step of (undecided) process ``index``; pure."""
-    kind, payload = protocol.poised(states[index])
-    if kind == SCAN:
-        new_state = protocol.advance(states[index], memory)
-        new_memory = memory
-    else:
-        component, value = payload
-        new_state = protocol.advance(states[index], None)
-        new_memory = memory[:component] + (value,) + memory[component + 1:]
-    return states[:index] + (new_state,) + states[index + 1:], new_memory
+    def check(self, config: _Config) -> List[str]:
+        """The task checker's verdict for a configuration, cached.
+
+        Valid because ``task.check`` is pure and must not mutate its
+        arguments (the decided map is shared with the config).
+        """
+        found = config.check_cache
+        if found is None:
+            found = self.task.check(list(self.inputs), config.decided)
+            config.check_cache = found
+        return found
 
 
 def effective_prefix_depth(prefix_depth: int, max_steps: Optional[int]) -> int:
@@ -149,7 +319,10 @@ def effective_prefix_depth(prefix_depth: int, max_steps: Optional[int]) -> int:
 
 
 def schedule_prefixes(
-    protocol: Protocol, inputs: Sequence[Any], depth: int
+    protocol: Protocol,
+    inputs: Sequence[Any],
+    depth: int,
+    context: Optional[ExplorationContext] = None,
 ) -> Tuple[Tuple[int, ...], ...]:
     """All viable schedule prefixes of length ``depth``, in lex order.
 
@@ -158,29 +331,24 @@ def schedule_prefixes(
     decides before ``depth`` are kept at their shorter length (their
     subtree is just the terminal configuration).  The tuple is the
     canonical unit decomposition sharded exploration distributes over.
+    An existing :class:`ExplorationContext` for the same protocol and
+    inputs may be passed to reuse its transition caches.
     """
-    states = tuple(
-        protocol.initial_state(i, v) for i, v in enumerate(inputs)
+    ctx = context if context is not None else ExplorationContext(
+        protocol, inputs
     )
-    memory: Tuple = (None,) * protocol.m
     prefixes: List[Tuple[int, ...]] = []
-
-    def extend(states: Tuple, memory: Tuple, prefix: Tuple[int, ...]) -> None:
-        if len(prefix) == depth:
+    # Explicit DFS stack (recursion here risked RecursionError at large
+    # depths); children pushed in descending index order so pops — and
+    # therefore appended prefixes — come out in lexicographic order.
+    stack: List[Tuple[_Config, Tuple[int, ...]]] = [(ctx.root, ())]
+    while stack:
+        config, prefix = stack.pop()
+        if len(prefix) == depth or not config.undecided:
             prefixes.append(prefix)
-            return
-        viable = [
-            i for i in range(len(inputs))
-            if protocol.poised(states[i])[0] != DECIDE
-        ]
-        if not viable:
-            prefixes.append(prefix)
-            return
-        for index in viable:
-            new_states, new_memory = _step(protocol, states, memory, index)
-            extend(new_states, new_memory, prefix + (index,))
-
-    extend(states, memory, ())
+            continue
+        for index in reversed(config.undecided):
+            stack.append((ctx.child(config, index), prefix + (index,)))
     return tuple(prefixes)
 
 
@@ -193,41 +361,54 @@ def unit_budget(max_configs: int, units: int) -> int:
     return max(1, -(-max_configs // max(1, units)))
 
 
-def _check_config(
-    report: ExplorationReport,
-    protocol: Protocol,
-    inputs: Sequence[Any],
-    task,
-    states: Tuple,
-    schedule: Tuple[int, ...],
-    stop_at_first_violation: bool,
-) -> Tuple[Dict[int, Any], bool]:
-    """Safety-check one configuration against the task.
+def _materialize(prefix: Tuple[int, ...], tail: Optional[Tuple]) -> List[int]:
+    """Reconstruct a concrete schedule from a parent-pointer node.
 
-    Returns ``(decided map, stop)`` where ``stop`` means a violation was
-    found and the caller asked to stop at the first one.  The recorded
+    ``tail`` is either ``None`` (the schedule is the prefix itself) or a
+    ``(parent_tail, index)`` pair; following the parent pointers yields
+    the suffix in reverse.
+    """
+    suffix: List[int] = []
+    while tail is not None:
+        suffix.append(tail[1])
+        tail = tail[0]
+    suffix.reverse()
+    return list(prefix) + suffix
+
+
+def _check_node(
+    report: ExplorationReport,
+    ctx: ExplorationContext,
+    config: _Config,
+    prefix: Tuple[int, ...],
+    tail: Optional[Tuple],
+    stop_at_first_violation: bool,
+) -> bool:
+    """Safety-check one configuration against the context's task.
+
+    Returns ``stop``: a violation was found and the caller asked to stop
+    at the first one.  The schedule rides along as a parent-pointer node
+    and is materialized only when a violation is actually recorded, so
+    the happy path never pays the O(depth) copy.  The recorded
     counterexample is the lexicographically least violating schedule seen
     so far, keeping the report independent of traversal order.
     """
-    decided = _decisions(protocol, states)
-    if not decided:
-        return decided, False
-    found = task.check(list(inputs), decided)
+    if not config.decided:
+        return False
+    found = ctx.check(config)
     if not found:
-        return decided, False
+        return False
     for violation in found:
         if violation not in report.violations:
             report.violations.append(violation)
-    as_list = list(schedule)
+    as_list = _materialize(prefix, tail)
     if report.counterexample is None or as_list < report.counterexample:
         report.counterexample = as_list
-    return decided, stop_at_first_violation
+    return stop_at_first_violation
 
 
 def _explore_unit(
-    protocol: Protocol,
-    inputs: Sequence[Any],
-    task,
+    ctx: ExplorationContext,
     prefix: Tuple[int, ...],
     max_configs: int,
     max_steps: Optional[int],
@@ -242,27 +423,23 @@ def _explore_unit(
     frontier reaches below the prefix.  ``best_depth`` memoizes the
     minimum depth each configuration was expanded at; a strictly
     shallower arrival re-expands (the depth-bound soundness fix), a
-    deeper or equal one is pruned.
+    deeper or equal one is pruned.  The memo is keyed by interned
+    :class:`_Config` nodes (identity hash) and is per-unit — only the
+    context's pure transition caches persist across units.
     """
     report = ExplorationReport()
-    best_depth: Dict[Tuple, int] = {}
+    best_depth: Dict[_Config, int] = {}
 
     # Pass 1: walk the prefix, recording the path and whether each step
     # took the least viable index (the ownership rule needs the suffix).
-    states = tuple(
-        protocol.initial_state(i, v) for i, v in enumerate(inputs)
-    )
-    memory: Tuple = (None,) * protocol.m
-    path: List[Tuple[Tuple, Tuple]] = []
+    config = ctx.root
+    path: List[_Config] = []
     least_viable: List[bool] = []
     for index in prefix:
-        path.append((states, memory))
-        viable = [
-            i for i in range(len(inputs))
-            if protocol.poised(states[i])[0] != DECIDE
-        ]
-        least_viable.append(bool(viable) and index == viable[0])
-        states, memory = _step(protocol, states, memory, index)
+        path.append(config)
+        undecided = config.undecided
+        least_viable.append(bool(undecided) and index == undecided[0])
+        config = ctx.child(config, index)
     owned_from = len(prefix)
     for flag in reversed(least_viable):
         if not flag:
@@ -272,16 +449,15 @@ def _explore_unit(
     # Pass 2: seed the memo with the path configurations and check the
     # owned interior ones (in path order, same count/check/budget
     # sequence as the frontier loop below).
-    for depth, (p_states, p_memory) in enumerate(path):
-        key = (p_states, p_memory)
-        if key in best_depth:
+    for depth, p_config in enumerate(path):
+        if p_config in best_depth:
             continue
-        best_depth[key] = depth
+        best_depth[p_config] = depth
         if depth < owned_from:
             continue
         report.configurations += 1
-        _decided, stop = _check_config(
-            report, protocol, inputs, task, p_states, prefix[:depth],
+        stop = _check_node(
+            report, ctx, p_config, prefix[:depth], None,
             stop_at_first_violation,
         )
         if stop:
@@ -295,28 +471,28 @@ def _explore_unit(
     # Pass 3: frontier exploration below the prefix.  LIFO with children
     # pushed in ascending index order, so higher indices expand first —
     # the historical traversal order, kept for comparable truncation
-    # behaviour (the *report* no longer depends on it).
-    frontier: List[Tuple[Tuple, Tuple, int, Tuple[int, ...]]] = [
-        (states, memory, len(prefix), prefix)
+    # behaviour (the *report* no longer depends on it).  Schedules are
+    # parent-pointer tails rooted at the prefix, not per-node copies.
+    frontier: List[Tuple[_Config, int, Optional[Tuple]]] = [
+        (config, len(prefix), None)
     ]
     while frontier:
-        states, memory, depth, schedule = frontier.pop()
-        key = (states, memory)
-        prior = best_depth.get(key)
+        config, depth, tail = frontier.pop()
+        prior = best_depth.get(config)
         if prior is not None and depth >= prior:
             continue
         first_visit = prior is None
-        best_depth[key] = depth
+        best_depth[config] = depth
         if first_visit:
             report.configurations += 1
 
-        decided, stop = _check_config(
-            report, protocol, inputs, task, states, schedule,
-            stop_at_first_violation,
+        stop = _check_node(
+            report, ctx, config, prefix, tail, stop_at_first_violation
         )
         if stop:
             break
-        all_decided = len(decided) == len(inputs)
+        undecided = config.undecided
+        all_decided = not undecided
         if all_decided and first_visit:
             report.fully_decided += 1
         if report.configurations >= max_configs:
@@ -328,13 +504,10 @@ def _explore_unit(
             report.truncated = True
             continue
 
-        for index in range(len(inputs)):
-            if index in decided:
-                continue
-            new_states, new_memory = _step(protocol, states, memory, index)
-            frontier.append(
-                (new_states, new_memory, depth + 1, schedule + (index,))
-            )
+        child = ctx.child
+        next_depth = depth + 1
+        for index in undecided:
+            frontier.append((child(config, index), next_depth, (tail, index)))
     report.violations.sort()
     return report
 
@@ -349,6 +522,7 @@ def explore_prefix_range(
     max_configs: int = 200_000,
     max_steps: Optional[int] = None,
     stop_at_first_violation: bool = True,
+    context: Optional[ExplorationContext] = None,
 ) -> ExplorationReport:
     """Explore units ``start..stop-1`` of a prefix decomposition.
 
@@ -357,13 +531,21 @@ def explore_prefix_range(
     ``max_configs`` over its total length, so disjoint ranges merged
     together equal one call over the whole range.  This is the serial
     function :class:`repro.campaign.ExploreJob` workers execute.
+
+    All units share one :class:`ExplorationContext` (``context``, or a
+    fresh one) for its pure transition caches; each unit still gets a
+    fresh depth memo, so the merged report is byte-identical whether
+    units run in one call, in separate calls, or on separate workers.
     """
     budget = unit_budget(max_configs, len(prefixes))
+    ctx = context if context is not None else ExplorationContext(
+        protocol, inputs, task
+    )
     report = ExplorationReport()
     for prefix in prefixes[start:stop]:
         report = report.merge(
             _explore_unit(
-                protocol, inputs, task, tuple(prefix), budget, max_steps,
+                ctx, tuple(prefix), budget, max_steps,
                 stop_at_first_violation,
             )
         )
@@ -404,11 +586,12 @@ def explore_protocol(
             f"{protocol.name} supports n={protocol.n}, got {len(inputs)} inputs"
         )
     depth = effective_prefix_depth(prefix_depth, max_steps)
-    prefixes = schedule_prefixes(protocol, inputs, depth)
+    ctx = ExplorationContext(protocol, inputs, task)
+    prefixes = schedule_prefixes(protocol, inputs, depth, context=ctx)
     return explore_prefix_range(
         protocol, inputs, task, prefixes, 0, len(prefixes),
         max_configs=max_configs, max_steps=max_steps,
-        stop_at_first_violation=stop_at_first_violation,
+        stop_at_first_violation=stop_at_first_violation, context=ctx,
     )
 
 
@@ -427,6 +610,7 @@ def check_obstruction_freedom(
     :class:`~repro.errors.ValidationError`.
     """
     violations = []
+    ctx = ExplorationContext(protocol, inputs)
     for schedule in sample_schedules:
         for position, index in enumerate(schedule):
             if not 0 <= index < len(inputs):
@@ -434,25 +618,14 @@ def check_obstruction_freedom(
                     f"{protocol.name}: schedule entry {index} at position "
                     f"{position} out of range for {len(inputs)} processes"
                 )
-        states = [protocol.initial_state(i, v) for i, v in enumerate(inputs)]
-        memory: List[Any] = [None] * protocol.m
-        for index in schedule:
-            kind, payload = protocol.poised(states[index])
-            if kind == DECIDE:
-                continue
-            if kind == SCAN:
-                states[index] = protocol.advance(states[index], tuple(memory))
-            else:
-                component, value = payload
-                memory[component] = value
-                states[index] = protocol.advance(states[index], None)
+        config = ctx.replay(schedule)
         for index in range(len(inputs)):
-            kind, _payload = protocol.poised(states[index])
-            if kind == DECIDE:
+            if index in config.decided:
                 continue
             try:
                 _state, _mem, _pending, decision = solo_run(
-                    protocol, states[index], tuple(memory), max_steps=solo_budget
+                    protocol, config.states[index], config.memory,
+                    max_steps=solo_budget,
                 )
             except DivergenceError:
                 violations.append(

@@ -20,6 +20,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Any, List, Optional, Sequence, Tuple
 
+from repro.analysis.explore import ExplorationContext
 from repro.analysis.shrink import ShrinkResult, shrink_schedule, violates
 from repro.protocols.base import Protocol
 
@@ -175,16 +176,19 @@ def fuzz_protocol(
     ``max_saved_violations`` violating schedules are retained.
     """
     report = FuzzReport(max_saved_violations=max_saved_violations)
+    # One context for the whole campaign: every run's replay (and the
+    # shrinker's) walks the same cached transition graph.
+    ctx = ExplorationContext(protocol, inputs, task)
     for index in range(run_offset, run_offset + runs):
         report.runs += 1
         schedule = schedule_for_run(
             seed, index, len(inputs), schedule_length
         )
-        if violates(protocol, inputs, task, schedule):
+        if violates(protocol, inputs, task, schedule, context=ctx):
             first = report.violating_runs == 0
             report.record_violation(index, schedule)
             if first and shrink:
                 report.minimized = shrink_schedule(
-                    protocol, inputs, task, schedule
+                    protocol, inputs, task, schedule, context=ctx
                 )
     return report

@@ -14,40 +14,53 @@ removals never make a schedule ill-formed.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
-from repro.protocols.base import DECIDE, SCAN, Protocol
+from repro.analysis.explore import ExplorationContext
+from repro.protocols.base import Protocol
 
 
 def replay_schedule(
-    protocol: Protocol, inputs: Sequence[Any], schedule: Sequence[int]
+    protocol: Protocol,
+    inputs: Sequence[Any],
+    schedule: Sequence[int],
+    context: Optional[ExplorationContext] = None,
 ) -> Dict[int, Any]:
-    """Run a schedule over fresh protocol state; returns decisions map."""
-    states = [protocol.initial_state(i, v) for i, v in enumerate(inputs)]
-    memory: List[Any] = [None] * protocol.m
-    for index in schedule:
-        kind, payload = protocol.poised(states[index])
-        if kind == DECIDE:
-            continue
-        if kind == SCAN:
-            states[index] = protocol.advance(states[index], tuple(memory))
-        else:
-            component, value = payload
-            memory[component] = value
-            states[index] = protocol.advance(states[index], None)
-    decisions = {}
-    for index, state in enumerate(states):
-        value = protocol.decision(state)
-        if value is not None:
-            decisions[index] = value
-    return decisions
+    """Run a schedule over fresh protocol state; returns decisions map.
+
+    Replays go through an :class:`~repro.analysis.explore.ExplorationContext`
+    so repeated replays (shrinking, fuzz campaigns) share transition
+    caches; pass ``context`` to reuse one across calls — it must have
+    been built for the same ``(protocol, inputs)``.  Decisions with a
+    ``None`` payload are not reported (they are "undecided" to a task
+    checker), matching the direct-replay semantics this function always
+    had.
+    """
+    ctx = context if context is not None else ExplorationContext(
+        protocol, inputs
+    )
+    config = ctx.replay(schedule)
+    return {
+        index: value
+        for index, value in config.decided.items()
+        if value is not None
+    }
 
 
 def violates(
-    protocol: Protocol, inputs: Sequence[Any], task, schedule: Sequence[int]
+    protocol: Protocol,
+    inputs: Sequence[Any],
+    task,
+    schedule: Sequence[int],
+    context: Optional[ExplorationContext] = None,
 ) -> bool:
     """Does replaying ``schedule`` produce a task violation?"""
-    return bool(task.check(list(inputs), replay_schedule(protocol, inputs, schedule)))
+    return bool(
+        task.check(
+            list(inputs),
+            replay_schedule(protocol, inputs, schedule, context=context),
+        )
+    )
 
 
 @dataclass
@@ -67,18 +80,24 @@ def shrink_schedule(
     task,
     schedule: Sequence[int],
     max_replays: int = 50_000,
+    context: Optional[ExplorationContext] = None,
 ) -> ShrinkResult:
     """Minimize a violating schedule (ddmin-style, then 1-minimal pass).
 
-    Raises ``ValueError`` if the input schedule does not violate.
+    Raises ``ValueError`` if the input schedule does not violate.  All
+    replays share one exploration context (``context`` or a fresh one),
+    so candidate schedules re-walk cached transitions.
     """
     current = list(schedule)
     replays = 0
+    ctx = context if context is not None else ExplorationContext(
+        protocol, inputs, task
+    )
 
     def still_violates(candidate: List[int]) -> bool:
         nonlocal replays
         replays += 1
-        return violates(protocol, inputs, task, candidate)
+        return violates(protocol, inputs, task, candidate, context=ctx)
 
     if not still_violates(current):
         raise ValueError("schedule does not violate the task")

@@ -26,9 +26,9 @@ from typing import Any, Dict, Generator, Sequence, Tuple
 from repro.augmented.views import (
     YIELD,
     get_view,
-    history_counts,
+    history_count,
     is_proper_prefix,
-    new_timestamp,
+    timestamp_for_counts,
 )
 from repro.errors import ModelError, ValidationError
 from repro.memory.registers import RegisterArray
@@ -50,6 +50,11 @@ class AugmentedSnapshot:
 
     Progress (Lemma 23): ``block_update`` is wait-free; ``scan`` is
     non-blocking — it can only be delayed by concurrent Block-Updates.
+
+    ``annotate=False`` suppresses the zero-cost begin/end markers; only the
+    Appendix B trace analysis (:mod:`repro.augmented.linearization`) reads
+    them, so callers that never run it (e.g. aggregate sweeps that discard
+    traces) skip the per-operation marker overhead.
     """
 
     def __init__(
@@ -58,6 +63,7 @@ class AugmentedSnapshot:
         components: int,
         pids: Sequence[int],
         register_level: bool = False,
+        annotate: bool = True,
     ) -> None:
         if components < 1:
             raise ValidationError("augmented snapshot needs at least one component")
@@ -70,6 +76,7 @@ class AugmentedSnapshot:
         if len(self._rank) != len(self.pids):
             raise ValidationError("duplicate pids")
         self.register_level = register_level
+        self.annotate = annotate
         # H[i] = history of q_i, initially the empty tuple (the paper's ⊥).
         if register_level:
             # "From registers all the way down": back H with the [AAD+93]
@@ -103,6 +110,10 @@ class AugmentedSnapshot:
         self._op_counter = 0
         self.yield_counts: Dict[int, int] = {i: 0 for i in range(len(self.pids))}
         self.atomic_counts: Dict[int, int] = {i: 0 for i in range(len(self.pids))}
+        # Component histories are immutable tuples and H hands back the same
+        # tuple object for an unchanged component, so counting Block-Updates
+        # per rank only needs recomputing for components that actually grew.
+        self._count_cache: list = [(None, 0)] * len(self.pids)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -150,6 +161,20 @@ class AugmentedSnapshot:
         self._op_counter += 1
         return f"{kind}{self._op_counter}"
 
+    def _history_counts(self, h: Tuple) -> Tuple[int, ...]:
+        """``(#h_0, ..., #h_k)`` with per-rank identity-keyed caching."""
+        cache = self._count_cache
+        counts = []
+        for i, hist in enumerate(h):
+            hit = cache[i]
+            if hit[0] is hist:
+                counts.append(hit[1])
+            else:
+                c = history_count(hist)
+                cache[i] = (hist, c)
+                counts.append(c)
+        return tuple(counts)
+
     # ------------------------------------------------------------------
     # Scan — Figure 1 lines 14–21
     # ------------------------------------------------------------------
@@ -163,15 +188,17 @@ class AugmentedSnapshot:
         return views consistent with Scans.
         """
         rank = self.rank_of(pid)
-        op_id = self._next_op_id("S")
-        yield Annotate(
-            AUG_OP_TAG,
-            {"kind": "scan", "phase": "begin", "op_id": op_id, "rank": rank,
-             "object": self.name},
-        )
+        annotate = self.annotate
+        if annotate:
+            op_id = self._next_op_id("S")
+            yield Annotate(
+                AUG_OP_TAG,
+                {"kind": "scan", "phase": "begin", "op_id": op_id,
+                 "rank": rank, "object": self.name},
+            )
         while True:
             h = yield from self._h_scan(pid)                          # line 15
-            counts = history_counts(h)
+            counts = self._history_counts(h)
             for j in range(self.k_plus_1):                            # line 16
                 if j != rank:
                     yield Invoke(self.L[(rank, j)], "write", (counts[j], h))  # 17
@@ -179,11 +206,12 @@ class AugmentedSnapshot:
             if h == f:                                                # line 20
                 break
         view = get_view(h, self.m)                                    # line 21
-        yield Annotate(
-            AUG_OP_TAG,
-            {"kind": "scan", "phase": "end", "op_id": op_id, "rank": rank,
-             "object": self.name, "view": view},
-        )
+        if annotate:
+            yield Annotate(
+                AUG_OP_TAG,
+                {"kind": "scan", "phase": "end", "op_id": op_id, "rank": rank,
+                 "object": self.name, "view": view},
+            )
         return view
 
     # ------------------------------------------------------------------
@@ -216,35 +244,38 @@ class AugmentedSnapshot:
             if not 0 <= c < self.m:
                 raise ValidationError(f"component {c} out of range for m={self.m}")
 
-        op_id = self._next_op_id("B")
-        yield Annotate(
-            AUG_OP_TAG,
-            {"kind": "block_update", "phase": "begin", "op_id": op_id,
-             "rank": rank, "object": self.name,
-             "components": tuple(comps), "values": tuple(vals)},
-        )
+        annotate = self.annotate
+        if annotate:
+            op_id = self._next_op_id("B")
+            yield Annotate(
+                AUG_OP_TAG,
+                {"kind": "block_update", "phase": "begin", "op_id": op_id,
+                 "rank": rank, "object": self.name,
+                 "components": tuple(comps), "values": tuple(vals)},
+            )
 
         h = yield from self._h_scan(pid)                              # line 23
-        t = new_timestamp(h, rank)                                    # line 24
+        h_counts = self._history_counts(h)
+        t = timestamp_for_counts(h_counts, rank)                      # line 24
         triples = tuple((c, v, t) for c, v in zip(comps, vals))
         yield from self._h_update(pid, rank, h[rank] + triples)       # line 25
 
         f = yield from self._h_scan(pid)                              # line 26
-        f_counts = history_counts(f)
+        f_counts = self._history_counts(f)
         for j in range(rank):                                         # line 27
             yield Invoke(self.L[(rank, j)], "write", (f_counts[j], f))  # 28
 
         g = yield from self._h_scan(pid)                              # line 29
-        h_counts = history_counts(h)
-        g_counts = history_counts(g)
+        g_counts = self._history_counts(g)
         if any(g_counts[j] > h_counts[j] for j in range(rank)):       # line 30
             self.yield_counts[rank] += 1
-            yield Annotate(
-                AUG_OP_TAG,
-                {"kind": "block_update", "phase": "end", "op_id": op_id,
-                 "rank": rank, "object": self.name, "timestamp": t,
-                 "result": "yield"},
-            )
+            if annotate:
+                yield Annotate(
+                    AUG_OP_TAG,
+                    {"kind": "block_update", "phase": "end", "op_id": op_id,
+                     "rank": rank, "object": self.name, "timestamp": t,
+                     "result": "yield"},
+                )
             return YIELD                                              # line 31
 
         last = h                                                      # line 32
@@ -256,10 +287,11 @@ class AugmentedSnapshot:
                 last = r_j                                            # line 36
         view = get_view(last, self.m)                                 # line 37
         self.atomic_counts[rank] += 1
-        yield Annotate(
-            AUG_OP_TAG,
-            {"kind": "block_update", "phase": "end", "op_id": op_id,
-             "rank": rank, "object": self.name, "timestamp": t,
-             "result": "view", "view": view},
-        )
+        if annotate:
+            yield Annotate(
+                AUG_OP_TAG,
+                {"kind": "block_update", "phase": "end", "op_id": op_id,
+                 "rank": rank, "object": self.name, "timestamp": t,
+                 "result": "view", "view": view},
+            )
         return view

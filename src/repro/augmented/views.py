@@ -62,6 +62,21 @@ def history_counts(h: ScanResult) -> Tuple[int, ...]:
     return tuple(history_count(component) for component in h)
 
 
+def timestamp_for_counts(
+    counts: Tuple[int, ...], rank: int
+) -> VectorTimestamp:
+    """New-timestamp from already-computed history counts (lines 1–5).
+
+    Split out of :func:`new_timestamp` so callers that need the counts
+    anyway (Block-Update needs ``#h`` again at line 30) compute them once.
+    """
+    counts = list(counts)
+    if not 0 <= rank < len(counts):
+        raise ValidationError(f"rank {rank} out of range for {len(counts)} histories")
+    counts[rank] += 1
+    return VectorTimestamp(counts)
+
+
 def new_timestamp(h: ScanResult, rank: int) -> VectorTimestamp:
     """New-timestamp(h) by the process of rank ``rank`` (lines 1–5).
 
@@ -69,11 +84,7 @@ def new_timestamp(h: ScanResult, rank: int) -> VectorTimestamp:
     By Corollary 11 the result is lexicographically larger than every
     timestamp contained in ``h``.
     """
-    counts = list(history_counts(h))
-    if not 0 <= rank < len(counts):
-        raise ValidationError(f"rank {rank} out of range for {len(counts)} histories")
-    counts[rank] += 1
-    return VectorTimestamp(counts)
+    return timestamp_for_counts(history_counts(h), rank)
 
 
 def get_view(h: ScanResult, m: int) -> Tuple[Any, ...]:

@@ -67,6 +67,7 @@ def cmd_bench_compare(args) -> int:
             threshold=args.threshold,
             iqr_factor=args.iqr_factor,
             slowdown=args.slowdown,
+            require_faster=_split_selectors(args.require_faster),
         )
         warnings = mode_mismatch_warnings(args.baseline, args.current)
     except (ValidationError, BenchSchemaError) as error:
@@ -135,6 +136,12 @@ def add_bench_parser(subparsers) -> None:
         "--slowdown", type=float, default=1.0,
         help="multiply current medians by this factor (CI self-test "
              "knob proving the gate trips)",
+    )
+    compare.add_argument(
+        "--require-faster", action="append", default=None, metavar="SEL",
+        help="experiments whose verdict must be 'faster' (E14, explore, "
+             "E14_explore; comma-separated or repeated); anything weaker "
+             "fails the gate",
     )
     compare.set_defaults(func=_cmd_bench_compare_defaults)
 

@@ -5,7 +5,8 @@ a committed baseline directory and classifies each experiment:
 
 * ``ok`` — current median within the allowance;
 * ``faster`` — current median beat the baseline by the threshold
-  (informational, never fails the gate);
+  (informational — unless the experiment is named by
+  ``require_faster``, which turns any weaker verdict into a failure);
 * ``regression`` — current median exceeded the allowance;
 * ``missing`` — the baseline has an experiment the current run lacks
   (a silently-dropped benchmark must fail the gate);
@@ -50,11 +51,16 @@ class Comparison:
     current_median: Optional[float]
     allowance_seconds: Optional[float]
     ratio: Optional[float]
+    #: ``--require-faster`` marked this experiment: any verdict other
+    #: than ``faster`` fails the gate.
+    must_be_faster: bool = False
 
     @property
     def failed(self) -> bool:
         """True when this verdict must fail the gate."""
-        return self.status in ("regression", "missing")
+        if self.status in ("regression", "missing"):
+            return True
+        return self.must_be_faster and self.status != "faster"
 
     def summary(self) -> str:
         """One aligned line for the comparison report."""
@@ -68,6 +74,8 @@ class Comparison:
                 f"({self.ratio:.2f}x, allowed <= "
                 f"{self.allowance_seconds:.3f}s)"
             )
+        if self.must_be_faster and self.status != "faster":
+            detail += "  [required: faster]"
         return f"{self.status:>10}  {self.artifact_name:<24} {detail}"
 
 
@@ -110,12 +118,15 @@ def compare_artifacts(
     threshold: float = DEFAULT_THRESHOLD,
     iqr_factor: float = DEFAULT_IQR_FACTOR,
     slowdown: float = 1.0,
+    must_be_faster: bool = False,
 ) -> Comparison:
     """Compare one experiment's current artifact against its baseline.
 
     ``slowdown`` multiplies the current median before the check — an
     injected handicap used by CI to prove the gate actually trips (a
     comparator that passes everything is worse than none).
+    ``must_be_faster`` marks the verdict as gate-failing unless it comes
+    out ``faster``.
     """
     current_median = current.median_seconds * slowdown
     noise = iqr_factor * max(baseline.iqr_seconds, current.iqr_seconds)
@@ -138,7 +149,14 @@ def compare_artifacts(
         current_median=current_median,
         allowance_seconds=allowance,
         ratio=ratio,
+        must_be_faster=must_be_faster,
     )
+
+
+def _matches_selector(artifact_name: str, selector: str) -> bool:
+    """True when ``selector`` names this artifact (eid, name, or stem)."""
+    eid, _, name = artifact_name.partition("_")
+    return selector in (artifact_name, eid, name)
 
 
 def compare_runs(
@@ -147,8 +165,17 @@ def compare_runs(
     threshold: float = DEFAULT_THRESHOLD,
     iqr_factor: float = DEFAULT_IQR_FACTOR,
     slowdown: float = 1.0,
+    require_faster: Optional[List[str]] = None,
 ) -> CompareReport:
     """Compare every baseline experiment against the current run.
+
+    ``require_faster`` selects experiments (by eid like ``E14``, payload
+    name like ``explore``, or artifact stem like ``E14_explore``) whose
+    verdict must be ``faster`` — anything weaker fails the gate.  This
+    is how a PR that claims a speedup makes the claim enforceable
+    against the pre-change baselines.  A selector that matches no
+    baseline experiment is an error: a required speedup must not be
+    satisfiable by deleting the benchmark.
 
     Raises :class:`~repro.errors.ValidationError` when either directory
     holds no artifacts (an empty gate would vacuously pass), and
@@ -171,20 +198,32 @@ def compare_runs(
         raise ValidationError(
             f"no BENCH_*.json artifacts in current dir {current_dir}"
         )
+    required = list(require_faster or [])
+    for selector in required:
+        if not any(_matches_selector(name, selector) for name in baselines):
+            raise ValidationError(
+                f"--require-faster selector {selector!r} matches no "
+                f"baseline experiment"
+            )
     comparisons: List[Comparison] = []
     for name in sorted(baselines, key=_artifact_sort_key):
         baseline = baselines[name]
+        must_be_faster = any(
+            _matches_selector(name, selector) for selector in required
+        )
         current = currents.get(name)
         if current is None:
             comparisons.append(Comparison(
                 artifact_name=name, status="missing",
                 baseline_median=baseline.median_seconds,
                 current_median=None, allowance_seconds=None, ratio=None,
+                must_be_faster=must_be_faster,
             ))
             continue
         comparisons.append(compare_artifacts(
             baseline, current, threshold=threshold,
             iqr_factor=iqr_factor, slowdown=slowdown,
+            must_be_faster=must_be_faster,
         ))
     for name in sorted(set(currents) - set(baselines),
                        key=_artifact_sort_key):

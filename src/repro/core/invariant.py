@@ -82,7 +82,18 @@ class Correspondence:
 
 
 class _Replayer:
-    """Replays a prefix of **σ** to recover states and contents of M."""
+    """Replays a prefix of **σ** to recover states and contents of M.
+
+    ``replay`` is a pure function of the entry prefix it is asked about,
+    but the checker asks about ever-growing prefixes of the same list —
+    one per linearization point — so replaying from scratch every time is
+    quadratic in σ.  The replayer therefore keeps a *tip*: the states and
+    contents after the prefix it most recently replayed, advanced
+    incrementally when asked about a longer prefix and rebuilt from
+    scratch only when asked about a shorter one.  Callers that mutate
+    ``entries`` anywhere before the tip (hidden-step insertion) must call
+    :meth:`invalidate` with the insertion position.
+    """
 
     def __init__(self, setup: SimulationSetup):
         self.setup = setup
@@ -93,25 +104,37 @@ class _Replayer:
                 self.initial_states[index] = protocol.initial_state(
                     index, setup.inputs[rank]
                 )
+        self._reset()
+
+    def _reset(self) -> None:
+        self._pos = 0
+        self._states: Dict[int, Any] = dict(self.initial_states)
+        self._contents: List[Any] = [None] * self.setup.protocol.m
+
+    def invalidate(self, position: int) -> None:
+        """Entries at/after ``position`` changed; drop a stale tip."""
+        if position < self._pos:
+            self._reset()
 
     def replay(
         self, entries: Sequence[SimEntry], upto: Optional[int] = None
     ) -> Tuple[Dict[int, Any], Tuple[Any, ...]]:
-        protocol = self.setup.protocol
-        states = dict(self.initial_states)
-        contents: List[Any] = [None] * protocol.m
+        advance = self.setup.protocol.advance
         count = len(entries) if upto is None else upto
-        for entry in entries[:count]:
+        if count < self._pos:
+            self._reset()
+        states = self._states
+        contents = self._contents
+        for position in range(self._pos, count):
+            entry = entries[position]
+            process = entry.process
             if entry.kind == "scan":
-                states[entry.process] = protocol.advance(
-                    states[entry.process], tuple(contents)
-                )
+                states[process] = advance(states[process], tuple(contents))
             else:
                 contents[entry.component] = entry.value
-                states[entry.process] = protocol.advance(
-                    states[entry.process], None
-                )
-        return states, tuple(contents)
+                states[process] = advance(states[process], None)
+        self._pos = count
+        return dict(states), tuple(contents)
 
 
 def _rank_blocks(
@@ -294,6 +317,7 @@ def check_correspondence(outcome) -> Correspondence:
                         )
                     )
             entries[at:at] = hidden_entries
+            replayer.invalidate(at)
             out.hidden_steps += len(hidden_entries)
             shift_anchors(at, len(hidden_entries))
 

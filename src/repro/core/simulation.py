@@ -357,6 +357,7 @@ def run_simulation(
     object_name: str = "M",
     unsafe_anchor: bool = False,
     register_level: bool = False,
+    aug_annotations: bool = True,
 ) -> SimulationOutcome:
     """Run the revisionist simulation end to end.
 
@@ -375,6 +376,9 @@ def run_simulation(
         register_level: back the augmented snapshot's H with the [AAD+93]
             register construction, so the whole reduction executes on raw
             reads and writes (trace analysis unavailable in this mode).
+        aug_annotations: emit the augmented object's begin/end markers into
+            the trace (needed only by the Appendix B analysis; sweeps that
+            discard traces turn this off).
     """
     setup = build_setup(protocol, k, x, inputs)
     aug = AugmentedSnapshot(
@@ -382,6 +386,7 @@ def run_simulation(
         components=protocol.m,
         pids=list(range(k + 1)),
         register_level=register_level,
+        annotate=aug_annotations,
     )
     system = System()
     for rank in range(k + 1):

@@ -132,7 +132,13 @@ def sweep_simulation(
     ``verify_correspondence`` additionally runs the Lemma 28 checker per
     run (slower).  Extra keyword arguments go to
     :func:`~repro.core.simulation.run_simulation`.
+
+    Per-run traces are discarded (only the aggregate report survives), so
+    the augmented object's begin/end markers default to off here — unless
+    ``verify_correspondence`` is set, whose Lemma 28 checker linearizes
+    them.  Pass ``aug_annotations=True`` to force them back on.
     """
+    run_kwargs.setdefault("aug_annotations", verify_correspondence)
     report = SweepReport()
     for seed in seeds:
         outcome = run_simulation(

@@ -34,6 +34,10 @@ class AtomicSnapshot:
         self.name = name
         self.m = components
         self.values: List[Any] = [initial] * components
+        # Scans of an unchanged snapshot return the *same* tuple object, so
+        # downstream equality checks (the double collect in Figure 1) and
+        # identity-keyed caches are cheap.  Invalidated on every update.
+        self._view: Any = tuple(self.values)
         self.update_count = 0
         self.scan_count = 0
 
@@ -44,11 +48,15 @@ class AtomicSnapshot:
         """Atomically apply scan()/update(j, v)."""
         if op == "scan":
             self.scan_count += 1
-            return tuple(self.values)
+            view = self._view
+            if view is None:
+                view = self._view = tuple(self.values)
+            return view
         if op == "update":
             index, value = args
             self._check_index(index)
             self.values[index] = value
+            self._view = None
             self.update_count += 1
             return None
         raise ModelError(f"snapshot {self.name} has no operation {op!r}")

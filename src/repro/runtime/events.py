@@ -18,8 +18,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Optional, Tuple
 
+# Invoke/Annotate/Event are plain ``__slots__`` classes rather than frozen
+# dataclasses: one is allocated per applied step (plus one per annotation),
+# so they sit on the runtime's hot path, and frozen-dataclass construction
+# costs an ``object.__setattr__`` per field.  They keep dataclass-style
+# value equality and repr; treat instances as immutable.
 
-@dataclass(frozen=True)
+
 class Invoke:
     """A request to atomically apply ``op(*args)`` on a shared object.
 
@@ -29,12 +34,31 @@ class Invoke:
         args: positional arguments for the operation.
     """
 
-    obj: Any
-    op: str
-    args: Tuple[Any, ...] = ()
+    __slots__ = ("obj", "op", "args")
+
+    def __init__(self, obj: Any, op: str, args: Tuple[Any, ...] = ()) -> None:
+        self.obj = obj
+        self.op = op
+        self.args = args
+
+    def __repr__(self) -> str:
+        return (
+            f"Invoke(obj={self.obj!r}, op={self.op!r}, args={self.args!r})"
+        )
+
+    def __eq__(self, other: Any) -> bool:
+        if other.__class__ is not Invoke:
+            return NotImplemented
+        return (
+            self.obj == other.obj
+            and self.op == other.op
+            and self.args == other.args
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.obj, self.op, self.args))
 
 
-@dataclass(frozen=True)
 class Annotate:
     """A zero-cost trace marker.
 
@@ -44,11 +68,24 @@ class Annotate:
     Block-Update) and decisions.
     """
 
-    tag: str
-    payload: Any = None
+    __slots__ = ("tag", "payload")
+
+    def __init__(self, tag: str, payload: Any = None) -> None:
+        self.tag = tag
+        self.payload = payload
+
+    def __repr__(self) -> str:
+        return f"Annotate(tag={self.tag!r}, payload={self.payload!r})"
+
+    def __eq__(self, other: Any) -> bool:
+        if other.__class__ is not Annotate:
+            return NotImplemented
+        return self.tag == other.tag and self.payload == other.payload
+
+    def __hash__(self) -> int:
+        return hash((self.tag, self.payload))
 
 
-@dataclass(frozen=True)
 class Event:
     """One entry of an execution trace.
 
@@ -66,15 +103,54 @@ class Event:
         payload: annotation payload (annotations only).
     """
 
-    seq: int
-    pid: int
-    kind: str
-    obj_name: Optional[str] = None
-    op: Optional[str] = None
-    args: Tuple[Any, ...] = ()
-    result: Any = None
-    tag: Optional[str] = None
-    payload: Any = None
+    __slots__ = (
+        "seq", "pid", "kind", "obj_name", "op", "args", "result", "tag",
+        "payload",
+    )
+
+    def __init__(
+        self,
+        seq: int,
+        pid: int,
+        kind: str,
+        obj_name: Optional[str] = None,
+        op: Optional[str] = None,
+        args: Tuple[Any, ...] = (),
+        result: Any = None,
+        tag: Optional[str] = None,
+        payload: Any = None,
+    ) -> None:
+        self.seq = seq
+        self.pid = pid
+        self.kind = kind
+        self.obj_name = obj_name
+        self.op = op
+        self.args = args
+        self.result = result
+        self.tag = tag
+        self.payload = payload
+
+    def _key(self) -> Tuple:
+        return (
+            self.seq, self.pid, self.kind, self.obj_name, self.op,
+            self.args, self.result, self.tag, self.payload,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Event(seq={self.seq!r}, pid={self.pid!r}, kind={self.kind!r}, "
+            f"obj_name={self.obj_name!r}, op={self.op!r}, args={self.args!r}, "
+            f"result={self.result!r}, tag={self.tag!r}, "
+            f"payload={self.payload!r})"
+        )
+
+    def __eq__(self, other: Any) -> bool:
+        if other.__class__ is not Event:
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
 
     def is_step(self) -> bool:
         """True for applied shared-memory steps."""

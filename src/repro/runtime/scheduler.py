@@ -72,14 +72,26 @@ class RandomScheduler(Scheduler):
         self._seed = seed
         self._rng = random.Random(seed)
         self._weights = dict(weights) if weights else None
+        self._sorted_cache: Optional[tuple] = None
 
     def reset(self) -> None:
         self._rng = random.Random(self._seed)
+        self._sorted_cache = None
 
     def next_pid(self, active: Sequence[int]) -> int:
         if not active:
             raise SchedulerError("no active processes to schedule")
-        pids = sorted(active)
+        # `System.run` hands the scheduler the *same* list object every turn
+        # until the READY set changes, so re-sorting it is pure waste; a
+        # one-entry cache keyed by identity + contents skips that.  The
+        # equality check keeps this exact even for callers that mutate a
+        # list in place between turns.
+        cached = self._sorted_cache
+        if cached is not None and cached[0] is active and cached[1] == active:
+            pids = cached[2]
+        else:
+            pids = sorted(active)
+            self._sorted_cache = (active, list(active), pids)
         if self._weights:
             weights = [self._weights.get(pid, 1.0) for pid in pids]
             return self._rng.choices(pids, weights=weights, k=1)[0]

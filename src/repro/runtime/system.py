@@ -56,9 +56,18 @@ class System:
     def __init__(self) -> None:
         self.processes: Dict[int, Process] = {}
         self.trace = Trace()
+        self._events = self.trace.events
         self.objects: Dict[str, Any] = {}
         self._seq = 0
         self._responses: Dict[int, Any] = {}
+        # READY processes, maintained incrementally (insertion-ordered, so
+        # iteration matches registration order).  Processes only ever
+        # *leave* READY; `active_pids` prunes defensively in case a
+        # Process was crashed behind the System's back.  The version
+        # counter bumps on every READY-set change so `run` can reuse its
+        # active list across turns.
+        self._ready: Dict[int, Process] = {}
+        self._ready_version = 0
 
     # ------------------------------------------------------------------
     # Construction
@@ -76,6 +85,9 @@ class System:
             raise ModelError(f"duplicate pid {pid}")
         proc = Process(pid, body, name=name)
         self.processes[pid] = proc
+        if proc.status == READY:
+            self._ready[pid] = proc
+            self._ready_version += 1
         return proc
 
     # ------------------------------------------------------------------
@@ -83,7 +95,16 @@ class System:
     # ------------------------------------------------------------------
     def active_pids(self) -> List[int]:
         """Pids of processes that can still be scheduled."""
-        return [pid for pid, p in self.processes.items() if p.status == READY]
+        ready = self._ready
+        for proc in ready.values():
+            if proc.status != READY:
+                # Rare: a Process was crashed behind the System's back.
+                stale = [pid for pid, p in ready.items() if p.status != READY]
+                for pid in stale:
+                    del ready[pid]
+                self._ready_version += 1
+                break
+        return list(ready)
 
     def outputs(self) -> Dict[int, Any]:
         """pid -> output for all DONE processes."""
@@ -97,7 +118,10 @@ class System:
 
     def pending_operation(self, pid: int) -> Optional[Invoke]:
         """The operation ``pid`` is poised to perform, if any."""
-        return self._pending.get(pid)
+        proc = self.processes.get(pid)
+        if proc is None or proc.status != READY:
+            return None
+        return proc._pending
 
     # ------------------------------------------------------------------
     # Execution
@@ -105,7 +129,7 @@ class System:
     @property
     def _pending(self) -> Dict[int, Invoke]:
         pending = {}
-        for pid, proc in self.processes.items():
+        for pid, proc in self._ready.items():
             if proc.status == READY and proc._pending is not None:
                 pending[pid] = proc._pending
         return pending
@@ -116,6 +140,8 @@ class System:
         if proc is None:
             raise ModelError(f"unknown pid {pid}")
         proc.crash()
+        if self._ready.pop(pid, None) is not None:
+            self._ready_version += 1
         self._record_lifecycle(pid, "crash")
 
     def step(self, pid: int) -> bool:
@@ -129,19 +155,27 @@ class System:
             raise ModelError(f"unknown pid {pid}")
         if proc.status != READY:
             raise SchedulerError(f"process {pid} is {proc.status}, cannot step")
+        return self._step_ready(proc)
 
+    def _step_ready(self, proc: Process) -> bool:
+        """:meth:`step` after validation (caller checked READY)."""
         request = proc._pending
         if request is None:
             # First turn (or body yielded only annotations so far): drive the
             # body until it produces its first Invoke.
             request = self._drive(proc, None)
             if request is None:
+                if self._ready.pop(proc.pid, None) is not None:
+                    self._ready_version += 1
                 return False
 
         # Apply the pending operation atomically.
         result = self._apply(proc, request)
         # Resume local computation; buffer the next pending operation.
         proc._pending = self._drive(proc, result)
+        if proc.status != READY:
+            if self._ready.pop(proc.pid, None) is not None:
+                self._ready_version += 1
         return True
 
     def run(
@@ -155,7 +189,13 @@ class System:
 
         Args:
             scheduler: interleaving policy; ``reset()`` is called first.
-            max_steps: atomic step budget for this call.
+            max_steps: scheduler-turn budget for this call.  Most turns
+                apply one atomic step, but a turn can also be consumed
+                without one (a body that finishes without invoking, or a
+                scheduler that keeps naming a just-crashed pid) — counting
+                turns rather than applied steps is what guarantees the
+                budget is always reachable, so ``run`` terminates even
+                against a scheduler that never names a READY process.
             on_limit: ``"return"`` yields a diverged result; ``"raise"``
                 raises :class:`~repro.errors.DivergenceError`.
             stop_when: optional predicate checked after every step; a truthy
@@ -165,25 +205,42 @@ class System:
             raise ModelError(f"unknown on_limit {on_limit!r}")
         scheduler.reset()
         steps = 0
+        turns = 0
+        active: List[int] = []
+        active_version = self._ready_version - 1
+        # Hot loop: bind attribute lookups once.  `pending_crashes` is read
+        # from the scheduler's instance dict rather than getattr so the
+        # common no-crash-support case is one dict probe, not a raised and
+        # swallowed AttributeError; every scheduler that supports crash
+        # directives sets it as an instance attribute.
+        processes = self.processes
+        next_pid = scheduler.next_pid
+        sched_state = scheduler.__dict__
+        step_ready = self._step_ready
         while True:
-            active = self.active_pids()
-            if not active:
-                return ExecutionResult(True, steps, self.outputs())
-            if steps >= max_steps:
+            if active_version != self._ready_version:
+                active = self.active_pids()
+                active_version = self._ready_version
+                if not active:
+                    return ExecutionResult(True, steps, self.outputs())
+            if turns >= max_steps:
                 if on_limit == "raise":
                     raise DivergenceError(
                         f"execution exceeded {max_steps} steps", steps_taken=steps
                     )
                 return ExecutionResult(False, steps, self.outputs(), diverged=True)
-            pid = scheduler.next_pid(active)
-            for victim in getattr(scheduler, "pending_crashes", []):
-                if self.processes[victim].status == READY:
-                    self.crash(victim)
-            if getattr(scheduler, "pending_crashes", None):
+            turns += 1
+            pid = next_pid(active)
+            victims = sched_state.get("pending_crashes")
+            if victims:
+                for victim in victims:
+                    if processes[victim].status == READY:
+                        self.crash(victim)
                 scheduler.pending_crashes = []
-            if self.processes[pid].status != READY:
+            proc = processes[pid]
+            if proc.status != READY:
                 continue
-            if self.step(pid):
+            if step_ready(proc):
                 steps += 1
             if stop_when is not None and stop_when(self):
                 return ExecutionResult(
@@ -197,12 +254,12 @@ class System:
         """Resume ``proc`` until it yields an Invoke; record annotations."""
         request = proc.advance(response)
         while request is not None:
+            if isinstance(request, Invoke):
+                return request
             if isinstance(request, Annotate):
                 self._record_annotation(proc.pid, request)
                 request = proc.advance(None)
                 continue
-            if isinstance(request, Invoke):
-                return request
             raise ModelError(
                 f"process {proc.pid} yielded {type(request).__name__}; "
                 "expected Invoke or Annotate"
@@ -215,37 +272,26 @@ class System:
         name = getattr(obj, "name", None)
         if name is None:
             raise ModelError("shared object has no name")
-        known = self.objects.setdefault(name, obj)
-        if known is not obj:
-            raise ModelError(f"two distinct shared objects named {name!r}")
+        if self.objects.get(name) is not obj:
+            known = self.objects.setdefault(name, obj)
+            if known is not obj:
+                raise ModelError(f"two distinct shared objects named {name!r}")
         result = obj.apply(proc.pid, request.op, request.args)
         proc.steps_taken += 1
         self._seq += 1
-        self.trace.append(
-            Event(
-                seq=self._seq,
-                pid=proc.pid,
-                kind="step",
-                obj_name=name,
-                op=request.op,
-                args=request.args,
-                result=result,
-            )
+        self._events.append(
+            Event(self._seq, proc.pid, "step", name, request.op,
+                  request.args, result)
         )
         return result
 
     def _record_annotation(self, pid: int, marker: Annotate) -> None:
         self._seq += 1
-        self.trace.append(
-            Event(
-                seq=self._seq,
-                pid=pid,
-                kind="annotate",
-                tag=marker.tag,
-                payload=marker.payload,
-            )
+        self._events.append(
+            Event(self._seq, pid, "annotate", None, None, (), None,
+                  marker.tag, marker.payload)
         )
 
     def _record_lifecycle(self, pid: int, kind: str) -> None:
         self._seq += 1
-        self.trace.append(Event(seq=self._seq, pid=pid, kind=kind))
+        self._events.append(Event(self._seq, pid, kind))

@@ -11,17 +11,23 @@ earlier components do not already decide.
 
 from __future__ import annotations
 
-from functools import total_ordering
 from typing import Iterable, Tuple
 
 from repro.errors import ValidationError
 
 
-@total_ordering
 class VectorTimestamp:
-    """An immutable vector of non-negative integers, ordered lexicographically."""
+    """An immutable vector of non-negative integers, ordered lexicographically.
 
-    __slots__ = ("components",)
+    Timestamps are compared and hashed constantly in the augmented-object
+    hot path (history sets, view selection), so the hash is computed once
+    at construction — tuples don't cache theirs — and all six comparison
+    operators are written out directly instead of derived via
+    ``functools.total_ordering`` (whose derived operators cost an extra
+    ``__lt__``/``__eq__`` round-trip per call).
+    """
+
+    __slots__ = ("components", "_hash")
 
     def __init__(self, components: Iterable[int]) -> None:
         comps = tuple(int(c) for c in components)
@@ -30,6 +36,7 @@ class VectorTimestamp:
         if any(c < 0 for c in comps):
             raise ValidationError("timestamp components must be non-negative")
         object.__setattr__(self, "components", comps)
+        object.__setattr__(self, "_hash", hash(comps))
 
     def __setattr__(self, key, value):  # immutability guard
         raise AttributeError("VectorTimestamp is immutable")
@@ -56,6 +63,13 @@ class VectorTimestamp:
         return len(self.components)
 
     # ------------------------------------------------------------------
+    def _check_comparable(self, other) -> None:
+        if len(self.components) != len(other.components):
+            raise ValidationError(
+                "cannot compare timestamps of different sizes "
+                f"({len(self.components)} vs {len(other.components)})"
+            )
+
     def __eq__(self, other) -> bool:
         if not isinstance(other, VectorTimestamp):
             return NotImplemented
@@ -64,15 +78,29 @@ class VectorTimestamp:
     def __lt__(self, other) -> bool:
         if not isinstance(other, VectorTimestamp):
             return NotImplemented
-        if len(self.components) != len(other.components):
-            raise ValidationError(
-                "cannot compare timestamps of different sizes "
-                f"({len(self.components)} vs {len(other.components)})"
-            )
+        self._check_comparable(other)
         return self.components < other.components
 
+    def __le__(self, other) -> bool:
+        if not isinstance(other, VectorTimestamp):
+            return NotImplemented
+        self._check_comparable(other)
+        return self.components <= other.components
+
+    def __gt__(self, other) -> bool:
+        if not isinstance(other, VectorTimestamp):
+            return NotImplemented
+        self._check_comparable(other)
+        return self.components > other.components
+
+    def __ge__(self, other) -> bool:
+        if not isinstance(other, VectorTimestamp):
+            return NotImplemented
+        self._check_comparable(other)
+        return self.components >= other.components
+
     def __hash__(self) -> int:
-        return hash(self.components)
+        return self._hash
 
     def __repr__(self) -> str:
         return f"VectorTimestamp{self.components}"

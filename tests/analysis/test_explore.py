@@ -151,6 +151,37 @@ class TestScheduleSharding:
     def test_depth_zero_is_single_empty_prefix(self):
         assert schedule_prefixes(RacingConsensus(2), [0, 1], 0) == ((),)
 
+    def test_depth_beyond_recursion_headroom(self):
+        """The decomposition must not recurse once per depth level.
+
+        A single never-deciding process yields exactly one prefix — a
+        path as deep as requested — so any per-level stack frame would
+        blow the interpreter's recursion limit long before depth 5000.
+        """
+        import sys
+
+        class Spinner(Protocol):
+            n, m, name = 1, 1, "spinner"
+
+            def initial_state(self, index, value):
+                return ("scan", 0)
+
+            def poised(self, state):
+                phase, count = state
+                if phase == "scan":
+                    return (SCAN, None)
+                return (UPDATE, (0, count))
+
+            def advance(self, state, observation=None):
+                phase, count = state
+                if phase == "scan":
+                    return ("update", count + 1)
+                return ("scan", count)
+
+        depth = sys.getrecursionlimit() + 4000
+        prefixes = schedule_prefixes(Spinner(), [0], depth)
+        assert prefixes == ((0,) * depth,)
+
     def test_unit_budget_ceil_division(self):
         assert unit_budget(10, 4) == 3
         assert unit_budget(12, 4) == 3

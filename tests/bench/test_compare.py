@@ -150,6 +150,67 @@ class TestCompareRuns:
         assert "E2_bounds" in warnings[0]
 
 
+class TestRequireFaster:
+    def _dirs(self, tmp_path, current_median):
+        base, cur = tmp_path / "base", tmp_path / "cur"
+        write_artifact(artifact("E2", "bounds"), base)
+        write_artifact(artifact("E14", "explore", median=1.0), base)
+        write_artifact(artifact("E2", "bounds"), cur)
+        write_artifact(
+            artifact("E14", "explore", median=current_median), cur
+        )
+        return base, cur
+
+    def test_faster_verdict_passes(self, tmp_path):
+        base, cur = self._dirs(tmp_path, current_median=0.5)
+        report = compare_runs(base, cur, require_faster=["E14"])
+        assert report.ok
+        statuses = {c.artifact_name: c.status for c in report.comparisons}
+        assert statuses["E14_explore"] == "faster"
+
+    def test_merely_ok_fails_when_required(self, tmp_path):
+        # 0.9x is an improvement but not a threshold-beating one; the
+        # required-faster gate must reject it.
+        base, cur = self._dirs(tmp_path, current_median=0.9)
+        report = compare_runs(base, cur, require_faster=["E14"])
+        assert not report.ok
+        [failure] = report.failures
+        assert failure.artifact_name == "E14_explore"
+        assert failure.status == "ok"
+        assert "[required: faster]" in failure.summary()
+        # The same run passes without the requirement.
+        assert compare_runs(base, cur).ok
+
+    def test_missing_required_experiment_fails(self, tmp_path):
+        base, cur = tmp_path / "base", tmp_path / "cur"
+        write_artifact(artifact("E14", "explore"), base)
+        write_artifact(artifact("E2", "bounds"), base)
+        write_artifact(artifact("E2", "bounds"), cur)
+        report = compare_runs(base, cur, require_faster=["E14"])
+        assert not report.ok
+        [failure] = report.failures
+        assert failure.status == "missing"
+
+    def test_selector_forms(self, tmp_path):
+        base, cur = self._dirs(tmp_path, current_median=0.9)
+        for selector in ("E14", "explore", "E14_explore"):
+            report = compare_runs(base, cur, require_faster=[selector])
+            assert not report.ok, selector
+
+    def test_unmatched_selector_rejected(self, tmp_path):
+        # A typo'd selector must not silently weaken the gate.
+        base, cur = self._dirs(tmp_path, current_median=0.5)
+        with pytest.raises(ValidationError):
+            compare_runs(base, cur, require_faster=["E99"])
+
+    def test_requirement_does_not_leak_to_others(self, tmp_path):
+        base, cur = self._dirs(tmp_path, current_median=0.5)
+        report = compare_runs(base, cur, require_faster=["E14"])
+        flags = {c.artifact_name: c.must_be_faster
+                 for c in report.comparisons}
+        assert flags == {"E2_bounds": False, "E14_explore": True}
+
+
 class TestDefaults:
     def test_default_threshold_catches_a_2x_slowdown(self):
         # The CI contract: an injected 2x slowdown on a steady baseline

@@ -165,6 +165,55 @@ class TestRun:
         assert result.steps == 0
 
 
+class _StuckScheduler:
+    """Crashes pid 0 on its first turn, then names pid 0 forever.
+
+    After the crash, pid 0 is never READY again, so a run loop that only
+    counts *applied* steps against the budget spins forever — the
+    regression this scheduler exists to catch.
+    """
+
+    def __init__(self):
+        self.pending_crashes = []
+        self._first = True
+
+    def reset(self):
+        self.pending_crashes = []
+        self._first = True
+
+    def next_pid(self, active):
+        if self._first:
+            self._first = False
+            self.pending_crashes = [0]
+        return 0
+
+
+class TestStuckSchedulerTerminates:
+    """``run`` must exhaust its budget even if no step is ever applied."""
+
+    def _system(self):
+        sys_ = System()
+        reg = Register("r", initial=0)
+        sys_.add_process(reader_writer(reg))
+        sys_.add_process(reader_writer(reg))
+        return sys_
+
+    def test_returns_diverged_with_zero_steps(self):
+        sys_ = self._system()
+        result = sys_.run(_StuckScheduler(), max_steps=50)
+        assert result.diverged
+        assert not result.completed
+        assert result.steps == 0
+        assert sys_.processes[0].status == "crashed"
+        assert sys_.processes[1].status == "ready"
+
+    def test_raise_mode_reports_steps_taken(self):
+        sys_ = self._system()
+        with pytest.raises(DivergenceError) as exc:
+            sys_.run(_StuckScheduler(), max_steps=20, on_limit="raise")
+        assert exc.value.steps_taken == 0
+
+
 class TestObjectRegistry:
     def test_objects_discovered_and_counted(self):
         sys_ = System()
