@@ -1,0 +1,56 @@
+"""E15 — fault-tolerance overhead: retry, checkpoint, and resume.
+
+Runs the E13-style protocol sweep three ways — bare, with the full
+fault-tolerance stack engaged (flaky chunks retried on a fake clock,
+every chunk journaled, then resumed from the journal), and tables the
+overhead.  The point of the number: the chaos machinery must stay off
+the hot path, so a faulted+checkpointed run should cost close to the
+bare run, and the resume should cost almost nothing (it replays the
+journal instead of re-running chunks)."""
+
+import time
+
+from repro.bench.workloads import chaos_campaign
+from repro.campaign import SweepProtocolJob, run_campaign
+from repro.protocols import KSetAgreementTask, MinSeen
+
+SEEDS = 120
+
+
+def bare_sweep():
+    job = SweepProtocolJob(
+        protocol=MinSeen(3, rounds=2), inputs=(4, 1, 9),
+        seeds=tuple(range(SEEDS)), task=KSetAgreementTask(3),
+    )
+    return run_campaign(job, workers=1, chunk_size=8)
+
+
+def test_chaos_overhead(benchmark, table):
+    start = time.perf_counter()
+    bare = bare_sweep()
+    bare_seconds = time.perf_counter() - start
+
+    faulted, resumed = benchmark.pedantic(
+        chaos_campaign, kwargs={"seeds": SEEDS}, rounds=1, iterations=1
+    )
+    assert faulted.report == bare.report
+    assert resumed.report == bare.report
+    assert repr(resumed.report) == repr(bare.report)
+
+    rows = [
+        ("bare", f"{bare_seconds:.3f}", 0, 0,
+         f"{bare.telemetry.runs_per_second:.1f}"),
+        ("faulted+checkpointed", f"{faulted.telemetry.wall_seconds:.3f}",
+         faulted.telemetry.retries, 0,
+         f"{faulted.telemetry.runs_per_second:.1f}"),
+        ("resumed", f"{resumed.telemetry.wall_seconds:.3f}",
+         resumed.telemetry.retries, resumed.telemetry.skipped_chunks,
+         "-"),
+    ]
+    table(
+        f"E15: fault-tolerance overhead on a {SEEDS}-seed sweep "
+        f"(reports identical across all three runs)",
+        ["run", "wall s", "retries", "resumed chunks", "runs/sec"],
+        rows,
+    )
+    assert resumed.telemetry.total_units == 0  # resume re-runs nothing

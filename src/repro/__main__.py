@@ -8,7 +8,9 @@ Usage::
     python -m repro approx [--m 2] [--eps-exp 16]
     python -m repro check [--seed 0]
     python -m repro campaign [--seeds 50] [--workers N] [--chunk-size C]
+                             [--checkpoint PATH] [--resume [PATH]] [--strict]
     python -m repro explore [--scenario truncated] [--workers N]
+                            [--checkpoint PATH] [--resume [PATH]] [--strict]
     python -m repro bench run [--quick] [--experiments E13,E14]
     python -m repro bench compare [--baseline baselines/]
 
@@ -24,9 +26,17 @@ telemetry (results are byte-identical for any worker count — see
 docs/CAMPAIGNS.md); ``explore`` runs the bounded-exhaustive model
 checker sharded over schedule-prefix subtrees, optionally verifying the
 sharded report against a serial run; ``bench`` measures the EXPERIMENTS.md
-experiments (E1–E14), writes schema-versioned ``BENCH_*.json`` artifacts,
+experiments (E1–E15), writes schema-versioned ``BENCH_*.json`` artifacts,
 and regression-gates them against a committed baseline (see
 docs/BENCHMARKS.md).
+
+Both campaign commands are fault tolerant: failed or hung chunks are
+retried with backoff (``--max-retries``), completed chunks are journaled
+crash-safely with ``--checkpoint PATH``, and an interrupted run resumes
+with ``--resume [PATH]`` — skipping finished chunks and merging to a
+report identical to an uninterrupted run.  Chunks that exhaust their
+retries degrade to an explicit partial result naming the missing unit
+ranges; ``--strict`` turns a partial result into a non-zero exit.
 """
 
 from __future__ import annotations
@@ -164,6 +174,31 @@ def cmd_check(args) -> int:
     return 0
 
 
+def _resolve_fault_tolerance(args):
+    """Shared ``--checkpoint/--resume/--max-retries`` flag resolution.
+
+    Returns ``(base_checkpoint_path_or_None, resume_bool, RetryPolicy)``
+    or an integer exit code on invalid combinations.
+    """
+    from repro.campaign import RetryPolicy
+
+    if args.max_retries < 0:
+        print(f"error: --max-retries must be >= 0, got {args.max_retries}",
+              file=sys.stderr)
+        return 2
+    checkpoint = args.checkpoint
+    resume = False
+    if args.resume is not None:
+        resume = True
+        if args.resume:
+            checkpoint = args.resume
+        elif checkpoint is None:
+            print("error: --resume needs a path (or combine with "
+                  "--checkpoint PATH)", file=sys.stderr)
+            return 2
+    return checkpoint, resume, RetryPolicy(max_retries=args.max_retries)
+
+
 def cmd_campaign(args) -> int:
     from repro.campaign import (
         fuzz_campaign,
@@ -186,15 +221,33 @@ def cmd_campaign(args) -> int:
         print(f"error: --chunk-size must be >= 1, got {args.chunk_size}",
               file=sys.stderr)
         return 2
+    resolved = _resolve_fault_tolerance(args)
+    if isinstance(resolved, int):
+        return resolved
+    base_checkpoint, resume, retry = resolved
+
+    def fault_options(name):
+        """Per-experiment engine options; checkpoints get a name suffix
+        so ``--experiment all`` journals each campaign separately."""
+        checkpoint = (
+            f"{base_checkpoint}.{name}" if base_checkpoint else None
+        )
+        return dict(checkpoint=checkpoint, resume=resume, retry=retry)
+
     seeds = range(args.seeds)
     options = dict(workers=args.workers, chunk_size=args.chunk_size)
     failures = 0
+    partials = 0
 
     def show(title, result, ok):
-        nonlocal failures
+        nonlocal failures, partials
         print(f"{title}:")
         print(f"   {result.report.summary()}")
         print(f"   {result.telemetry.summary()}")
+        if not result.complete:
+            partials += 1
+            print("   PARTIAL RESULT — missing "
+                  + "; ".join(result.missing))
         if not ok:
             failures += 1
             print("   EXPECTATION FAILED")
@@ -204,7 +257,7 @@ def cmd_campaign(args) -> int:
         result = sweep_simulation_campaign(
             TruncatedProtocol(RacingConsensus(2), 1), k=1, x=1,
             inputs=[0, 1], seeds=seeds, task=KSetAgreementTask(1),
-            **options,
+            **options, **fault_options("falsify"),
         )
         show(
             f"Theorem 3 falsifier (consensus on 1 register, bound {bound})",
@@ -220,7 +273,8 @@ def cmd_campaign(args) -> int:
             (MinSeen(3, rounds=2), [4, 1, 9], KSetAgreementTask(3)),
         ):
             result = sweep_protocol_campaign(
-                protocol, inputs, seeds, task=task, **options
+                protocol, inputs, seeds, task=task, **options,
+                **fault_options(f"protocol-{protocol.name}"),
             )
             show(f"protocol safety: {protocol.name}", result,
                  result.report.clean)
@@ -230,6 +284,7 @@ def cmd_campaign(args) -> int:
             TruncatedProtocol(RacingConsensus(3), 1), [0, 1, 2],
             KSetAgreementTask(1), runs=args.fuzz_runs,
             schedule_length=40, seed=args.seed, **options,
+            **fault_options("fuzz"),
         )
         ok = not result.report.clean
         show("schedule fuzz (truncated consensus, must violate)", result, ok)
@@ -237,11 +292,15 @@ def cmd_campaign(args) -> int:
             print(f"   minimized counterexample: "
                   f"{result.report.minimized.minimized}")
 
+    strict_partial = args.strict and partials
     if failures:
         print(f"\ncampaign FAILED: {failures} expectation(s) violated")
+    elif strict_partial:
+        print(f"\ncampaign INCOMPLETE (--strict): {partials} partial "
+              f"result(s)")
     else:
         print("\ncampaign complete: all expectations held")
-    return 0 if failures == 0 else 1
+    return 0 if failures == 0 and not strict_partial else 1
 
 
 def cmd_explore(args) -> int:
@@ -262,6 +321,10 @@ def cmd_explore(args) -> int:
         print(f"error: --chunk-size must be >= 1, got {args.chunk_size}",
               file=sys.stderr)
         return 2
+    resolved = _resolve_fault_tolerance(args)
+    if isinstance(resolved, int):
+        return resolved
+    checkpoint, resume, retry = resolved
 
     scenarios = {
         # name: (protocol, inputs, task, expect_safe)
@@ -284,15 +347,20 @@ def cmd_explore(args) -> int:
         stop_at_first_violation=not args.collect_all,
         prefix_depth=args.prefix_depth,
         workers=args.workers, chunk_size=args.chunk_size,
+        checkpoint=checkpoint, resume=resume, retry=retry,
     )
     print(f"exploring {protocol.name} on inputs {inputs} "
           f"(prefix depth {args.prefix_depth}):")
     print(f"   {result.report.summary()}")
     print(f"   {result.telemetry.summary()}")
+    if not result.complete:
+        print("   PARTIAL RESULT — missing " + "; ".join(result.missing))
     if result.report.counterexample is not None:
         print(f"   counterexample schedule: {result.report.counterexample}")
 
     failures = 0
+    if args.strict and not result.complete:
+        failures += 1
     if result.report.safe != expect_safe:
         failures += 1
         print(f"   EXPECTATION FAILED: expected "
@@ -313,6 +381,27 @@ def cmd_explore(args) -> int:
             print(f"      sharded: {result.report!r}")
             print(f"      serial:  {serial!r}")
     return 0 if failures == 0 else 1
+
+
+def _add_fault_tolerance_args(subparser) -> None:
+    """Install the shared checkpoint/resume/retry flags on a subparser."""
+    subparser.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="journal completed chunks to PATH (crash-safe)",
+    )
+    subparser.add_argument(
+        "--resume", nargs="?", const="", default=None, metavar="PATH",
+        help="resume from a checkpoint, skipping finished chunks "
+             "(bare --resume reuses the --checkpoint path)",
+    )
+    subparser.add_argument(
+        "--max-retries", type=int, default=2,
+        help="retry budget per failed or hung chunk (default: 2)",
+    )
+    subparser.add_argument(
+        "--strict", action="store_true",
+        help="exit non-zero if any chunk permanently failed",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -363,6 +452,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     campaign.add_argument("--fuzz-runs", type=int, default=200)
     campaign.add_argument("--seed", type=int, default=0)
+    _add_fault_tolerance_args(campaign)
     campaign.set_defaults(func=cmd_campaign)
 
     explore = sub.add_parser(
@@ -386,6 +476,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--verify-serial", action="store_true",
         help="re-run serially and assert the sharded report is identical",
     )
+    _add_fault_tolerance_args(explore)
     explore.set_defaults(func=cmd_explore)
 
     from repro.bench.cli import add_bench_parser

@@ -1,4 +1,4 @@
-"""Discovery registry for the measurable experiments (E1–E14).
+"""Discovery registry for the measurable experiments (E1–E15).
 
 Each :class:`Experiment` binds an experiment id to a *payload*: a
 callable taking ``quick`` (bool) and returning a :class:`PayloadResult`
@@ -7,7 +7,7 @@ metrics.  ``quick`` selects a CI-sized parameterisation of the same
 workload; ``full`` matches the EXPERIMENTS.md tables.  The runner times
 payload calls from the outside — payloads only do work.
 
-Campaign-backed experiments (E4, E13, E14) run through
+Campaign-backed experiments (E4, E13–E15) run through
 :mod:`repro.campaign` and surface the engine's telemetry (mode, worker
 count, utilization) in their metrics, so a ``BENCH_*.json`` records not
 just *how fast* but *which execution path* produced the number.
@@ -331,3 +331,17 @@ def run_e14(quick: bool) -> PayloadResult:
     return PayloadResult(
         units=result.report.configurations, metrics=metrics
     )
+
+
+@_register("E15", "chaos",
+           "Fault-tolerance overhead: retry, checkpoint, and resume",
+           campaign_backed=True)
+def run_e15(quick: bool) -> PayloadResult:
+    """E15 payload: a checkpointed sweep under flaky faults, then resume."""
+    from repro.bench.workloads import chaos_campaign
+
+    faulted, resumed = chaos_campaign(seeds=48 if quick else 240)
+    metrics = _campaign_metrics(faulted)
+    metrics["retried_attempts"] = faulted.telemetry.retries
+    metrics["resumed_chunks"] = resumed.telemetry.skipped_chunks
+    return PayloadResult(units=faulted.report.runs, metrics=metrics)

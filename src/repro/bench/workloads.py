@@ -1,6 +1,6 @@
 """The experiment workloads, as plain callables.
 
-Every experiment of EXPERIMENTS.md (E1–E14) used to live only inside a
+Every experiment of EXPERIMENTS.md (E1–E15) used to live only inside a
 pytest-benchmark test; this module lifts each one's core workload into a
 library function so the same code path serves three callers:
 
@@ -13,7 +13,7 @@ library function so the same code path serves three callers:
 Functions here *run work and return data*; they never print, never time
 themselves, and raise :class:`AssertionError` if the experiment's
 correctness expectations fail (a benchmark number for a broken run is
-worse than no number).  Campaign-backed workloads (E4, E13, E14) route
+worse than no number).  Campaign-backed workloads (E4, E13–E15) route
 through :mod:`repro.campaign` so their numbers exercise the same engine
 and telemetry as ``repro campaign`` / ``repro explore``.
 """
@@ -340,3 +340,54 @@ def explore_sharded(workers: Optional[int], max_steps: int = 17,
     )
     assert result.report.safe
     return result
+
+
+def chaos_campaign(seeds: int = 120, chunk_size: int = 8,
+                   flaky_every: int = 3):
+    """E15 core: a checkpointed sweep under injected flaky faults.
+
+    Runs the E13-style protocol sweep with every ``flaky_every``-th
+    chunk failing once (retried through the backoff machinery on a fake
+    clock, so no real sleeping), journaling each chunk to a checkpoint,
+    then resumes from that checkpoint and asserts the resumed report is
+    identical.  Returns ``(faulted_result, resumed_result)`` — the
+    measured cost is the full fault-tolerance stack: injection, retry,
+    journal flushes, and resume replay.
+    """
+    import shutil
+    import tempfile
+
+    from repro.campaign import (
+        FakeClock,
+        FaultPlan,
+        RetryPolicy,
+        SweepProtocolJob,
+        plan_chunks,
+        run_campaign,
+    )
+    from repro.protocols import KSetAgreementTask, MinSeen
+
+    job = SweepProtocolJob(
+        protocol=MinSeen(3, rounds=2), inputs=(4, 1, 9),
+        seeds=tuple(range(seeds)), task=KSetAgreementTask(3),
+    )
+    chunks = len(plan_chunks(job.total_units(), chunk_size))
+    faults = FaultPlan.flaky(*range(0, chunks, flaky_every), failures=1)
+    retry = RetryPolicy(max_retries=2, base_delay=0.01)
+    directory = tempfile.mkdtemp(prefix="repro-chaos-")
+    try:
+        path = f"{directory}/chaos.ckpt"
+        faulted = run_campaign(
+            job, workers=1, chunk_size=chunk_size, retry=retry,
+            faults=faults, checkpoint=path, clock=FakeClock(),
+        )
+        resumed = run_campaign(
+            job, workers=1, chunk_size=chunk_size, retry=retry,
+            checkpoint=path, resume=True, clock=FakeClock(),
+        )
+    finally:
+        shutil.rmtree(directory, ignore_errors=True)
+    assert faulted.complete and resumed.complete
+    assert faulted.report == resumed.report
+    assert repr(faulted.report) == repr(resumed.report)
+    return faulted, resumed

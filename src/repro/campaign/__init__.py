@@ -13,15 +13,38 @@ worker count, chunk size, or completion order (the contract, and why it
 holds, is documented in docs/CAMPAIGNS.md and enforced by
 tests/campaign/).
 
+Campaigns are also fault tolerant: failed or hung chunks are retried
+with exponential backoff (:class:`~repro.campaign.faults.RetryPolicy`),
+completed chunk reports can be journaled to a crash-safe checkpoint and
+resumed (:mod:`repro.campaign.checkpoint`), chunks that exhaust their
+retries degrade to an explicit partial result, and a deterministic
+:class:`~repro.campaign.faults.FaultPlan` injects crash/hang/slow/flaky
+faults for the chaos suite.  Resume merges byte-identically with an
+uninterrupted run — the same monoid merge that makes parallelism
+deterministic makes recovery exact.
+
 * :mod:`repro.campaign.engine` — :func:`run_campaign` and the
   per-oracle wrappers (:func:`sweep_simulation_campaign`,
   :func:`sweep_protocol_campaign`, :func:`fuzz_campaign`,
   :func:`explore_campaign`);
 * :mod:`repro.campaign.jobs` — picklable job descriptions workers run;
 * :mod:`repro.campaign.partition` — workers/chunk-size policy;
-* :mod:`repro.campaign.telemetry` — per-chunk timing and throughput.
+* :mod:`repro.campaign.telemetry` — per-chunk timing, retries, and
+  failure accounting;
+* :mod:`repro.campaign.faults` — retry policy, clocks, and
+  deterministic fault injection;
+* :mod:`repro.campaign.checkpoint` — the crash-safe chunk-report
+  journal behind ``--resume``.
 """
 
+from repro.campaign.checkpoint import (
+    CHECKPOINT_SCHEMA_VERSION,
+    CheckpointState,
+    CheckpointWriter,
+    ChunkRecord,
+    job_fingerprint,
+    load_checkpoint,
+)
 from repro.campaign.engine import (
     CampaignResult,
     explore_campaign,
@@ -29,6 +52,18 @@ from repro.campaign.engine import (
     run_campaign,
     sweep_protocol_campaign,
     sweep_simulation_campaign,
+)
+from repro.campaign.faults import (
+    CampaignKilled,
+    ChunkTimeout,
+    Clock,
+    FakeClock,
+    FaultPlan,
+    FaultSpec,
+    InjectedCrash,
+    InjectedFault,
+    RetryPolicy,
+    SystemClock,
 )
 from repro.campaign.jobs import (
     ExploreJob,
@@ -42,7 +77,11 @@ from repro.campaign.partition import (
     auto_workers,
     plan_chunks,
 )
-from repro.campaign.telemetry import CampaignTelemetry, ChunkStats
+from repro.campaign.telemetry import (
+    CampaignTelemetry,
+    ChunkFailure,
+    ChunkStats,
+)
 
 __all__ = [
     "CampaignResult",
@@ -61,4 +100,21 @@ __all__ = [
     "plan_chunks",
     "CampaignTelemetry",
     "ChunkStats",
+    "ChunkFailure",
+    "RetryPolicy",
+    "FaultPlan",
+    "FaultSpec",
+    "Clock",
+    "SystemClock",
+    "FakeClock",
+    "InjectedFault",
+    "InjectedCrash",
+    "ChunkTimeout",
+    "CampaignKilled",
+    "CHECKPOINT_SCHEMA_VERSION",
+    "CheckpointState",
+    "CheckpointWriter",
+    "ChunkRecord",
+    "job_fingerprint",
+    "load_checkpoint",
 ]

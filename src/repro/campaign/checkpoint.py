@@ -1,0 +1,290 @@
+"""Crash-safe campaign checkpoints: an append-only chunk-report journal.
+
+A campaign interrupted at chunk *k* has already paid for chunks
+``0..k-1``; because chunk reports are pure functions of their unit
+ranges and merge through an associative monoid (docs/CAMPAIGNS.md), the
+finished prefix can be replayed from disk and the resumed run's merged
+report is *identical* to an uninterrupted one.  This module is that
+disk format:
+
+* **Journal layout** — line-oriented JSON: a header record carrying
+  ``schema_version``, a campaign fingerprint, and the chunk geometry,
+  followed by one record per completed chunk whose report travels as a
+  checksummed, base64-encoded pickle.  Records are only ever appended.
+* **Atomicity** — every flush writes the whole journal to
+  ``<path>.tmp``, fsyncs, then ``os.replace``-renames over ``<path>``.
+  A crash mid-write leaves at worst a stale tmp file, which loading
+  ignores and the next flush overwrites; the journal itself is always
+  a complete, self-consistent snapshot.
+* **Validation** — a missing header, unparseable line, checksum
+  mismatch, unknown ``schema_version``, or geometry/fingerprint drift
+  raises a clear :class:`~repro.errors.CheckpointError` instead of
+  silently skipping or repeating work.
+
+The engine (:func:`~repro.campaign.engine.run_campaign`) journals each
+chunk as it completes and, on ``resume=True``, feeds the loaded reports
+straight into the merge fold, skipping finished chunks.
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+import hashlib
+import json
+import os
+import pickle
+import re
+import tempfile
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.errors import CheckpointError
+
+#: Version stamp written into every journal header; bump on layout changes.
+CHECKPOINT_SCHEMA_VERSION = 1
+
+_ADDRESS = re.compile(r"0x[0-9a-fA-F]+")
+
+
+def job_fingerprint(job: Any, total_units: int, chunk_size: int) -> str:
+    """A stable identity for one campaign: job state plus chunk geometry.
+
+    The job's full parameterization is captured by pickling it at a
+    pinned protocol (deterministic for the frozen dataclasses jobs are
+    made of); jobs that cannot be pickled — e.g. a locally defined task
+    — fall back to an address-stripped repr, which survives process
+    restarts.  Resuming validates the stored fingerprint against the
+    live job: a mismatch means the checkpoint describes a *different*
+    campaign and must be rejected rather than merged into.
+    """
+    try:
+        blob = pickle.dumps(job, protocol=4)
+    except Exception:
+        blob = _ADDRESS.sub("0x?", repr(job)).encode("utf-8")
+    digest = hashlib.sha256()
+    digest.update(blob)
+    digest.update(f"|total={total_units}|chunk_size={chunk_size}".encode())
+    return digest.hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class ChunkRecord:
+    """One journaled chunk: its range and its decoded partial report."""
+
+    index: int
+    start: int
+    stop: int
+    report: Any
+
+
+@dataclass(frozen=True)
+class CheckpointState:
+    """A parsed, validated journal: header fields plus chunk records."""
+
+    schema_version: int
+    fingerprint: str
+    total_units: int
+    chunk_size: int
+    records: Dict[int, ChunkRecord]
+
+    @property
+    def completed_indices(self) -> List[int]:
+        """Journaled chunk indices, ascending."""
+        return sorted(self.records)
+
+
+def _encode_report(report: Any) -> Dict[str, str]:
+    """Encode a chunk report as checksummed base64 pickle fields."""
+    payload = pickle.dumps(report, protocol=pickle.HIGHEST_PROTOCOL)
+    return {
+        "payload": base64.b64encode(payload).decode("ascii"),
+        "sha256": hashlib.sha256(payload).hexdigest(),
+    }
+
+
+def _decode_report(record: Dict[str, Any], line_no: int) -> Any:
+    """Decode and checksum-verify a journaled report payload."""
+    try:
+        payload = base64.b64decode(
+            record["payload"].encode("ascii"), validate=True
+        )
+    except (KeyError, AttributeError, binascii.Error) as error:
+        raise CheckpointError(
+            f"checkpoint line {line_no}: unreadable payload ({error})"
+        ) from error
+    digest = hashlib.sha256(payload).hexdigest()
+    if digest != record.get("sha256"):
+        raise CheckpointError(
+            f"checkpoint line {line_no}: payload checksum mismatch "
+            f"(journal corrupted or truncated mid-record)"
+        )
+    try:
+        return pickle.loads(payload)
+    except Exception as error:  # pickle raises many concrete types
+        raise CheckpointError(
+            f"checkpoint line {line_no}: payload failed to unpickle "
+            f"({type(error).__name__}: {error})"
+        ) from error
+
+
+def load_checkpoint(path: str) -> CheckpointState:
+    """Parse and validate a checkpoint journal.
+
+    Raises :class:`~repro.errors.CheckpointError` on a missing or empty
+    file, a malformed or truncated line, a checksum mismatch, a
+    ``schema_version`` this code does not understand, or a duplicate
+    chunk index.  A leftover ``<path>.tmp`` from a crashed flush is
+    ignored entirely — only the atomically-renamed journal counts.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+    except OSError as error:
+        raise CheckpointError(
+            f"cannot read checkpoint {path!r}: {error}"
+        ) from error
+    if not lines:
+        raise CheckpointError(f"checkpoint {path!r} is empty")
+
+    def parse(line: str, line_no: int) -> Dict[str, Any]:
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise CheckpointError(
+                f"checkpoint line {line_no}: not valid JSON "
+                f"(journal truncated or corrupted): {error}"
+            ) from error
+        if not isinstance(record, dict):
+            raise CheckpointError(
+                f"checkpoint line {line_no}: expected an object, "
+                f"got {type(record).__name__}"
+            )
+        return record
+
+    header = parse(lines[0], 1)
+    if header.get("kind") != "campaign-checkpoint":
+        raise CheckpointError(
+            f"checkpoint {path!r} has no header record "
+            f"(first line kind={header.get('kind')!r})"
+        )
+    version = header.get("schema_version")
+    if version != CHECKPOINT_SCHEMA_VERSION:
+        raise CheckpointError(
+            f"checkpoint {path!r} has schema_version {version!r}; "
+            f"this build reads version {CHECKPOINT_SCHEMA_VERSION}"
+        )
+    try:
+        fingerprint = header["fingerprint"]
+        total_units = int(header["total_units"])
+        chunk_size = int(header["chunk_size"])
+    except (KeyError, TypeError, ValueError) as error:
+        raise CheckpointError(
+            f"checkpoint {path!r}: malformed header ({error})"
+        ) from error
+
+    records: Dict[int, ChunkRecord] = {}
+    for line_no, line in enumerate(lines[1:], start=2):
+        record = parse(line, line_no)
+        if record.get("kind") != "chunk":
+            raise CheckpointError(
+                f"checkpoint line {line_no}: unknown record kind "
+                f"{record.get('kind')!r}"
+            )
+        try:
+            index = int(record["index"])
+            start = int(record["start"])
+            stop = int(record["stop"])
+        except (KeyError, TypeError, ValueError) as error:
+            raise CheckpointError(
+                f"checkpoint line {line_no}: malformed chunk record "
+                f"({error})"
+            ) from error
+        if index in records:
+            raise CheckpointError(
+                f"checkpoint line {line_no}: duplicate chunk index {index}"
+            )
+        records[index] = ChunkRecord(
+            index=index, start=start, stop=stop,
+            report=_decode_report(record, line_no),
+        )
+    return CheckpointState(
+        schema_version=version, fingerprint=fingerprint,
+        total_units=total_units, chunk_size=chunk_size, records=records,
+    )
+
+
+class CheckpointWriter:
+    """Journals completed chunks with atomic write-rename flushes.
+
+    Every :meth:`record_chunk` rewrites the full journal to a sibling
+    tmp file, fsyncs it, and renames it over the target — so the
+    on-disk journal is always a complete snapshot and a kill at any
+    instant loses at most the chunk in flight.  Recording is idempotent
+    per chunk index (replays after a pool fallback are no-ops).
+    """
+
+    def __init__(
+        self,
+        path: str,
+        fingerprint: str,
+        total_units: int,
+        chunk_size: int,
+        state: Optional[CheckpointState] = None,
+    ):
+        self.path = path
+        self.fingerprint = fingerprint
+        self.total_units = total_units
+        self.chunk_size = chunk_size
+        self._lines: List[str] = [json.dumps({
+            "kind": "campaign-checkpoint",
+            "schema_version": CHECKPOINT_SCHEMA_VERSION,
+            "fingerprint": fingerprint,
+            "total_units": total_units,
+            "chunk_size": chunk_size,
+        }, sort_keys=True)]
+        self._recorded = set()
+        if state is not None:
+            for index in state.completed_indices:
+                record = state.records[index]
+                self._append(
+                    record.index, record.start, record.stop, record.report
+                )
+        self._flush()
+
+    def _append(self, index: int, start: int, stop: int, report: Any):
+        """Add one chunk line to the in-memory journal image."""
+        body = {"kind": "chunk", "index": index, "start": start,
+                "stop": stop}
+        body.update(_encode_report(report))
+        self._lines.append(json.dumps(body, sort_keys=True))
+        self._recorded.add(index)
+
+    def _flush(self) -> None:
+        """Write the journal image to tmp, fsync, and rename into place."""
+        directory = os.path.dirname(os.path.abspath(self.path))
+        fd, tmp_path = tempfile.mkstemp(
+            prefix=os.path.basename(self.path) + ".", suffix=".tmp",
+            dir=directory,
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write("\n".join(self._lines) + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_path, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+
+    def record_chunk(
+        self, index: int, start: int, stop: int, report: Any
+    ) -> None:
+        """Journal one completed chunk's report (idempotent, crash-safe)."""
+        if index in self._recorded:
+            return
+        self._append(index, start, stop, report)
+        self._flush()

@@ -1,4 +1,4 @@
-"""The parallel campaign executor.
+"""The fault-tolerant parallel campaign executor.
 
 :func:`run_campaign` shards a job's unit range into chunks
 (:mod:`repro.campaign.partition`), executes the chunks on a
@@ -8,24 +8,75 @@ chunk order, so even dictionary insertion order in the merged report
 matches a serial run and the result is byte-identical regardless of
 which worker finished first.
 
-Execution degrades gracefully: ``workers=1``, an empty campaign, or a
-platform without usable process pools all take the in-process path, which
-runs the identical chunk/merge pipeline on the calling thread (same
-report, no processes).  Timing telemetry for either path is collected in
-a :class:`~repro.campaign.telemetry.CampaignTelemetry` alongside — never
+The engine survives the failures a long campaign actually meets:
+
+* **Retry with backoff.**  A chunk whose attempt raises or times out is
+  re-dispatched under a :class:`~repro.campaign.faults.RetryPolicy`
+  (bounded retries, exponential backoff with deterministic jitter) —
+  a worker exception is a *chunk* problem, never campaign-fatal.
+* **Crash-safe checkpoints.**  With ``checkpoint=<path>``, every
+  completed chunk report is journaled atomically
+  (:mod:`repro.campaign.checkpoint`); ``resume=True`` replays the
+  journal, skips finished chunks, and merges to a report identical to
+  an uninterrupted run (the monoid merge makes this exact, not
+  approximate).
+* **Graceful degradation.**  A chunk that exhausts its retries is
+  recorded as a :class:`~repro.campaign.telemetry.ChunkFailure`; the
+  campaign still completes, and the result's summary names exactly
+  which unit ranges are missing.  ``strict=True`` upgrades that to a
+  :class:`~repro.errors.CampaignError`.
+* **Deterministic fault injection.**  A
+  :class:`~repro.campaign.faults.FaultPlan` injects crash/hang/slow/
+  flaky faults at named chunk indices on both execution paths — the
+  seam the chaos suite (tests/campaign/test_chaos.py) drives.
+
+Execution still degrades gracefully at the platform level: ``workers=1``,
+an empty campaign, an unpicklable job, or a platform without usable
+process pools all take the in-process path, which runs the identical
+chunk/retry/merge pipeline on the calling thread.  Timing telemetry for
+either path is collected in a
+:class:`~repro.campaign.telemetry.CampaignTelemetry` alongside — never
 inside — the merged report.
 """
 
 from __future__ import annotations
 
+import heapq
 import multiprocessing
 import os
 import pickle
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
+from repro.campaign.checkpoint import (
+    CheckpointWriter,
+    job_fingerprint,
+    load_checkpoint,
+)
+from repro.campaign.faults import (
+    CampaignKilled,
+    ChunkTimeout,
+    Clock,
+    FaultPlan,
+    RetryPolicy,
+    SystemClock,
+)
 from repro.campaign.jobs import (
     ExploreJob,
     FuzzJob,
@@ -33,27 +84,71 @@ from repro.campaign.jobs import (
     SweepSimulationJob,
 )
 from repro.campaign.partition import ShardingPolicy, plan_chunks
-from repro.campaign.telemetry import CampaignTelemetry, ChunkStats
+from repro.campaign.telemetry import (
+    CampaignTelemetry,
+    ChunkFailure,
+    ChunkStats,
+)
+from repro.errors import CampaignError, CheckpointError
 
 
 @dataclass
 class CampaignResult:
-    """A merged report plus the telemetry of producing it."""
+    """A merged report plus the telemetry of producing it.
+
+    ``missing`` names the unit ranges lost to permanently failed chunks
+    (empty on a complete campaign) — partial results are explicit,
+    never silent.
+    """
 
     report: Any
     telemetry: CampaignTelemetry
+    missing: Tuple[str, ...] = ()
+
+    @property
+    def complete(self) -> bool:
+        """True when every chunk succeeded (no units are missing)."""
+        return not self.telemetry.failures
+
+    @property
+    def failed_chunks(self) -> List[ChunkFailure]:
+        """Chunks that exhausted their retry budget, ascending by index."""
+        return list(self.telemetry.failures)
+
+    def missing_ranges(self) -> List[Tuple[int, int]]:
+        """``(start, stop)`` unit ranges absent from the merged report."""
+        return [(f.start, f.stop) for f in self.telemetry.failures]
 
     def summary(self) -> str:
-        """Two lines: the scientific summary, then the throughput one."""
-        return f"{self.report.summary()}\n{self.telemetry.summary()}"
+        """The scientific summary, the throughput line, and — for a
+        partial result — the exact missing ranges."""
+        lines = [self.report.summary(), self.telemetry.summary()]
+        if not self.complete:
+            lines.append(
+                "PARTIAL RESULT — missing " + "; ".join(self.missing)
+            )
+        return "\n".join(lines)
 
 
 def _execute_chunk(
-    job: Any, index: int, start: int, stop: int
+    job: Any,
+    index: int,
+    start: int,
+    stop: int,
+    attempt: int = 0,
+    faults: Optional[FaultPlan] = None,
+    clock: Optional[Clock] = None,
 ) -> Tuple[int, Any, ChunkStats]:
-    """Run one chunk, timing its body; executes in worker or parent."""
+    """Run one chunk attempt, timing its body; executes in worker or parent.
+
+    Fault injection happens here — inside the worker on the pooled
+    path, on the calling thread in-process — so both modes observe
+    identical faults for the same ``(index, attempt)``.
+    """
     wall_start = time.perf_counter()
     cpu_start = time.process_time()
+    if faults is not None:
+        faults.apply(index, attempt, clock)
     report = job.run_range(start, stop)
     stats = ChunkStats(
         index=index,
@@ -62,6 +157,7 @@ def _execute_chunk(
         wall_seconds=time.perf_counter() - wall_start,
         cpu_seconds=time.process_time() - cpu_start,
         worker=f"pid:{os.getpid()}",
+        attempts=attempt + 1,
     )
     return index, report, stats
 
@@ -79,97 +175,420 @@ def _pool_context() -> "multiprocessing.context.BaseContext":
     return multiprocessing.get_context()
 
 
-def _run_chunks_pooled(
-    job: Any, chunks: List[Tuple[int, int]], workers: int
-) -> Tuple[Dict[int, Tuple[Any, ChunkStats]], str]:
-    """Execute chunks on a process pool; returns results and mode tag.
+class _ChunkOutcomes:
+    """Mutable accumulator shared by both execution paths.
 
-    Raises whatever the platform raises if pools are unusable — the
-    caller catches and falls back to in-process execution.
+    Collects successful chunk results, permanent failures, the retry
+    count, and the set of failure-cause type names (used to tag
+    ``telemetry.mode``).
+    """
+
+    def __init__(
+        self,
+        chunks: Sequence[Tuple[int, int]],
+        retry: RetryPolicy,
+        record: Callable[[int, Any], None],
+    ):
+        self.chunks = chunks
+        self.retry = retry
+        self.record = record
+        self.results: Dict[int, Tuple[Any, ChunkStats]] = {}
+        self.failures: Dict[int, ChunkFailure] = {}
+        self.retries = 0
+        self.causes: Set[str] = set()
+
+    def succeed(self, index: int, report: Any, stats: ChunkStats) -> None:
+        """Accept a chunk result and journal it to the checkpoint."""
+        self.results[index] = (report, stats)
+        self.record(index, report)
+
+    def fail(self, index: int, attempt: int, error: BaseException) -> bool:
+        """Register a failed attempt.
+
+        Returns ``True`` when the chunk should be retried (and counts
+        the retry); records a permanent :class:`ChunkFailure` and
+        returns ``False`` once the retry budget is spent.
+        """
+        self.causes.add(type(error).__name__)
+        if attempt + 1 < self.retry.max_attempts:
+            self.retries += 1
+            return True
+        start, stop = self.chunks[index]
+        kind = "timeout" if isinstance(error, ChunkTimeout) else "error"
+        self.failures[index] = ChunkFailure(
+            index=index, start=start, stop=stop, attempts=attempt + 1,
+            error=f"{type(error).__name__}: {error}", kind=kind,
+        )
+        return False
+
+
+def _run_chunks_pooled(
+    job: Any,
+    chunks: Sequence[Tuple[int, int]],
+    remaining: Sequence[int],
+    workers: int,
+    outcomes: _ChunkOutcomes,
+    faults: Optional[FaultPlan],
+) -> str:
+    """Execute ``remaining`` chunks on a process pool with retry/timeout.
+
+    Failed or timed-out attempts are re-dispatched after their backoff
+    delay (real wall clock — fake clocks only pace the in-process
+    path); attempts that exhaust the budget land in
+    ``outcomes.failures``.  Raises only on infrastructure failures
+    (pool construction, a broken executor) or an injected
+    :class:`CampaignKilled` — the caller handles both.  Returns the
+    mode tag.
     """
     context = _pool_context()
-    results: Dict[int, Tuple[Any, ChunkStats]] = {}
-    with ProcessPoolExecutor(
-        max_workers=workers, mp_context=context
-    ) as pool:
-        futures = [
-            pool.submit(_execute_chunk, job, index, start, stop)
-            for index, (start, stop) in enumerate(chunks)
-        ]
-        for future in futures:
-            index, report, stats = future.result()
-            results[index] = (report, stats)
-    return results, f"pool:{context.get_start_method()}"
+    retry = outcomes.retry
+    clock = SystemClock()
+    pool = ProcessPoolExecutor(max_workers=workers, mp_context=context)
+    abandoned = 0
+    try:
+        inflight: Dict[Any, Tuple[int, int, Optional[float]]] = {}
+        ready: List[Tuple[float, int, int]] = []
+
+        def submit(index: int, attempt: int) -> None:
+            start, stop = chunks[index]
+            future = pool.submit(
+                _execute_chunk, job, index, start, stop, attempt, faults
+            )
+            deadline = (
+                clock.now() + retry.timeout
+                if retry.timeout is not None else None
+            )
+            inflight[future] = (index, attempt, deadline)
+
+        for index in remaining:
+            submit(index, 0)
+
+        while inflight or ready:
+            now = clock.now()
+            while ready and ready[0][0] <= now:
+                _, index, attempt = heapq.heappop(ready)
+                submit(index, attempt)
+            if not inflight:
+                clock.sleep(max(0.0, ready[0][0] - clock.now()))
+                continue
+
+            timeout = max(0.0, ready[0][0] - now) if ready else None
+            deadlines = [
+                deadline for (_, _, deadline) in inflight.values()
+                if deadline is not None
+            ]
+            if deadlines:
+                until_deadline = max(0.0, min(deadlines) - now)
+                timeout = (
+                    until_deadline if timeout is None
+                    else min(timeout, until_deadline)
+                )
+            done, _ = wait(
+                set(inflight), timeout=timeout,
+                return_when=FIRST_COMPLETED,
+            )
+            for future in done:
+                index, attempt, _deadline = inflight.pop(future)
+                try:
+                    _index, report, stats = future.result()
+                except CampaignKilled:
+                    raise
+                except BrokenExecutor:
+                    raise
+                except Exception as error:
+                    if outcomes.fail(index, attempt, error):
+                        heapq.heappush(ready, (
+                            clock.now()
+                            + retry.delay_before(index, attempt + 1),
+                            index, attempt + 1,
+                        ))
+                else:
+                    outcomes.succeed(index, report, stats)
+            now = clock.now()
+            for future, (index, attempt, deadline) in list(
+                inflight.items()
+            ):
+                if deadline is not None and now >= deadline:
+                    del inflight[future]
+                    if not future.cancel():
+                        # Still running: the result (if it ever comes)
+                        # is discarded; the worker slot is lost until
+                        # the attempt finishes or the pool shuts down.
+                        abandoned += 1
+                    error = ChunkTimeout(
+                        f"chunk {index} attempt {attempt} exceeded "
+                        f"the {retry.timeout}s per-attempt timeout"
+                    )
+                    if outcomes.fail(index, attempt, error):
+                        heapq.heappush(ready, (
+                            clock.now()
+                            + retry.delay_before(index, attempt + 1),
+                            index, attempt + 1,
+                        ))
+    finally:
+        # Don't block campaign completion on genuinely hung workers.
+        pool.shutdown(wait=abandoned == 0, cancel_futures=True)
+    return f"pool:{context.get_start_method()}"
 
 
 def _run_chunks_inprocess(
-    job: Any, chunks: List[Tuple[int, int]]
-) -> Dict[int, Tuple[Any, ChunkStats]]:
-    """Execute chunks serially on the calling thread (same pipeline)."""
-    results: Dict[int, Tuple[Any, ChunkStats]] = {}
-    for index, (start, stop) in enumerate(chunks):
-        chunk_index, report, stats = _execute_chunk(job, index, start, stop)
-        results[chunk_index] = (report, stats)
-    return results
+    job: Any,
+    chunks: Sequence[Tuple[int, int]],
+    remaining: Sequence[int],
+    outcomes: _ChunkOutcomes,
+    faults: Optional[FaultPlan],
+    clock: Clock,
+) -> None:
+    """Execute ``remaining`` chunks serially with the same retry pipeline.
+
+    Backoff sleeps go through ``clock``, so tier-1 tests drive retries
+    with a :class:`~repro.campaign.faults.FakeClock` and never block.
+    Per-attempt timeouts cannot preempt a single-threaded chunk body;
+    injected ``hang`` faults still exercise the timeout handling
+    deterministically.
+    """
+    retry = outcomes.retry
+    for index in remaining:
+        start, stop = chunks[index]
+        attempt = 0
+        while True:
+            try:
+                _index, report, stats = _execute_chunk(
+                    job, index, start, stop, attempt, faults, clock
+                )
+            except CampaignKilled:
+                raise
+            except Exception as error:
+                if not outcomes.fail(index, attempt, error):
+                    break
+                attempt += 1
+                clock.sleep(retry.delay_before(index, attempt))
+            else:
+                outcomes.succeed(index, report, stats)
+                break
+
+
+def _tag_mode(
+    mode: str, retries: int, failures: int, causes: Set[str]
+) -> str:
+    """Annotate the telemetry mode with retry/failure causes, if any."""
+    notes = []
+    if retries:
+        notes.append(f"retries: {retries}")
+    if failures:
+        notes.append(f"failed chunks: {failures}")
+    if notes and causes:
+        notes.append("causes: " + ",".join(sorted(causes)))
+    return f"{mode} ({'; '.join(notes)})" if notes else mode
+
+
+#: Exception types that mean "the pool itself is unusable" — the
+#: campaign continues in-process.  Worker exceptions never surface here
+#: anymore; they are retried per chunk inside the pooled loop.
+_POOL_INFRA_ERRORS = (
+    OSError,
+    ValueError,
+    RuntimeError,        # includes BrokenExecutor / BrokenProcessPool
+    ImportError,
+    AttributeError,
+    TypeError,
+    pickle.PicklingError,
+)
 
 
 def run_campaign(
     job: Any,
     workers: Optional[int] = None,
     chunk_size: Optional[int] = None,
+    *,
+    retry: Optional[RetryPolicy] = None,
+    faults: Optional[FaultPlan] = None,
+    checkpoint: Optional[str] = None,
+    resume: bool = False,
+    strict: bool = False,
+    clock: Optional[Clock] = None,
 ) -> CampaignResult:
-    """Execute a campaign job, in parallel when possible.
+    """Execute a campaign job, in parallel when possible, surviving faults.
 
     ``workers``/``chunk_size`` default to the auto policy
     (:meth:`~repro.campaign.partition.ShardingPolicy.resolve`).  The
     merged report is identical — including summaries — for every choice
-    of ``workers`` and ``chunk_size``; only the telemetry differs.
+    of ``workers`` and ``chunk_size``, and across checkpoint/resume
+    boundaries; only the telemetry differs.
+
+    Keyword options:
+
+    * ``retry`` — the :class:`~repro.campaign.faults.RetryPolicy` for
+      failed/hung chunks (default: 2 retries, exponential backoff);
+    * ``faults`` — a :class:`~repro.campaign.faults.FaultPlan` for
+      deterministic fault injection (chaos testing);
+    * ``checkpoint`` — journal completed chunk reports to this path
+      (atomic write-rename, fsync'd) as they finish;
+    * ``resume`` — when the checkpoint file exists, validate it against
+      this job and skip its completed chunks (a missing file starts
+      fresh, so the same command line works for first runs and
+      retries);
+    * ``strict`` — raise :class:`~repro.errors.CampaignError` instead
+      of returning a partial result when chunks failed permanently;
+    * ``clock`` — time source for backoff pacing on the in-process
+      path (tests inject a FakeClock; the pooled scheduler always uses
+      real time).
     """
     total = job.total_units()
+    retry = RetryPolicy() if retry is None else retry
+    clock = SystemClock() if clock is None else clock
+
+    state = None
+    if checkpoint is not None and resume and os.path.exists(checkpoint):
+        state = load_checkpoint(checkpoint)
+        if chunk_size is not None and chunk_size != state.chunk_size:
+            raise CheckpointError(
+                f"checkpoint {checkpoint!r} was written with "
+                f"chunk_size={state.chunk_size}, but chunk_size="
+                f"{chunk_size} was requested; resume must reuse the "
+                f"original chunk geometry"
+            )
+        chunk_size = state.chunk_size
+
     policy = ShardingPolicy.resolve(total, workers, chunk_size)
     chunks = plan_chunks(total, policy.chunk_size)
+    fingerprint = job_fingerprint(job, total, policy.chunk_size)
+
+    completed: Dict[int, Any] = {}
+    if state is not None:
+        if state.total_units != total:
+            raise CheckpointError(
+                f"checkpoint {checkpoint!r} covers {state.total_units} "
+                f"units, but this campaign has {total}"
+            )
+        if state.fingerprint != fingerprint:
+            raise CheckpointError(
+                f"checkpoint {checkpoint!r} fingerprint "
+                f"{state.fingerprint} does not match this campaign "
+                f"({fingerprint}); refusing to merge reports from a "
+                f"different job"
+            )
+        for index, chunk_record in state.records.items():
+            if index >= len(chunks) or (
+                chunk_record.start, chunk_record.stop
+            ) != chunks[index]:
+                raise CheckpointError(
+                    f"checkpoint {checkpoint!r} chunk {index} range "
+                    f"({chunk_record.start}, {chunk_record.stop}) does "
+                    f"not match the campaign's chunk plan"
+                )
+            completed[index] = chunk_record.report
+
+    writer = None
+    if checkpoint is not None:
+        writer = CheckpointWriter(
+            checkpoint, fingerprint, total, policy.chunk_size,
+            state=state,
+        )
+
+    def record(index: int, report: Any) -> None:
+        if writer is not None:
+            start, stop = chunks[index]
+            writer.record_chunk(index, start, stop, report)
+
+    remaining = [i for i in range(len(chunks)) if i not in completed]
+    outcomes = _ChunkOutcomes(chunks, retry, record)
 
     wall_start = time.perf_counter()
     mode = "in-process"
-    if policy.workers > 1 and len(chunks) > 1:
-        # Besides platform failures (no semaphores, fork unavailable), an
-        # unpicklable job — e.g. a lambda task — surfaces from
-        # future.result() as PicklingError, AttributeError, or TypeError
-        # depending on interpreter and payload; all of them take the same
-        # documented in-process fallback, tagged with the cause.
+    if policy.workers > 1 and len(remaining) > 1:
+        # Pre-flight: a job (or plan) that cannot cross a process
+        # boundary — e.g. a lambda task — takes the documented
+        # in-process fallback immediately, cleanly separated from
+        # worker exceptions (which are retried per chunk, never fatal).
         try:
-            results, mode = _run_chunks_pooled(job, chunks, policy.workers)
-        except (
-            OSError,
-            ValueError,
-            RuntimeError,
-            ImportError,
-            AttributeError,
-            TypeError,
-            pickle.PicklingError,
-        ) as error:
-            results = _run_chunks_inprocess(job, chunks)
+            pickle.dumps(job)
+            if faults is not None:
+                pickle.dumps(faults)
+        except Exception as error:
+            _run_chunks_inprocess(
+                job, chunks, remaining, outcomes, faults, clock
+            )
             mode = f"in-process (pool unavailable: {type(error).__name__})"
+        else:
+            try:
+                mode = _run_chunks_pooled(
+                    job, chunks, remaining, policy.workers, outcomes,
+                    faults,
+                )
+            except CampaignKilled:
+                raise
+            except _POOL_INFRA_ERRORS as error:
+                # The pool died (or never came up).  Chunks already
+                # completed and journaled stay; everything else reruns
+                # in-process with the same retry pipeline.
+                still_remaining = [
+                    i for i in remaining
+                    if i not in outcomes.results
+                    and i not in outcomes.failures
+                ]
+                _run_chunks_inprocess(
+                    job, chunks, still_remaining, outcomes, faults, clock
+                )
+                mode = (
+                    f"in-process (pool unavailable: "
+                    f"{type(error).__name__})"
+                )
     else:
-        results = _run_chunks_inprocess(job, chunks)
+        _run_chunks_inprocess(
+            job, chunks, remaining, outcomes, faults, clock
+        )
     wall_seconds = time.perf_counter() - wall_start
 
     report = job.empty_report()
     stats_in_order: List[ChunkStats] = []
+    missing: List[str] = []
     for index in range(len(chunks)):
-        chunk_report, stats = results[index]
-        report = report.merge(chunk_report)
-        stats_in_order.append(stats)
+        if index in completed:
+            report = report.merge(completed[index])
+        elif index in outcomes.results:
+            chunk_report, stats = outcomes.results[index]
+            report = report.merge(chunk_report)
+            stats_in_order.append(stats)
+        else:
+            failure = outcomes.failures[index]
+            missing.append(
+                f"{job.describe_range(failure.start, failure.stop)} "
+                f"(chunk {failure.index} failed after "
+                f"{failure.attempts} attempt"
+                f"{'s' if failure.attempts != 1 else ''}: "
+                f"{failure.error})"
+            )
     report = job.finalize(report)
 
     telemetry = CampaignTelemetry(
         workers=policy.workers,
         chunk_size=policy.chunk_size,
-        mode=mode,
+        mode=_tag_mode(
+            mode, outcomes.retries, len(outcomes.failures),
+            outcomes.causes,
+        ),
         wall_seconds=wall_seconds,
         chunks=stats_in_order,
+        failures=[
+            outcomes.failures[i] for i in sorted(outcomes.failures)
+        ],
+        retries=outcomes.retries,
+        skipped_chunks=len(completed),
+        skipped_units=sum(
+            chunks[i][1] - chunks[i][0] for i in completed
+        ),
     )
-    return CampaignResult(report=report, telemetry=telemetry)
+    result = CampaignResult(
+        report=report, telemetry=telemetry, missing=tuple(missing)
+    )
+    if strict and not result.complete:
+        raise CampaignError(
+            "strict campaign incomplete — missing "
+            + "; ".join(missing),
+            result=result,
+        )
+    return result
 
 
 def sweep_simulation_campaign(
@@ -183,6 +602,11 @@ def sweep_simulation_campaign(
     max_steps: int = 500_000,
     workers: Optional[int] = None,
     chunk_size: Optional[int] = None,
+    retry: Optional[RetryPolicy] = None,
+    faults: Optional[FaultPlan] = None,
+    checkpoint: Optional[str] = None,
+    resume: bool = False,
+    strict: bool = False,
     **run_kwargs,
 ) -> CampaignResult:
     """Sharded :func:`~repro.core.sweep.sweep_simulation` over seeds."""
@@ -192,7 +616,11 @@ def sweep_simulation_campaign(
         verify_correspondence=verify_correspondence, max_steps=max_steps,
         run_kwargs=dict(run_kwargs),
     )
-    return run_campaign(job, workers=workers, chunk_size=chunk_size)
+    return run_campaign(
+        job, workers=workers, chunk_size=chunk_size, retry=retry,
+        faults=faults, checkpoint=checkpoint, resume=resume,
+        strict=strict,
+    )
 
 
 def sweep_protocol_campaign(
@@ -203,13 +631,22 @@ def sweep_protocol_campaign(
     max_steps: int = 100_000,
     workers: Optional[int] = None,
     chunk_size: Optional[int] = None,
+    retry: Optional[RetryPolicy] = None,
+    faults: Optional[FaultPlan] = None,
+    checkpoint: Optional[str] = None,
+    resume: bool = False,
+    strict: bool = False,
 ) -> CampaignResult:
     """Sharded :func:`~repro.core.sweep.sweep_protocol` over seeds."""
     job = SweepProtocolJob(
         protocol=protocol, inputs=tuple(inputs), seeds=tuple(seeds),
         task=task, max_steps=max_steps,
     )
-    return run_campaign(job, workers=workers, chunk_size=chunk_size)
+    return run_campaign(
+        job, workers=workers, chunk_size=chunk_size, retry=retry,
+        faults=faults, checkpoint=checkpoint, resume=resume,
+        strict=strict,
+    )
 
 
 def explore_campaign(
@@ -222,6 +659,11 @@ def explore_campaign(
     prefix_depth: int = 2,
     workers: Optional[int] = None,
     chunk_size: Optional[int] = None,
+    retry: Optional[RetryPolicy] = None,
+    faults: Optional[FaultPlan] = None,
+    checkpoint: Optional[str] = None,
+    resume: bool = False,
+    strict: bool = False,
 ) -> CampaignResult:
     """Sharded bounded-exhaustive exploration over schedule-prefix subtrees.
 
@@ -236,7 +678,11 @@ def explore_campaign(
         stop_at_first_violation=stop_at_first_violation,
         prefix_depth=prefix_depth,
     )
-    return run_campaign(job, workers=workers, chunk_size=chunk_size)
+    return run_campaign(
+        job, workers=workers, chunk_size=chunk_size, retry=retry,
+        faults=faults, checkpoint=checkpoint, resume=resume,
+        strict=strict,
+    )
 
 
 def fuzz_campaign(
@@ -250,6 +696,11 @@ def fuzz_campaign(
     max_saved_violations: Optional[int] = None,
     workers: Optional[int] = None,
     chunk_size: Optional[int] = None,
+    retry: Optional[RetryPolicy] = None,
+    faults: Optional[FaultPlan] = None,
+    checkpoint: Optional[str] = None,
+    resume: bool = False,
+    strict: bool = False,
 ) -> CampaignResult:
     """Sharded :func:`~repro.analysis.fuzz.fuzz_protocol` over runs."""
     from repro.analysis.fuzz import DEFAULT_MAX_SAVED_VIOLATIONS
@@ -263,4 +714,8 @@ def fuzz_campaign(
             else max_saved_violations
         ),
     )
-    return run_campaign(job, workers=workers, chunk_size=chunk_size)
+    return run_campaign(
+        job, workers=workers, chunk_size=chunk_size, retry=retry,
+        faults=faults, checkpoint=checkpoint, resume=resume,
+        strict=strict,
+    )

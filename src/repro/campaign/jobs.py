@@ -33,6 +33,16 @@ from repro.core.sweep import SweepReport, sweep_protocol, sweep_simulation
 from repro.protocols.base import Protocol
 
 
+def _describe_seed_range(seeds: Tuple[int, ...], start: int, stop: int) -> str:
+    """Human name for a seed sub-range, quoting the actual seed values."""
+    values = seeds[start:stop]
+    if not values:
+        return "no seeds"
+    if len(values) == 1:
+        return f"seed {values[0]}"
+    return f"seeds {values[0]}..{values[-1]} ({len(values)} seeds)"
+
+
 @dataclass(frozen=True)
 class SweepSimulationJob:
     """A :func:`~repro.core.sweep.sweep_simulation` campaign over seeds."""
@@ -64,6 +74,10 @@ class SweepSimulationJob:
             max_steps=self.max_steps, **self.run_kwargs,
         )
 
+    def describe_range(self, start: int, stop: int) -> str:
+        """Name units ``start..stop-1`` for partial-result reports."""
+        return _describe_seed_range(self.seeds, start, stop)
+
     def finalize(self, report: SweepReport) -> SweepReport:
         """Post-merge hook; sweeps need no finalization."""
         return report
@@ -94,6 +108,10 @@ class SweepProtocolJob:
             list(self.seeds[start:stop]), task=self.task,
             max_steps=self.max_steps,
         )
+
+    def describe_range(self, start: int, stop: int) -> str:
+        """Name units ``start..stop-1`` for partial-result reports."""
+        return _describe_seed_range(self.seeds, start, stop)
 
     def finalize(self, report: SweepReport) -> SweepReport:
         """Post-merge hook; sweeps need no finalization."""
@@ -136,6 +154,10 @@ class FuzzJob:
             seed=self.seed, shrink=False, run_offset=start,
             max_saved_violations=self.max_saved_violations,
         )
+
+    def describe_range(self, start: int, stop: int) -> str:
+        """Name units ``start..stop-1`` for partial-result reports."""
+        return f"fuzz runs {start}..{stop - 1} (seed {self.seed})"
 
     def finalize(self, report: FuzzReport) -> FuzzReport:
         """Shrink the merged report's first violation, if requested."""
@@ -190,6 +212,13 @@ class ExploreJob:
             start, stop, max_configs=self.max_configs,
             max_steps=self.max_steps,
             stop_at_first_violation=self.stop_at_first_violation,
+        )
+
+    def describe_range(self, start: int, stop: int) -> str:
+        """Name units ``start..stop-1`` for partial-result reports."""
+        return (
+            f"schedule-prefix subtrees {start}..{stop - 1} "
+            f"(prefix depth {self.prefix_depth})"
         )
 
     def finalize(self, report: ExplorationReport) -> ExplorationReport:

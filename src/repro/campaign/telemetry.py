@@ -1,10 +1,16 @@
-"""Per-chunk timing and throughput telemetry for campaigns.
+"""Per-chunk timing, retry, and failure telemetry for campaigns.
 
-Telemetry answers "was the parallelism worth it?" without ever touching
-the scientific result: :class:`CampaignTelemetry` lives *next to* the
-merged report inside a :class:`~repro.campaign.engine.CampaignResult`,
-never inside it, so reports stay byte-identical across worker counts
+Telemetry answers "was the parallelism worth it?" — and, since the
+fault-tolerance layer, "what did surviving cost?" — without ever
+touching the scientific result: :class:`CampaignTelemetry` lives *next
+to* the merged report inside a
+:class:`~repro.campaign.engine.CampaignResult`, never inside it, so
+reports stay byte-identical across worker counts, retries, and resumes
 while the timing story varies freely with the hardware.
+
+Failure accounting is part of the same contract: a chunk that exhausts
+its retries is recorded here as a :class:`ChunkFailure` (and named in
+the result's partial-report summary), never silently dropped.
 """
 
 from __future__ import annotations
@@ -15,11 +21,13 @@ from typing import List
 
 @dataclass(frozen=True)
 class ChunkStats:
-    """Timing for one executed chunk.
+    """Timing for one successfully executed chunk.
 
     ``wall_seconds``/``cpu_seconds`` are measured inside the worker
     around the chunk body; ``worker`` identifies the executing process
-    (a pid for pool workers, ``"in-process"`` for the serial path).
+    (a pid for pool workers, ``"in-process"`` for the serial path);
+    ``attempts`` counts how many tries the chunk needed (1 = first
+    try succeeded).
     """
 
     index: int
@@ -28,6 +36,7 @@ class ChunkStats:
     wall_seconds: float
     cpu_seconds: float
     worker: str
+    attempts: int = 1
 
     @property
     def units(self) -> int:
@@ -35,20 +44,60 @@ class ChunkStats:
         return self.stop - self.start
 
 
+@dataclass(frozen=True)
+class ChunkFailure:
+    """A chunk that exhausted its retry budget and was abandoned.
+
+    ``error`` is the final attempt's failure rendered as
+    ``TypeName: message``; ``kind`` distinguishes timeouts (real or
+    injected hangs) from exceptions raised by the chunk body.  The
+    engine folds these into the partial-result summary so missing unit
+    ranges are named, never silently truncated.
+    """
+
+    index: int
+    start: int
+    stop: int
+    attempts: int
+    error: str
+    kind: str = "error"
+
+    @property
+    def units(self) -> int:
+        """Number of units this failed chunk should have covered."""
+        return self.stop - self.start
+
+
 @dataclass
 class CampaignTelemetry:
-    """Aggregated timing/throughput for one campaign execution."""
+    """Aggregated timing/throughput/fault accounting for one campaign run.
+
+    ``chunks`` holds only chunks executed *this* run; on a resumed
+    campaign the chunks replayed from the checkpoint are counted in
+    ``skipped_chunks``/``skipped_units`` instead.  ``retries`` counts
+    re-dispatched attempts across all chunks; ``failures`` lists the
+    chunks that never succeeded.
+    """
 
     workers: int
     chunk_size: int
     mode: str
     wall_seconds: float = 0.0
     chunks: List[ChunkStats] = field(default_factory=list)
+    failures: List[ChunkFailure] = field(default_factory=list)
+    retries: int = 0
+    skipped_chunks: int = 0
+    skipped_units: int = 0
 
     @property
     def total_units(self) -> int:
-        """Total units executed across all chunks."""
+        """Total units executed across all chunks (this run only)."""
         return sum(chunk.units for chunk in self.chunks)
+
+    @property
+    def failed_units(self) -> int:
+        """Units lost to chunks that exhausted their retries."""
+        return sum(failure.units for failure in self.failures)
 
     @property
     def runs_per_second(self) -> float:
@@ -82,7 +131,7 @@ class CampaignTelemetry:
 
     def summary(self) -> str:
         """One-line human summary of the execution telemetry."""
-        return (
+        text = (
             f"{self.total_units} units in {self.wall_seconds:.2f}s wall "
             f"({self.runs_per_second:.1f} runs/sec, "
             f"cpu {self.cpu_seconds:.2f}s) — "
@@ -90,3 +139,20 @@ class CampaignTelemetry:
             f"{self.workers} worker{'s' if self.workers != 1 else ''} "
             f"[{self.mode}], utilization {self.utilization:.0%}"
         )
+        if self.skipped_chunks:
+            text += (
+                f", resumed past {self.skipped_chunks} checkpointed "
+                f"chunk{'s' if self.skipped_chunks != 1 else ''} "
+                f"({self.skipped_units} units)"
+            )
+        if self.retries:
+            text += f", {self.retries} retried attempt" + (
+                "s" if self.retries != 1 else ""
+            )
+        if self.failures:
+            text += (
+                f", {len(self.failures)} chunk"
+                f"{'s' if len(self.failures) != 1 else ''} FAILED "
+                f"({self.failed_units} units lost)"
+            )
+        return text

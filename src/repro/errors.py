@@ -62,6 +62,33 @@ class ValidationError(ReproError):
     """Invalid argument values supplied to a public API entry point."""
 
 
+class CheckpointError(ReproError):
+    """A campaign checkpoint could not be used.
+
+    Raised when a checkpoint journal is missing a header, truncated or
+    corrupted mid-record, carries a ``schema_version`` this code does
+    not understand, or describes a different campaign (job fingerprint,
+    unit count, or chunk size mismatch) than the one being resumed.
+    A checkpoint that cannot be trusted must fail loudly rather than
+    silently skip or repeat work.
+    """
+
+
+class CampaignError(ReproError):
+    """A strict campaign finished with permanently failed chunks.
+
+    Only raised when ``strict=True`` was requested: the default
+    contract is graceful degradation — the campaign completes with a
+    partial report that names the missing unit ranges.  The partial
+    :class:`~repro.campaign.engine.CampaignResult` is attached as
+    ``result`` so callers can still inspect what did complete.
+    """
+
+    def __init__(self, message: str, result=None):
+        super().__init__(message)
+        self.result = result
+
+
 class BenchSchemaError(ReproError):
     """A benchmark artifact failed schema validation.
 

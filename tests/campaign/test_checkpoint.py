@@ -1,0 +1,249 @@
+"""Checkpoint journal: schema round-trip, corruption detection, atomicity.
+
+The journal must be paranoid: anything it cannot fully trust — a
+truncated line, a checksum mismatch, an unknown schema version, a
+fingerprint from a different campaign — raises a clear
+:class:`~repro.errors.CheckpointError` rather than silently skipping or
+repeating work.  And because flushes go tmp → fsync → rename, a crash
+mid-write can leave a stale tmp file but never a half-written journal.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.campaign import (
+    CHECKPOINT_SCHEMA_VERSION,
+    CheckpointWriter,
+    FakeClock,
+    SweepProtocolJob,
+    job_fingerprint,
+    load_checkpoint,
+    run_campaign,
+)
+from repro.core.sweep import SweepReport
+from repro.errors import CheckpointError
+from repro.protocols import KSetAgreementTask, MinSeen
+
+
+def make_job(seed_count=12):
+    return SweepProtocolJob(
+        protocol=MinSeen(3, rounds=2), inputs=(4, 1, 9),
+        seeds=tuple(range(seed_count)), task=KSetAgreementTask(3),
+    )
+
+
+def write_sample(path, job=None, chunks=((0, 3), (3, 6))):
+    """A small valid journal with one report per chunk; returns reports."""
+    job = job or make_job()
+    fingerprint = job_fingerprint(job, 12, 3)
+    writer = CheckpointWriter(str(path), fingerprint, 12, 3)
+    reports = {}
+    for index, (start, stop) in enumerate(chunks):
+        report = job.run_range(start, stop)
+        writer.record_chunk(index, start, stop, report)
+        reports[index] = report
+    return fingerprint, reports
+
+
+class TestRoundTrip:
+    def test_schema_round_trip(self, tmp_path):
+        path = tmp_path / "ckpt"
+        fingerprint, reports = write_sample(path)
+        state = load_checkpoint(str(path))
+        assert state.schema_version == CHECKPOINT_SCHEMA_VERSION
+        assert state.fingerprint == fingerprint
+        assert state.total_units == 12
+        assert state.chunk_size == 3
+        assert state.completed_indices == [0, 1]
+        for index, report in reports.items():
+            record = state.records[index]
+            assert record.report == report
+            assert repr(record.report) == repr(report)
+            assert (record.start, record.stop) == (3 * index, 3 * index + 3)
+
+    def test_recording_is_idempotent_per_index(self, tmp_path):
+        path = tmp_path / "ckpt"
+        job = make_job()
+        fingerprint = job_fingerprint(job, 12, 3)
+        writer = CheckpointWriter(str(path), fingerprint, 12, 3)
+        report = job.run_range(0, 3)
+        writer.record_chunk(0, 0, 3, report)
+        writer.record_chunk(0, 0, 3, report)  # replay: must not duplicate
+        state = load_checkpoint(str(path))
+        assert state.completed_indices == [0]
+
+    def test_resuming_writer_preserves_loaded_records(self, tmp_path):
+        path = tmp_path / "ckpt"
+        job = make_job()
+        fingerprint, reports = write_sample(path, job)
+        state = load_checkpoint(str(path))
+        writer = CheckpointWriter(
+            str(path), fingerprint, 12, 3, state=state
+        )
+        writer.record_chunk(2, 6, 9, job.run_range(6, 9))
+        reloaded = load_checkpoint(str(path))
+        assert reloaded.completed_indices == [0, 1, 2]
+        assert reloaded.records[0].report == reports[0]
+
+    def test_header_written_before_any_chunk(self, tmp_path):
+        path = tmp_path / "ckpt"
+        CheckpointWriter(str(path), "f" * 16, 12, 3)
+        state = load_checkpoint(str(path))
+        assert state.completed_indices == []
+
+
+class TestCorruptionDetection:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CheckpointError, match="cannot read"):
+            load_checkpoint(str(tmp_path / "nope"))
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "ckpt"
+        path.write_text("")
+        with pytest.raises(CheckpointError, match="empty"):
+            load_checkpoint(str(path))
+
+    def test_truncated_mid_record(self, tmp_path):
+        path = tmp_path / "ckpt"
+        write_sample(path)
+        text = path.read_text()
+        path.write_text(text[: len(text) - 40])  # cut the last record
+        with pytest.raises(CheckpointError, match="line 3"):
+            load_checkpoint(str(path))
+
+    def test_corrupted_payload_fails_checksum(self, tmp_path):
+        path = tmp_path / "ckpt"
+        write_sample(path)
+        lines = path.read_text().splitlines()
+        record = json.loads(lines[1])
+        payload = record["payload"]
+        # Flip one base64 character (keeping it valid base64).
+        flipped = ("B" if payload[10] != "B" else "C")
+        record["payload"] = payload[:10] + flipped + payload[11:]
+        lines[1] = json.dumps(record, sort_keys=True)
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(CheckpointError, match="checksum mismatch"):
+            load_checkpoint(str(path))
+
+    def test_garbage_line_detected(self, tmp_path):
+        path = tmp_path / "ckpt"
+        write_sample(path)
+        with open(path, "a") as handle:
+            handle.write("not json at all\n")
+        with pytest.raises(CheckpointError, match="not valid JSON"):
+            load_checkpoint(str(path))
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "ckpt"
+        write_sample(path)
+        lines = path.read_text().splitlines()
+        header = json.loads(lines[0])
+        header["schema_version"] = CHECKPOINT_SCHEMA_VERSION + 99
+        lines[0] = json.dumps(header, sort_keys=True)
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(CheckpointError, match="schema_version"):
+            load_checkpoint(str(path))
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "ckpt"
+        write_sample(path)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[1:]) + "\n")  # drop the header
+        with pytest.raises(CheckpointError, match="no header"):
+            load_checkpoint(str(path))
+
+    def test_duplicate_chunk_index_rejected(self, tmp_path):
+        path = tmp_path / "ckpt"
+        write_sample(path)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines + [lines[1]]) + "\n")
+        with pytest.raises(CheckpointError, match="duplicate chunk"):
+            load_checkpoint(str(path))
+
+
+class TestResumeValidation:
+    def test_fingerprint_mismatch_rejected_on_resume(self, tmp_path):
+        path = str(tmp_path / "ckpt")
+        job = make_job()
+        run_campaign(job, workers=1, chunk_size=3, checkpoint=path)
+        different = SweepProtocolJob(
+            protocol=MinSeen(3, rounds=3), inputs=(4, 1, 9),
+            seeds=tuple(range(12)), task=KSetAgreementTask(3),
+        )
+        with pytest.raises(CheckpointError, match="fingerprint"):
+            run_campaign(
+                different, workers=1, chunk_size=3,
+                checkpoint=path, resume=True,
+            )
+
+    def test_chunk_size_mismatch_rejected_on_resume(self, tmp_path):
+        path = str(tmp_path / "ckpt")
+        job = make_job()
+        run_campaign(job, workers=1, chunk_size=3, checkpoint=path)
+        with pytest.raises(CheckpointError, match="chunk_size"):
+            run_campaign(
+                job, workers=1, chunk_size=4,
+                checkpoint=path, resume=True,
+            )
+
+    def test_auto_chunk_size_adopts_checkpoint_geometry(self, tmp_path):
+        """Resuming without an explicit chunk_size reuses the journal's."""
+        path = str(tmp_path / "ckpt")
+        job = make_job()
+        clean = run_campaign(job, workers=1, chunk_size=3)
+        run_campaign(job, workers=1, chunk_size=3, checkpoint=path)
+        resumed = run_campaign(
+            job, workers=1, checkpoint=path, resume=True,
+            clock=FakeClock(),
+        )
+        assert resumed.telemetry.chunk_size == 3
+        assert resumed.report == clean.report
+
+    def test_unit_count_mismatch_rejected_on_resume(self, tmp_path):
+        path = str(tmp_path / "ckpt")
+        run_campaign(make_job(12), workers=1, chunk_size=3,
+                     checkpoint=path)
+        with pytest.raises(CheckpointError, match="12 units"):
+            run_campaign(
+                make_job(15), workers=1, chunk_size=3,
+                checkpoint=path, resume=True,
+            )
+
+
+class TestAtomicity:
+    def test_leftover_tmp_file_is_ignored(self, tmp_path):
+        """A crash between tmp-write and rename leaves <path>.*.tmp
+        behind; loading reads only the atomically renamed journal."""
+        path = tmp_path / "ckpt"
+        fingerprint, reports = write_sample(path)
+        (tmp_path / "ckpt.garbage.tmp").write_text("half a reco")
+        state = load_checkpoint(str(path))
+        assert state.completed_indices == [0, 1]
+        assert state.records[1].report == reports[1]
+
+    def test_crash_mid_flush_preserves_previous_journal(
+        self, tmp_path, monkeypatch
+    ):
+        """If the rename itself dies, the old journal survives intact."""
+        path = tmp_path / "ckpt"
+        job = make_job()
+        fingerprint = job_fingerprint(job, 12, 3)
+        writer = CheckpointWriter(str(path), fingerprint, 12, 3)
+        writer.record_chunk(0, 0, 3, job.run_range(0, 3))
+        before = path.read_text()
+
+        real_replace = os.replace
+
+        def crashing_replace(src, dst):
+            raise OSError("simulated crash during rename")
+
+        monkeypatch.setattr(os, "replace", crashing_replace)
+        with pytest.raises(OSError):
+            writer.record_chunk(1, 3, 6, job.run_range(3, 6))
+        monkeypatch.setattr(os, "replace", real_replace)
+
+        assert path.read_text() == before
+        state = load_checkpoint(str(path))
+        assert state.completed_indices == [0]

@@ -3,6 +3,8 @@
 import pytest
 
 from repro.campaign import (
+    FaultPlan,
+    RetryPolicy,
     ShardingPolicy,
     auto_chunk_size,
     auto_workers,
@@ -81,7 +83,7 @@ class TestEngineExecution:
         assert result.telemetry.chunks == []
 
     def test_pool_failure_falls_back_in_process(self, monkeypatch):
-        def broken_pool(job, chunks, workers):
+        def broken_pool(*args, **kwargs):
             raise OSError("no processes on this platform")
 
         monkeypatch.setattr(
@@ -115,6 +117,43 @@ class TestEngineExecution:
             "in-process (pool unavailable:"
         )
         assert result.report == serial
+
+    def test_pooled_worker_exception_retried_not_fatal(self):
+        """Regression: a worker exception used to abort the whole pooled
+        campaign (falling back to a full in-process rerun).  It must be
+        routed through the retry policy instead — the chunk is
+        re-dispatched, the pool stays up, and telemetry.mode records the
+        cause."""
+        job = minseen_job(12)
+        serial = job.run_range(0, 12)
+        result = run_campaign(
+            job, workers=2, chunk_size=3,
+            retry=RetryPolicy(base_delay=0.001),
+            faults=FaultPlan.flaky(1, failures=1),
+        )
+        assert result.report == serial
+        assert result.complete
+        assert result.telemetry.retries == 1
+        assert result.telemetry.mode.startswith("pool:")
+        assert "retries: 1" in result.telemetry.mode
+        assert "InjectedCrash" in result.telemetry.mode
+
+    def test_pooled_chunk_exhausting_retries_degrades_gracefully(self):
+        """A chunk that fails every attempt is recorded as failed; the
+        campaign still completes with the other chunks' results."""
+        job = minseen_job(12)
+        result = run_campaign(
+            job, workers=2, chunk_size=3,
+            retry=RetryPolicy(max_retries=1, base_delay=0.001),
+            faults=FaultPlan.crash(2),
+        )
+        assert not result.complete
+        assert result.missing_ranges() == [(6, 9)]
+        assert result.report.runs == 9
+        assert "failed chunks: 1" in result.telemetry.mode
+        [failure] = result.failed_chunks
+        assert failure.attempts == 2
+        assert "InjectedCrash" in failure.error
 
     def test_telemetry_accounts_every_unit_once(self):
         result = sweep_protocol_campaign(

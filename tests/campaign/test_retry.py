@@ -1,0 +1,165 @@
+"""Retry/backoff timing under an injected fake clock — no real sleeps.
+
+The backoff schedule is part of the engine's observable behavior: these
+tests pin the exponential sequence, the cap, the deterministic jitter
+bounds, and — via :class:`FakeClock` — the exact sleeps the in-process
+retry loop performs.  Nothing here waits on a real clock.
+"""
+
+import time
+
+import pytest
+
+from repro.campaign import (
+    FakeClock,
+    FaultPlan,
+    FaultSpec,
+    RetryPolicy,
+    SweepProtocolJob,
+    SystemClock,
+    run_campaign,
+)
+from repro.errors import ValidationError
+from repro.protocols import KSetAgreementTask, MinSeen
+
+
+def make_job(seed_count=9):
+    return SweepProtocolJob(
+        protocol=MinSeen(3, rounds=2), inputs=(4, 1, 9),
+        seeds=tuple(range(seed_count)), task=KSetAgreementTask(3),
+    )
+
+
+class TestDelaySchedule:
+    def test_exponential_sequence_without_jitter(self):
+        policy = RetryPolicy(
+            max_retries=5, base_delay=0.1, backoff_factor=2.0,
+            max_delay=10.0, jitter=0.0,
+        )
+        delays = [policy.delay_before(0, a) for a in range(1, 6)]
+        assert delays == [0.1, 0.2, 0.4, 0.8, 1.6]
+
+    def test_max_delay_caps_the_exponential(self):
+        policy = RetryPolicy(
+            max_retries=10, base_delay=1.0, backoff_factor=3.0,
+            max_delay=5.0, jitter=0.0,
+        )
+        assert policy.delay_before(0, 1) == 1.0
+        assert policy.delay_before(0, 2) == 3.0
+        assert policy.delay_before(0, 3) == 5.0   # capped
+        assert policy.delay_before(0, 9) == 5.0   # stays capped
+
+    def test_jitter_is_bounded_and_deterministic(self):
+        policy = RetryPolicy(base_delay=0.1, jitter=0.25, max_retries=4)
+        for chunk in range(20):
+            for attempt in range(1, 5):
+                base = min(
+                    policy.max_delay,
+                    policy.base_delay
+                    * policy.backoff_factor ** (attempt - 1),
+                )
+                delay = policy.delay_before(chunk, attempt)
+                assert base * 0.75 <= delay <= base * 1.25
+                # Deterministic: same (chunk, attempt) → same delay.
+                assert delay == policy.delay_before(chunk, attempt)
+
+    def test_jitter_varies_across_chunks(self):
+        policy = RetryPolicy(base_delay=0.1, jitter=0.25)
+        delays = {policy.delay_before(chunk, 1) for chunk in range(16)}
+        assert len(delays) > 1
+
+    def test_max_attempts(self):
+        assert RetryPolicy(max_retries=0).max_attempts == 1
+        assert RetryPolicy(max_retries=3).max_attempts == 4
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValidationError):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(ValidationError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ValidationError):
+            RetryPolicy(timeout=0)
+        with pytest.raises(ValidationError):
+            RetryPolicy().delay_before(0, 0)
+
+
+class TestEngineBackoffPacing:
+    def test_sleeps_match_the_policy_exactly(self):
+        """Three injected failures on chunk 1 → exactly the policy's
+        backoff sequence for chunk 1, attempts 1..3, and nothing else."""
+        policy = RetryPolicy(max_retries=3, base_delay=0.2, jitter=0.1)
+        clock = FakeClock()
+        job = make_job()
+        result = run_campaign(
+            job, workers=1, chunk_size=3, retry=policy,
+            faults=FaultPlan({1: FaultSpec("flaky", attempts=3)}),
+            clock=clock,
+        )
+        assert result.complete
+        expected = [policy.delay_before(1, a) for a in (1, 2, 3)]
+        assert clock.sleeps == expected
+        assert clock.now() == pytest.approx(sum(expected))
+
+    def test_no_sleeps_on_the_clean_path(self):
+        """Fault machinery off the hot path: a fault-free campaign never
+        touches the clock."""
+        clock = FakeClock()
+        result = run_campaign(
+            make_job(), workers=1, chunk_size=3, clock=clock
+        )
+        assert result.complete
+        assert clock.sleeps == []
+        assert clock.now() == 0.0
+
+    def test_interleaved_chunk_failures_sleep_per_chunk(self):
+        policy = RetryPolicy(max_retries=2, base_delay=0.1, jitter=0.2)
+        clock = FakeClock()
+        run_campaign(
+            make_job(), workers=1, chunk_size=3, retry=policy,
+            faults=FaultPlan.flaky(0, 2, failures=1), clock=clock,
+        )
+        assert clock.sleeps == [
+            policy.delay_before(0, 1), policy.delay_before(2, 1),
+        ]
+
+    def test_exhausted_retries_sleep_only_between_attempts(self):
+        """max_retries backoffs happen; no sleep after the final failure."""
+        policy = RetryPolicy(max_retries=2, base_delay=0.05, jitter=0.0)
+        clock = FakeClock()
+        result = run_campaign(
+            make_job(), workers=1, chunk_size=3, retry=policy,
+            faults=FaultPlan.crash(1), clock=clock,
+        )
+        assert not result.complete
+        assert clock.sleeps == [0.05, 0.1]
+
+    def test_slow_fault_uses_injected_clock(self):
+        """'slow' faults pace through the same clock: virtual, not real."""
+        clock = FakeClock()
+        wall_before = time.perf_counter()
+        result = run_campaign(
+            make_job(), workers=1, chunk_size=3,
+            faults=FaultPlan({0: FaultSpec("slow", delay=60.0)}),
+            clock=clock,
+        )
+        assert time.perf_counter() - wall_before < 5.0  # no real minute
+        assert result.complete
+        assert clock.sleeps == [60.0]
+
+
+class TestClocks:
+    def test_fake_clock_advances_virtually(self):
+        clock = FakeClock(start=100.0)
+        clock.sleep(2.5)
+        clock.sleep(0.5)
+        assert clock.now() == 103.0
+        assert clock.sleeps == [2.5, 0.5]
+
+    def test_system_clock_is_monotonic_and_skips_nonpositive_sleeps(self):
+        clock = SystemClock()
+        first = clock.now()
+        clock.sleep(0.0)
+        clock.sleep(-1.0)
+        assert clock.now() >= first

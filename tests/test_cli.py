@@ -80,6 +80,44 @@ class TestCli:
             assert "safe" in out
             assert "serial verification: sharded report identical" in out
 
+    def test_campaign_checkpoint_then_resume(self, tmp_path, capsys):
+        """A checkpointed campaign resumes by replaying the journal."""
+        ckpt = str(tmp_path / "campaign.ckpt")
+        assert main([
+            "campaign", "--seeds", "6", "--workers", "1",
+            "--experiment", "protocol", "--checkpoint", ckpt,
+        ]) == 0
+        first = capsys.readouterr().out
+        assert "resumed past" not in first
+        assert main([
+            "campaign", "--seeds", "6", "--workers", "1",
+            "--experiment", "protocol", "--resume", ckpt,
+        ]) == 0
+        resumed = capsys.readouterr().out
+        assert "resumed past 3 checkpointed chunks" in resumed
+        assert "campaign complete: all expectations held" in resumed
+
+    def test_explore_checkpoint_then_bare_resume(self, tmp_path, capsys):
+        ckpt = str(tmp_path / "explore.ckpt")
+        common = [
+            "explore", "--scenario", "racing", "--workers", "1",
+            "--max-configs", "20000", "--checkpoint", ckpt,
+        ]
+        assert main(common) == 0
+        capsys.readouterr()
+        assert main(common + ["--resume", "--strict"]) == 0
+        out = capsys.readouterr().out
+        assert "resumed past" in out
+        assert "safe" in out
+
+    def test_resume_without_checkpoint_path_is_usage_error(self, capsys):
+        assert main(["campaign", "--resume"]) == 2
+        assert "--resume needs a path" in capsys.readouterr().err
+
+    def test_campaign_rejects_negative_max_retries(self, capsys):
+        assert main(["campaign", "--max-retries", "-1"]) == 2
+        assert "--max-retries must be >= 0" in capsys.readouterr().err
+
     def test_explore_rejects_bad_workers(self, capsys):
         assert main(["explore", "--workers", "0"]) == 2
         assert "--workers must be >= 1" in capsys.readouterr().err
