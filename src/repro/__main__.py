@@ -9,8 +9,12 @@ Usage::
     python -m repro check [--seed 0]
     python -m repro campaign [--seeds 50] [--workers N] [--chunk-size C]
                              [--checkpoint PATH] [--resume [PATH]] [--strict]
+                             [--verify-certificates]
+                             [--certificates-dir DIR]
     python -m repro explore [--scenario truncated] [--workers N]
                             [--checkpoint PATH] [--resume [PATH]] [--strict]
+    python -m repro certify emit [--scenario falsify] --out DIR
+    python -m repro certify verify [PATH ...] [--dir DIR] [--deep]
     python -m repro bench run [--quick] [--experiments E13,E14]
     python -m repro bench compare [--baseline baselines/]
 
@@ -25,7 +29,13 @@ oracles as hardware-parallel seed/fuzz campaigns through
 telemetry (results are byte-identical for any worker count — see
 docs/CAMPAIGNS.md); ``explore`` runs the bounded-exhaustive model
 checker sharded over schedule-prefix subtrees, optionally verifying the
-sharded report against a serial run; ``bench`` measures the EXPERIMENTS.md
+sharded report against a serial run; ``certify`` emits and verifies the
+witness certificates of :mod:`repro.certify` (docs/CERTIFICATES.md) —
+machine-checkable claims that an independent verifier replays without
+trusting the searcher that produced them; ``campaign
+--verify-certificates`` applies the same gate inside the engine,
+rejecting worker chunks whose certificates fail to replay;
+``bench`` measures the EXPERIMENTS.md
 experiments (E1–E15), writes schema-versioned ``BENCH_*.json`` artifacts,
 and regression-gates them against a committed baseline (see
 docs/BENCHMARKS.md).
@@ -235,15 +245,20 @@ def cmd_campaign(args) -> int:
         return dict(checkpoint=checkpoint, resume=resume, retry=retry)
 
     seeds = range(args.seeds)
-    options = dict(workers=args.workers, chunk_size=args.chunk_size)
+    options = dict(
+        workers=args.workers, chunk_size=args.chunk_size,
+        verify_certificates=args.verify_certificates,
+    )
     failures = 0
     partials = 0
+    emitted: list = []
 
     def show(title, result, ok):
         nonlocal failures, partials
         print(f"{title}:")
         print(f"   {result.report.summary()}")
         print(f"   {result.telemetry.summary()}")
+        emitted.extend(getattr(result.report, "certificates", None) or [])
         if not result.complete:
             partials += 1
             print("   PARTIAL RESULT — missing "
@@ -291,6 +306,13 @@ def cmd_campaign(args) -> int:
         if result.report.minimized is not None:
             print(f"   minimized counterexample: "
                   f"{result.report.minimized.minimized}")
+
+    if args.certificates_dir is not None and emitted:
+        from repro.certify.certificates import write_certificates
+
+        paths = write_certificates(args.certificates_dir, emitted)
+        print(f"\n{len(paths)} certificate(s) written to "
+              f"{args.certificates_dir}")
 
     strict_partial = args.strict and partials
     if failures:
@@ -452,6 +474,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     campaign.add_argument("--fuzz-runs", type=int, default=200)
     campaign.add_argument("--seed", type=int, default=0)
+    campaign.add_argument(
+        "--verify-certificates", action="store_true",
+        help="make workers emit witness certificates and reject any "
+             "chunk whose certificates fail independent replay",
+    )
+    campaign.add_argument(
+        "--certificates-dir", default=None, metavar="DIR",
+        help="write the final reports' certificates to DIR",
+    )
     _add_fault_tolerance_args(campaign)
     campaign.set_defaults(func=cmd_campaign)
 
@@ -480,8 +511,10 @@ def build_parser() -> argparse.ArgumentParser:
     explore.set_defaults(func=cmd_explore)
 
     from repro.bench.cli import add_bench_parser
+    from repro.certify.cli import add_certify_parser
 
     add_bench_parser(sub)
+    add_certify_parser(sub)
     return parser
 
 

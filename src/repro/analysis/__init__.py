@@ -35,6 +35,9 @@ from repro.analysis.fuzz import (
 )
 from repro.analysis.linearizability import (
     CompletedOperation,
+    RegisterSpec,
+    SnapshotSpec,
+    certified_linearization,
     check_linearizable,
     crossing_pairs,
 )
@@ -60,6 +63,9 @@ __all__ = [
     "unit_budget",
     "check_obstruction_freedom",
     "CompletedOperation",
+    "RegisterSpec",
+    "SnapshotSpec",
+    "certified_linearization",
     "check_linearizable",
     "crossing_pairs",
     "ValenceReport",

@@ -39,6 +39,11 @@ class ValenceReport:
     values: Set[Any] = field(default_factory=set)
     truncated: bool = False
     witnesses: Dict[Any, List[int]] = field(default_factory=dict)
+    #: Witness certificates (:mod:`repro.certify`); excluded from
+    #: equality and repr so carrying them never changes comparisons.
+    certificates: List[Any] = field(
+        default_factory=list, compare=False, repr=False
+    )
 
     @property
     def bivalent(self) -> bool:
@@ -83,12 +88,24 @@ def classify_valence(
     inputs: Sequence[Any],
     config: Optional[Configuration] = None,
     max_configs: int = 100_000,
+    certificates: bool = False,
 ) -> ValenceReport:
     """Compute the set of decidable values from a configuration.
 
     Stops early once both more-than-one value is found and witnesses are
     recorded (bivalence is established); otherwise explores until the bound.
+
+    With ``certificates=True`` the report carries a valence witness
+    certificate (:mod:`repro.certify`).  Certificates describe witness
+    schedules from the *initial* configuration, so they can only be
+    emitted when ``config`` is ``None``.
     """
+    from_initial = config is None
+    if certificates and not from_initial:
+        raise ValidationError(
+            "valence certificates can only be emitted for the initial "
+            "configuration (witness schedules are replayed from it)"
+        )
     if config is None:
         config = initial_configuration(protocol, inputs)
     report = ValenceReport()
@@ -119,12 +136,18 @@ def classify_valence(
                 undecided.append(index)
         if report.bivalent:
             # Both values witnessed; for consensus that settles bivalence.
-            return report
+            break
         for index in undecided:
             queue.append(
                 (step_configuration(protocol, current, index),
                  schedule + (index,))
             )
+    if certificates and report.witnesses:
+        from repro.certify.emit import valence_certificate
+
+        report.certificates = [
+            valence_certificate(protocol, inputs, report)
+        ]
     return report
 
 

@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ValidationError
-from repro.protocols.base import DECIDE, SCAN, Protocol
+from repro.protocols.base import DECIDE, SCAN, UPDATE, Protocol
 
 
 @dataclass
@@ -44,6 +44,19 @@ class CoveringReport:
     blocked: Dict[int, str] = field(default_factory=dict)
     memory: Tuple = ()
     steps_used: int = 0
+    #: process index -> the reserving execution that drove it here: the
+    #: exact steps it took, each ``("scan",)`` or ``("update", j, v)``
+    #: for a write that *landed* (the frozen write is withheld and lives
+    #: in ``poised_values``).  Derived data for certificates; excluded
+    #: from equality and repr so recording it never changes report
+    #: comparisons.
+    executions: Dict[int, Tuple[Tuple, ...]] = field(
+        default_factory=dict, compare=False, repr=False
+    )
+    #: Witness certificates (:mod:`repro.certify`); excluded likewise.
+    certificates: List[Any] = field(
+        default_factory=list, compare=False, repr=False
+    )
 
     @property
     def size(self) -> int:
@@ -55,6 +68,7 @@ def build_covering(
     inputs: Sequence[Any],
     target: Optional[int] = None,
     per_process_budget: int = 10_000,
+    certificates: bool = False,
 ) -> CoveringReport:
     """Drive processes until ``target`` distinct components are covered.
 
@@ -63,12 +77,19 @@ def build_covering(
     runs.  Frozen processes' pending writes are *withheld* — exactly the
     hidden block write of a covering argument.
 
+    Each process's *reserving execution* — the exact scan and
+    landed-update steps that drove it to its covering position — is
+    recorded in ``report.executions``, which is what a covering
+    certificate replays (:mod:`repro.certify`).
+
     Args:
         protocol: protocol under test.
         inputs: inputs for the participating processes.
         target: covering size to build (default: min(len(inputs), m)).
         per_process_budget: step bound per process before reporting it
             blocked.
+        certificates: emit a covering certificate on the report;
+            requires a registered protocol descriptor.
     """
     if target is None:
         target = min(len(inputs), protocol.m)
@@ -83,12 +104,14 @@ def build_covering(
             break
         state = protocol.initial_state(index, value)
         steps = 0
+        log: List[Tuple] = []
         while steps < per_process_budget:
             kind, payload = protocol.poised(state)
             if kind == DECIDE:
                 report.blocked[index] = f"decided {payload!r} before covering"
                 break
             if kind == SCAN:
+                log.append((SCAN,))
                 state = protocol.advance(state, tuple(memory))
             else:
                 component, written = payload
@@ -97,6 +120,7 @@ def build_covering(
                     report.poised_values[index] = (component, written)
                     break  # freeze here: the write is withheld
                 # Covered already: let the write land and keep going.
+                log.append((UPDATE, component, written))
                 memory[component] = written
                 state = protocol.advance(state, None)
             steps += 1
@@ -104,8 +128,17 @@ def build_covering(
             report.blocked[index] = (
                 f"no fresh component within {per_process_budget} steps"
             )
+        report.executions[index] = tuple(log)
         report.steps_used += steps
     report.memory = tuple(memory)
+    if certificates:
+        from repro.certify.emit import covering_certificate
+
+        report.certificates = [
+            covering_certificate(
+                protocol, inputs, report, target, per_process_budget
+            )
+        ]
     return report
 
 

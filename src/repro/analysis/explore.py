@@ -79,6 +79,12 @@ class ExplorationReport:
     truncated: bool = False
     fully_decided: int = 0
     counterexample: Optional[List[int]] = None
+    #: Witness certificates (:mod:`repro.certify`) for the recorded
+    #: counterexample; excluded from equality and repr so carrying them
+    #: never changes report comparisons.
+    certificates: List[Any] = field(
+        default_factory=list, compare=False, repr=False
+    )
 
     @property
     def safe(self) -> bool:
@@ -97,13 +103,26 @@ class ExplorationReport:
             c for c in (self.counterexample, other.counterexample)
             if c is not None
         ]
-        return ExplorationReport(
+        merged = ExplorationReport(
             violations=sorted(set(self.violations) | set(other.violations)),
             configurations=self.configurations + other.configurations,
             truncated=self.truncated or other.truncated,
             fully_decided=self.fully_decided + other.fully_decided,
             counterexample=list(min(candidates)) if candidates else None,
         )
+        if self.certificates or other.certificates:
+            # Keep exactly the certificates whose schedule is the merged
+            # (lexicographically least) counterexample, so serial and
+            # sharded exploration carry identical certificate sets.
+            from repro.certify.certificates import sorted_certificates
+
+            merged.certificates = sorted_certificates([
+                certificate
+                for certificate in self.certificates + other.certificates
+                if certificate.payload.get("schedule")
+                == merged.counterexample
+            ])
+        return merged
 
     def summary(self) -> str:
         """One-line human summary."""
@@ -523,6 +542,7 @@ def explore_prefix_range(
     max_steps: Optional[int] = None,
     stop_at_first_violation: bool = True,
     context: Optional[ExplorationContext] = None,
+    certificates: bool = False,
 ) -> ExplorationReport:
     """Explore units ``start..stop-1`` of a prefix decomposition.
 
@@ -536,6 +556,11 @@ def explore_prefix_range(
     fresh one) for its pure transition caches; each unit still gets a
     fresh depth memo, so the merged report is byte-identical whether
     units run in one call, in separate calls, or on separate workers.
+
+    With ``certificates=True`` the range's report carries a witness
+    certificate for its counterexample (:mod:`repro.certify`); merging
+    keeps exactly the certificates of the merged counterexample, so
+    serial and sharded runs emit identical certificate sets.
     """
     budget = unit_budget(max_configs, len(prefixes))
     ctx = context if context is not None else ExplorationContext(
@@ -549,6 +574,12 @@ def explore_prefix_range(
                 stop_at_first_violation,
             )
         )
+    if certificates and report.counterexample is not None:
+        from repro.certify.emit import exploration_certificates
+
+        report.certificates = exploration_certificates(
+            protocol, inputs, task, report
+        )
     return report
 
 
@@ -560,6 +591,7 @@ def explore_protocol(
     max_steps: Optional[int] = None,
     stop_at_first_violation: bool = True,
     prefix_depth: int = 0,
+    certificates: bool = False,
 ) -> ExplorationReport:
     """Explore every interleaving of a protocol instance, checking safety.
 
@@ -580,6 +612,9 @@ def explore_protocol(
             campaign (:func:`repro.campaign.explore_campaign`) with the
             same ``prefix_depth`` reproduces this function's report
             exactly.
+        certificates: emit a witness certificate for the counterexample
+            (:mod:`repro.certify`); requires a registered protocol/task
+            descriptor.
     """
     if len(inputs) > protocol.n:
         raise ValidationError(
@@ -592,6 +627,7 @@ def explore_protocol(
         protocol, inputs, task, prefixes, 0, len(prefixes),
         max_configs=max_configs, max_steps=max_steps,
         stop_at_first_violation=stop_at_first_violation, context=ctx,
+        certificates=certificates,
     )
 
 

@@ -63,6 +63,12 @@ class FuzzReport:
         default=DEFAULT_MAX_SAVED_VIOLATIONS, compare=False
     )
     minimized: Optional[ShrinkResult] = None
+    #: Witness certificates (:mod:`repro.certify`) for the retained
+    #: violations; excluded from equality and repr so carrying them
+    #: never changes report comparisons.
+    certificates: List[Any] = field(
+        default_factory=list, compare=False, repr=False
+    )
 
     @property
     def clean(self) -> bool:
@@ -112,13 +118,28 @@ class FuzzReport:
             minimized = self.minimized
         else:
             minimized = other.minimized
-        return FuzzReport(
+        merged = FuzzReport(
             runs=self.runs + other.runs,
             violating_runs=self.violating_runs + other.violating_runs,
             violations=violations,
             max_saved_violations=cap,
             minimized=minimized,
         )
+        if self.certificates or other.certificates:
+            # Keep exactly the certificates for the retained run indices.
+            # Shrink certificates are dropped (a merge may change which
+            # violation is first); the campaign job's finalize hook
+            # re-derives one deterministically after the final merge.
+            from repro.certify.certificates import sorted_certificates
+
+            retained = {record.run_index for record in violations}
+            merged.certificates = sorted_certificates([
+                certificate
+                for certificate in self.certificates + other.certificates
+                if certificate.payload.get("source") != "fuzz-shrink"
+                and certificate.payload.get("run_index") in retained
+            ])
+        return merged
 
     def summary(self) -> str:
         """One-line human summary."""
@@ -164,6 +185,7 @@ def fuzz_protocol(
     shrink: bool = True,
     run_offset: int = 0,
     max_saved_violations: int = DEFAULT_MAX_SAVED_VIOLATIONS,
+    certificates: bool = False,
 ) -> FuzzReport:
     """Sample random schedules, check safety, shrink the first violation.
 
@@ -174,6 +196,12 @@ def fuzz_protocol(
     partial reports (:meth:`FuzzReport.merge`), yielding the same report
     as one serial call over the whole range.  Up to
     ``max_saved_violations`` violating schedules are retained.
+
+    With ``certificates=True`` the report also carries one witness
+    certificate (:mod:`repro.certify`) per retained violation — plus
+    one for the shrunken schedule — so an independent verifier can
+    re-check every claim without trusting this searcher.  The protocol
+    and task must have registered certificate descriptors.
     """
     report = FuzzReport(max_saved_violations=max_saved_violations)
     # One context for the whole campaign: every run's replay (and the
@@ -191,4 +219,10 @@ def fuzz_protocol(
                 report.minimized = shrink_schedule(
                     protocol, inputs, task, schedule, context=ctx
                 )
+    if certificates and report.violations:
+        from repro.certify.emit import fuzz_certificates
+
+        report.certificates = fuzz_certificates(
+            protocol, inputs, task, report
+        )
     return report

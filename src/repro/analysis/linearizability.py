@@ -164,6 +164,28 @@ def check_linearizable(
     return (True, list(witness)) if ok else (False, None)
 
 
+def certified_linearization(
+    history: Sequence[CompletedOperation],
+    spec,
+    max_nodes: int = 2_000_000,
+):
+    """Like :func:`check_linearizable`, but also certify the witness.
+
+    Returns ``(ok, witness, certificate)`` where ``certificate`` is a
+    :class:`~repro.certify.certificates.Certificate` for the witness
+    order (``None`` when the history is not linearizable): the
+    independent verifier re-applies the order against its own
+    sequential spec, so the linearization claim no longer rests on this
+    checker's search being correct.
+    """
+    ok, witness = check_linearizable(history, spec, max_nodes=max_nodes)
+    if not ok:
+        return ok, witness, None
+    from repro.certify.emit import linearization_certificate
+
+    return ok, witness, linearization_certificate(spec, history, witness)
+
+
 #: Annotation tag emitted by composed objects for generic operation markers.
 OBJECT_OP_TAG = "object.op"
 

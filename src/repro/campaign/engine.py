@@ -89,7 +89,7 @@ from repro.campaign.telemetry import (
     ChunkFailure,
     ChunkStats,
 )
-from repro.errors import CampaignError, CheckpointError
+from repro.errors import CampaignError, CertificateError, CheckpointError
 
 
 @dataclass
@@ -188,14 +188,40 @@ class _ChunkOutcomes:
         chunks: Sequence[Tuple[int, int]],
         retry: RetryPolicy,
         record: Callable[[int, Any], None],
+        verify_certificates: bool = False,
     ):
         self.chunks = chunks
         self.retry = retry
         self.record = record
+        self.verify_certificates = verify_certificates
+        self.certificates_verified = 0
         self.results: Dict[int, Tuple[Any, ChunkStats]] = {}
         self.failures: Dict[int, ChunkFailure] = {}
         self.retries = 0
         self.causes: Set[str] = set()
+
+    def verify_chunk(self, report: Any) -> None:
+        """Re-check a chunk report's certificates before accepting it.
+
+        The verifier is independent of the searchers, so a worker
+        cannot vouch for its own result; a rejected certificate is a
+        :class:`~repro.errors.CertificateError`, which both execution
+        paths treat as an ordinary (retryable) chunk failure.
+        """
+        if not self.verify_certificates:
+            return
+        certificates = getattr(report, "certificates", None) or []
+        if not certificates:
+            return
+        from repro.certify.verify import verify_certificates as check
+
+        verdict = check(certificates)
+        if not verdict.accepted:
+            raise CertificateError(
+                f"chunk certificate rejected ({verdict.reason}): "
+                f"{verdict.detail}"
+            )
+        self.certificates_verified += len(certificates)
 
     def succeed(self, index: int, report: Any, stats: ChunkStats) -> None:
         """Accept a chunk result and journal it to the checkpoint."""
@@ -291,6 +317,7 @@ def _run_chunks_pooled(
                 index, attempt, _deadline = inflight.pop(future)
                 try:
                     _index, report, stats = future.result()
+                    outcomes.verify_chunk(report)
                 except CampaignKilled:
                     raise
                 except BrokenExecutor:
@@ -356,6 +383,7 @@ def _run_chunks_inprocess(
                 _index, report, stats = _execute_chunk(
                     job, index, start, stop, attempt, faults, clock
                 )
+                outcomes.verify_chunk(report)
             except CampaignKilled:
                 raise
             except Exception as error:
@@ -407,6 +435,7 @@ def run_campaign(
     resume: bool = False,
     strict: bool = False,
     clock: Optional[Clock] = None,
+    verify_certificates: bool = False,
 ) -> CampaignResult:
     """Execute a campaign job, in parallel when possible, surviving faults.
 
@@ -432,11 +461,25 @@ def run_campaign(
       of returning a partial result when chunks failed permanently;
     * ``clock`` — time source for backoff pacing on the in-process
       path (tests inject a FakeClock; the pooled scheduler always uses
-      real time).
+      real time);
+    * ``verify_certificates`` — treat workers as untrusted: flip the
+      job into certificate-emitting mode (via its
+      ``with_certificates`` hook, when it has one) and re-check every
+      chunk report's certificates with the independent verifier
+      (:mod:`repro.certify.verify`) before the merge fold accepts the
+      chunk.  A rejected certificate is a retryable chunk failure;
+      resumed checkpoint chunks are re-verified too, and failing ones
+      are re-run instead of merged.  Note the flag changes the job —
+      and therefore the checkpoint fingerprint — so a campaign must be
+      resumed with the same setting it started with.
     """
     total = job.total_units()
     retry = RetryPolicy() if retry is None else retry
     clock = SystemClock() if clock is None else clock
+    if verify_certificates:
+        with_certificates = getattr(job, "with_certificates", None)
+        if with_certificates is not None:
+            job = with_certificates(True)
 
     state = None
     if checkpoint is not None and resume and os.path.exists(checkpoint):
@@ -479,6 +522,24 @@ def run_campaign(
                 )
             completed[index] = chunk_record.report
 
+    resumed_certificates = 0
+    if verify_certificates and completed:
+        # Resumed chunks came from a journal a (possibly different)
+        # worker wrote; re-verify them and re-run any that fail rather
+        # than merging an unvouched-for report.
+        from repro.certify.verify import verify_certificates as check
+
+        for index in sorted(completed):
+            certificates = getattr(
+                completed[index], "certificates", None
+            ) or []
+            if not certificates:
+                continue
+            if check(certificates).accepted:
+                resumed_certificates += len(certificates)
+            else:
+                del completed[index]
+
     writer = None
     if checkpoint is not None:
         writer = CheckpointWriter(
@@ -492,7 +553,9 @@ def run_campaign(
             writer.record_chunk(index, start, stop, report)
 
     remaining = [i for i in range(len(chunks)) if i not in completed]
-    outcomes = _ChunkOutcomes(chunks, retry, record)
+    outcomes = _ChunkOutcomes(
+        chunks, retry, record, verify_certificates=verify_certificates
+    )
 
     wall_start = time.perf_counter()
     mode = "in-process"
@@ -560,6 +623,12 @@ def run_campaign(
                 f"{failure.error})"
             )
     report = job.finalize(report)
+    # The finalized report may carry certificates no chunk ever did —
+    # sweeps mint at finalize, fuzz re-derives its shrink certificate —
+    # so the gate audits the merged result as well.  A rejection here
+    # is not a retryable chunk failure; it propagates as a
+    # CertificateError because the coordinator itself minted the lie.
+    outcomes.verify_chunk(report)
 
     telemetry = CampaignTelemetry(
         workers=policy.workers,
@@ -577,6 +646,9 @@ def run_campaign(
         skipped_chunks=len(completed),
         skipped_units=sum(
             chunks[i][1] - chunks[i][0] for i in completed
+        ),
+        certificates_verified=(
+            outcomes.certificates_verified + resumed_certificates
         ),
     )
     result = CampaignResult(
@@ -607,6 +679,7 @@ def sweep_simulation_campaign(
     checkpoint: Optional[str] = None,
     resume: bool = False,
     strict: bool = False,
+    verify_certificates: bool = False,
     **run_kwargs,
 ) -> CampaignResult:
     """Sharded :func:`~repro.core.sweep.sweep_simulation` over seeds."""
@@ -619,7 +692,7 @@ def sweep_simulation_campaign(
     return run_campaign(
         job, workers=workers, chunk_size=chunk_size, retry=retry,
         faults=faults, checkpoint=checkpoint, resume=resume,
-        strict=strict,
+        strict=strict, verify_certificates=verify_certificates,
     )
 
 
@@ -636,6 +709,7 @@ def sweep_protocol_campaign(
     checkpoint: Optional[str] = None,
     resume: bool = False,
     strict: bool = False,
+    verify_certificates: bool = False,
 ) -> CampaignResult:
     """Sharded :func:`~repro.core.sweep.sweep_protocol` over seeds."""
     job = SweepProtocolJob(
@@ -645,7 +719,7 @@ def sweep_protocol_campaign(
     return run_campaign(
         job, workers=workers, chunk_size=chunk_size, retry=retry,
         faults=faults, checkpoint=checkpoint, resume=resume,
-        strict=strict,
+        strict=strict, verify_certificates=verify_certificates,
     )
 
 
@@ -664,6 +738,7 @@ def explore_campaign(
     checkpoint: Optional[str] = None,
     resume: bool = False,
     strict: bool = False,
+    verify_certificates: bool = False,
 ) -> CampaignResult:
     """Sharded bounded-exhaustive exploration over schedule-prefix subtrees.
 
@@ -681,7 +756,7 @@ def explore_campaign(
     return run_campaign(
         job, workers=workers, chunk_size=chunk_size, retry=retry,
         faults=faults, checkpoint=checkpoint, resume=resume,
-        strict=strict,
+        strict=strict, verify_certificates=verify_certificates,
     )
 
 
@@ -701,6 +776,7 @@ def fuzz_campaign(
     checkpoint: Optional[str] = None,
     resume: bool = False,
     strict: bool = False,
+    verify_certificates: bool = False,
 ) -> CampaignResult:
     """Sharded :func:`~repro.analysis.fuzz.fuzz_protocol` over runs."""
     from repro.analysis.fuzz import DEFAULT_MAX_SAVED_VIOLATIONS
@@ -717,5 +793,5 @@ def fuzz_campaign(
     return run_campaign(
         job, workers=workers, chunk_size=chunk_size, retry=retry,
         faults=faults, checkpoint=checkpoint, resume=resume,
-        strict=strict,
+        strict=strict, verify_certificates=verify_certificates,
     )

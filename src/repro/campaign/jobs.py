@@ -14,7 +14,7 @@ parallel path cannot drift from the serial one: the differential suite
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Optional, Tuple
 
 from repro.analysis.explore import (
@@ -29,8 +29,29 @@ from repro.analysis.fuzz import (
     fuzz_protocol,
 )
 from repro.analysis.shrink import shrink_schedule
-from repro.core.sweep import SweepReport, sweep_protocol, sweep_simulation
+from repro.core.sweep import (
+    SweepReport,
+    _attach_sweep_certificate,
+    sweep_protocol,
+    sweep_simulation,
+)
 from repro.protocols.base import Protocol
+
+
+class _CertifiableJob:
+    """Shared mixin: flip a job into certificate-emitting mode.
+
+    ``certificates`` is a regular job field (it changes what workers
+    compute, hence the job fingerprint); :meth:`with_certificates`
+    is how :func:`~repro.campaign.engine.run_campaign` turns the flag
+    on when the caller asks for ``verify_certificates=True``.
+    """
+
+    def with_certificates(self, certificates: bool = True):
+        """A copy of this job with certificate emission toggled."""
+        if getattr(self, "certificates", None) == certificates:
+            return self
+        return replace(self, certificates=certificates)
 
 
 def _describe_seed_range(seeds: Tuple[int, ...], start: int, stop: int) -> str:
@@ -44,7 +65,7 @@ def _describe_seed_range(seeds: Tuple[int, ...], start: int, stop: int) -> str:
 
 
 @dataclass(frozen=True)
-class SweepSimulationJob:
+class SweepSimulationJob(_CertifiableJob):
     """A :func:`~repro.core.sweep.sweep_simulation` campaign over seeds."""
 
     protocol: Protocol
@@ -56,6 +77,7 @@ class SweepSimulationJob:
     verify_correspondence: bool = False
     max_steps: int = 500_000
     run_kwargs: Dict[str, Any] = field(default_factory=dict)
+    certificates: bool = False
 
     def total_units(self) -> int:
         """Number of schedulable units: one per seed."""
@@ -66,12 +88,19 @@ class SweepSimulationJob:
         return SweepReport()
 
     def run_range(self, start: int, stop: int) -> SweepReport:
-        """Execute seeds ``start..stop-1`` through the serial harness."""
+        """Execute seeds ``start..stop-1`` through the serial harness.
+
+        Chunks never mint certificates themselves (the raw witness
+        rides along as ``report.best_violation``); :meth:`finalize`
+        mints once from the merged minimum, so a sharded sweep pays
+        one canonicalization instead of one per chunk.
+        """
         return sweep_simulation(
             self.protocol, k=self.k, x=self.x, inputs=list(self.inputs),
             seeds=list(self.seeds[start:stop]), task=self.task,
             verify_correspondence=self.verify_correspondence,
-            max_steps=self.max_steps, **self.run_kwargs,
+            max_steps=self.max_steps,
+            **self.run_kwargs,
         )
 
     def describe_range(self, start: int, stop: int) -> str:
@@ -79,12 +108,18 @@ class SweepSimulationJob:
         return _describe_seed_range(self.seeds, start, stop)
 
     def finalize(self, report: SweepReport) -> SweepReport:
-        """Post-merge hook; sweeps need no finalization."""
+        """Mint the merged minimum-seed witness certificate, if asked."""
+        if self.certificates:
+            _attach_sweep_certificate(
+                report, report.best_violation, self.protocol,
+                list(self.inputs), self.task, "simulation",
+                self.max_steps, k=self.k, x=self.x,
+            )
         return report
 
 
 @dataclass(frozen=True)
-class SweepProtocolJob:
+class SweepProtocolJob(_CertifiableJob):
     """A :func:`~repro.core.sweep.sweep_protocol` campaign over seeds."""
 
     protocol: Protocol
@@ -92,6 +127,7 @@ class SweepProtocolJob:
     seeds: Tuple[int, ...]
     task: Any = None
     max_steps: int = 100_000
+    certificates: bool = False
 
     def total_units(self) -> int:
         """Number of schedulable units: one per seed."""
@@ -102,7 +138,12 @@ class SweepProtocolJob:
         return SweepReport()
 
     def run_range(self, start: int, stop: int) -> SweepReport:
-        """Execute seeds ``start..stop-1`` through the serial harness."""
+        """Execute seeds ``start..stop-1`` through the serial harness.
+
+        Certificates are minted once in :meth:`finalize`, not per
+        chunk; the chunk report carries the raw ``best_violation``
+        witness instead.
+        """
         return sweep_protocol(
             self.protocol, list(self.inputs),
             list(self.seeds[start:stop]), task=self.task,
@@ -114,12 +155,18 @@ class SweepProtocolJob:
         return _describe_seed_range(self.seeds, start, stop)
 
     def finalize(self, report: SweepReport) -> SweepReport:
-        """Post-merge hook; sweeps need no finalization."""
+        """Mint the merged minimum-seed witness certificate, if asked."""
+        if self.certificates:
+            _attach_sweep_certificate(
+                report, report.best_violation, self.protocol,
+                list(self.inputs), self.task, "protocol",
+                self.max_steps,
+            )
         return report
 
 
 @dataclass(frozen=True)
-class FuzzJob:
+class FuzzJob(_CertifiableJob):
     """A :func:`~repro.analysis.fuzz.fuzz_protocol` campaign over runs.
 
     Workers fuzz their run range with shrinking disabled (shrinking
@@ -137,6 +184,7 @@ class FuzzJob:
     seed: int = 0
     shrink: bool = True
     max_saved_violations: int = DEFAULT_MAX_SAVED_VIOLATIONS
+    certificates: bool = False
 
     def total_units(self) -> int:
         """Number of schedulable units: one per fuzz run."""
@@ -153,6 +201,7 @@ class FuzzJob:
             runs=stop - start, schedule_length=self.schedule_length,
             seed=self.seed, shrink=False, run_offset=start,
             max_saved_violations=self.max_saved_violations,
+            certificates=self.certificates,
         )
 
     def describe_range(self, start: int, stop: int) -> str:
@@ -160,17 +209,30 @@ class FuzzJob:
         return f"fuzz runs {start}..{stop - 1} (seed {self.seed})"
 
     def finalize(self, report: FuzzReport) -> FuzzReport:
-        """Shrink the merged report's first violation, if requested."""
+        """Shrink the merged report's first violation, if requested.
+
+        When certificates are on, the merge fold dropped any per-chunk
+        shrink certificates (the first violation can change across
+        merges); re-derive the one for the final shrink here, so the
+        campaign's certificate set matches a serial ``fuzz_protocol``
+        call exactly.
+        """
         if self.shrink and report.violations and report.minimized is None:
             report.minimized = shrink_schedule(
                 self.protocol, list(self.inputs), self.task,
                 report.first_violation_schedule,
             )
+        if self.certificates and report.violations:
+            from repro.certify.emit import fuzz_certificates
+
+            report.certificates = fuzz_certificates(
+                self.protocol, list(self.inputs), self.task, report
+            )
         return report
 
 
 @dataclass(frozen=True)
-class ExploreJob:
+class ExploreJob(_CertifiableJob):
     """A sharded :func:`~repro.analysis.explore.explore_protocol` campaign.
 
     The schedulable units are the viable schedule prefixes of length
@@ -191,6 +253,7 @@ class ExploreJob:
     max_steps: Optional[int] = None
     stop_at_first_violation: bool = True
     prefix_depth: int = 2
+    certificates: bool = False
 
     def _prefixes(self) -> Tuple[Tuple[int, ...], ...]:
         """The canonical unit decomposition (pure, cheap to recompute)."""
@@ -212,6 +275,7 @@ class ExploreJob:
             start, stop, max_configs=self.max_configs,
             max_steps=self.max_steps,
             stop_at_first_violation=self.stop_at_first_violation,
+            certificates=self.certificates,
         )
 
     def describe_range(self, start: int, stop: int) -> str:

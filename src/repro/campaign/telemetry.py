@@ -88,6 +88,10 @@ class CampaignTelemetry:
     retries: int = 0
     skipped_chunks: int = 0
     skipped_units: int = 0
+    #: Witness certificates checked by the untrusted-worker gate
+    #: (``run_campaign(verify_certificates=True)``); 0 when the gate
+    #: is off or no chunk carried certificates.
+    certificates_verified: int = 0
 
     @property
     def total_units(self) -> int:
@@ -148,6 +152,11 @@ class CampaignTelemetry:
         if self.retries:
             text += f", {self.retries} retried attempt" + (
                 "s" if self.retries != 1 else ""
+            )
+        if self.certificates_verified:
+            text += (
+                f", {self.certificates_verified} certificate"
+                f"{'s' if self.certificates_verified != 1 else ''} verified"
             )
         if self.failures:
             text += (

@@ -1,0 +1,112 @@
+"""Self-certifying results: witness certificates + independent verifier.
+
+Every headline result the engine produces — a violating schedule, a
+covering configuration, a valence witness, a linearization order, a
+violating sweep run — can be emitted as a compact, schema-versioned,
+checksummed *certificate* (:mod:`repro.certify.certificates`) and
+re-checked by a small verifier (:mod:`repro.certify.verify`) that
+replays the claim through the runtime without importing any searcher.
+This turns campaign workers into untrusted provers: the merge fold can
+reject any chunk whose certificates fail
+(``run_campaign(verify_certificates=True)``), so multi-host scale-out
+does not require trusting the exploration core.
+
+See docs/CERTIFICATES.md for the format, the verifier contract, and
+the threat model.
+"""
+
+from repro.certify.canonical import (
+    canonical_json,
+    canonical_payload,
+    content_checksum,
+)
+from repro.certify.certificates import (
+    CERTIFICATE_KINDS,
+    CERTIFICATE_SCHEMA_VERSION,
+    Certificate,
+    KIND_COVERING,
+    KIND_LINEARIZATION,
+    KIND_SWEEP_RUN,
+    KIND_VALENCE,
+    KIND_VIOLATION,
+    certificate_filename,
+    from_json,
+    load_certificate,
+    load_certificates,
+    make_certificate,
+    sorted_certificates,
+    to_json,
+    write_certificates,
+)
+from repro.certify.emit import (
+    covering_certificate,
+    exploration_certificates,
+    fuzz_certificates,
+    linearization_certificate,
+    sweep_run_certificate,
+    valence_certificate,
+    violation_certificate,
+)
+from repro.certify.registry import (
+    build_protocol,
+    build_spec,
+    build_task,
+    describe_protocol,
+    describe_spec,
+    describe_task,
+    register_protocol,
+    register_task,
+)
+from repro.certify.verify import (
+    REASON_CODES,
+    Verdict,
+    verify,
+    verify_certificates,
+    verify_directory,
+    verify_file,
+    verify_json,
+)
+
+__all__ = [
+    "CERTIFICATE_KINDS",
+    "CERTIFICATE_SCHEMA_VERSION",
+    "Certificate",
+    "KIND_COVERING",
+    "KIND_LINEARIZATION",
+    "KIND_SWEEP_RUN",
+    "KIND_VALENCE",
+    "KIND_VIOLATION",
+    "REASON_CODES",
+    "Verdict",
+    "build_protocol",
+    "build_spec",
+    "build_task",
+    "canonical_json",
+    "canonical_payload",
+    "certificate_filename",
+    "content_checksum",
+    "covering_certificate",
+    "describe_protocol",
+    "describe_spec",
+    "describe_task",
+    "exploration_certificates",
+    "from_json",
+    "fuzz_certificates",
+    "linearization_certificate",
+    "load_certificate",
+    "load_certificates",
+    "make_certificate",
+    "register_protocol",
+    "register_task",
+    "sorted_certificates",
+    "sweep_run_certificate",
+    "to_json",
+    "valence_certificate",
+    "verify",
+    "verify_certificates",
+    "verify_directory",
+    "verify_file",
+    "verify_json",
+    "violation_certificate",
+    "write_certificates",
+]

@@ -1,0 +1,107 @@
+"""Canonical JSON: one byte string per certificate, on every machine.
+
+Certificates are compared, checksummed, and deduplicated by their
+serialized form, so that form must be a *pure function of the claim*:
+independent of dict insertion order, of ``PYTHONHASHSEED``, of
+tuple-vs-list representation choices, and of which process emitted it.
+This module pins that encoding:
+
+* payload values are normalized first (:func:`canonical_payload`):
+  tuples become lists, dict keys must be strings and non-finite floats
+  are rejected — anything without an unambiguous JSON form is a
+  :class:`~repro.errors.CertificateError` at *emit* time, never a
+  surprise at verify time;
+* serialization (:func:`canonical_json`) uses sorted keys, compact
+  separators, and ASCII escapes, so equal claims are byte-equal;
+* the content checksum (:func:`content_checksum`) is the SHA-256 of the
+  canonical serialization of ``{kind, schema_version, payload}`` — the
+  claim, not the envelope, so a corrupted checksum field is detectable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from typing import Any, Dict
+
+from repro.errors import CertificateError
+
+
+def canonical_payload(value: Any) -> Any:
+    """Normalize a payload value to its unambiguous JSON form.
+
+    Tuples become lists, dicts are rebuilt with sorted string keys, and
+    scalars must be ``None``/bool/int/str or a finite float.  Anything
+    else (sets, arbitrary objects, NaN) raises
+    :class:`~repro.errors.CertificateError`: a claim that cannot be
+    serialized canonically cannot be certified.
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        if not math.isfinite(value):
+            raise CertificateError(
+                f"cannot canonicalize non-finite float {value!r}"
+            )
+        return value
+    if isinstance(value, (list, tuple)):
+        return [canonical_payload(item) for item in value]
+    if isinstance(value, dict):
+        for key in value:
+            if not isinstance(key, str):
+                raise CertificateError(
+                    f"certificate payload keys must be strings, got "
+                    f"{key!r}"
+                )
+        return {
+            key: canonical_payload(value[key]) for key in sorted(value)
+        }
+    raise CertificateError(
+        f"cannot canonicalize {type(value).__name__} value {value!r} "
+        f"into a certificate payload"
+    )
+
+
+def canonical_json(value: Any) -> str:
+    """Serialize an (already canonicalizable) value deterministically."""
+    return json.dumps(
+        canonical_payload(value),
+        sort_keys=True,
+        separators=(",", ":"),
+        ensure_ascii=True,
+        allow_nan=False,
+    )
+
+
+def content_checksum(
+    kind: str, schema_version: int, payload: Dict[str, Any]
+) -> str:
+    """SHA-256 over the canonical serialization of the claim itself.
+
+    ``payload`` must already be JSON-shaped — the form
+    :func:`canonical_payload` mints and ``json.loads`` produces.  For
+    such values ``json.dumps`` with sorted keys *is* the canonical
+    encoding, so the claim is serialized without re-walking it (this
+    sits on the campaign gate's per-chunk hot path).  Anything that
+    still refuses to serialize (NaN from a hand-edited file, an
+    arbitrary object in a hand-built certificate) raises
+    :class:`~repro.errors.CertificateError`.
+    """
+    try:
+        claim = json.dumps(
+            {
+                "kind": kind,
+                "schema_version": schema_version,
+                "payload": payload,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+            ensure_ascii=True,
+            allow_nan=False,
+        )
+    except (TypeError, ValueError) as error:
+        raise CertificateError(
+            f"cannot serialize claim canonically: {error}"
+        ) from error
+    return hashlib.sha256(claim.encode("ascii")).hexdigest()

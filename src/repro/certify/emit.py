@@ -1,0 +1,242 @@
+"""Certificate emitters for the search and sweep producers.
+
+Each emitter turns one already-found result into a
+:class:`~repro.certify.certificates.Certificate` whose payload is
+self-contained: registry descriptors instead of live objects, concrete
+schedules/executions/orders instead of report references.  The
+producers (:mod:`repro.analysis.fuzz`, :mod:`repro.analysis.explore`,
+:mod:`repro.analysis.covering`, :mod:`repro.analysis.bivalence`,
+:mod:`repro.analysis.linearizability`, :mod:`repro.core.sweep`) call
+these when asked for ``certificates=True``; the independent verifier
+(:mod:`repro.certify.verify`) re-checks the claims without importing
+any of them.
+
+Emission is deterministic: payload content is a pure function of the
+result (schedules, decisions, descriptors), canonicalization pins all
+ordering, and so two processes emitting the same result produce
+byte-identical certificate JSON — a property the round-trip tests
+assert.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.certify.canonical import canonical_json
+from repro.certify.certificates import (
+    Certificate,
+    KIND_COVERING,
+    KIND_LINEARIZATION,
+    KIND_SWEEP_RUN,
+    KIND_VALENCE,
+    KIND_VIOLATION,
+    make_certificate,
+    sorted_certificates,
+)
+from repro.certify.registry import (
+    describe_protocol,
+    describe_spec,
+    describe_task,
+)
+from repro.certify.replay import replay_decisions
+
+#: ``source`` tags a violation certificate can carry.
+SOURCE_FUZZ = "fuzz"
+SOURCE_FUZZ_SHRINK = "fuzz-shrink"
+SOURCE_EXPLORE = "explore"
+
+
+def violation_certificate(
+    protocol,
+    inputs: Sequence[Any],
+    task,
+    schedule: Sequence[int],
+    source: str,
+    run_index: Optional[int] = None,
+) -> Certificate:
+    """Certify one violating schedule.
+
+    The claimed decisions are recomputed here through the verifier's
+    own replay, so the certificate states exactly what an honest
+    verifier will see.
+    """
+    decisions = replay_decisions(protocol, inputs, schedule)
+    payload: Dict[str, Any] = {
+        "protocol": describe_protocol(protocol),
+        "task": describe_task(task),
+        "inputs": list(inputs),
+        "schedule": [int(index) for index in schedule],
+        "decisions": [
+            [index, decisions[index]] for index in sorted(decisions)
+        ],
+        "source": source,
+    }
+    if run_index is not None:
+        payload["run_index"] = int(run_index)
+    return make_certificate(KIND_VIOLATION, payload)
+
+
+def fuzz_certificates(
+    protocol, inputs: Sequence[Any], task, report
+) -> List[Certificate]:
+    """Certificates for a :class:`~repro.analysis.fuzz.FuzzReport`.
+
+    One per retained violating run, plus one for the shrunken schedule
+    when the report carries a shrink result (tagged ``fuzz-shrink`` and
+    stamped with the shrunken run's index, so merges can drop and
+    re-derive it deterministically).
+    """
+    certificates = [
+        violation_certificate(
+            protocol, inputs, task, record.schedule, SOURCE_FUZZ,
+            run_index=record.run_index,
+        )
+        for record in report.violations
+    ]
+    if report.minimized is not None and report.violations:
+        certificates.append(
+            violation_certificate(
+                protocol, inputs, task, report.minimized.minimized,
+                SOURCE_FUZZ_SHRINK,
+                run_index=report.violations[0].run_index,
+            )
+        )
+    return sorted_certificates(certificates)
+
+
+def exploration_certificates(
+    protocol, inputs: Sequence[Any], task, report
+) -> List[Certificate]:
+    """Certificates for an exploration report's counterexample, if any."""
+    if report.counterexample is None:
+        return []
+    return [
+        violation_certificate(
+            protocol, inputs, task, report.counterexample,
+            SOURCE_EXPLORE,
+        )
+    ]
+
+
+def covering_certificate(
+    protocol,
+    inputs: Sequence[Any],
+    report,
+    target: int,
+    per_process_budget: int,
+) -> Certificate:
+    """Certify a covering configuration with its reserving executions.
+
+    The payload carries, per process that ran, the exact scan/update
+    steps it took (updates that *landed* on already-covered
+    components), so the verifier can replay each reserving execution
+    against its own memory and confirm every frozen process really is
+    poised on a fresh, distinct component.
+    """
+    payload = {
+        "protocol": describe_protocol(protocol),
+        "inputs": list(inputs),
+        "target": int(target),
+        "per_process_budget": int(per_process_budget),
+        "covered": [
+            [component, report.covered[component]]
+            for component in sorted(report.covered)
+        ],
+        "poised": [
+            [index] + list(report.poised_values[index])
+            for index in sorted(report.poised_values)
+        ],
+        "blocked": sorted(report.blocked),
+        "memory": list(report.memory),
+        "executions": [
+            [index, [list(step) for step in report.executions[index]]]
+            for index in sorted(report.executions)
+        ],
+    }
+    return make_certificate(KIND_COVERING, payload)
+
+
+def valence_certificate(
+    protocol, inputs: Sequence[Any], report
+) -> Certificate:
+    """Certify a valence report's witnesses (value -> deciding schedule).
+
+    Witnesses are ordered by their canonical JSON form, not by dict
+    insertion order, so emission is independent of search traversal.
+    """
+    witnesses = [
+        [value, list(schedule)]
+        for value, schedule in report.witnesses.items()
+    ]
+    witnesses.sort(key=canonical_json)
+    payload = {
+        "protocol": describe_protocol(protocol),
+        "inputs": list(inputs),
+        "witnesses": witnesses,
+    }
+    return make_certificate(KIND_VALENCE, payload)
+
+
+def linearization_certificate(
+    spec, history: Sequence[Any], order: Sequence[str]
+) -> Certificate:
+    """Certify a linearization witness order for a concurrent history.
+
+    ``history`` holds
+    :class:`~repro.analysis.linearizability.CompletedOperation`-shaped
+    records (duck-typed); ``order`` is the witness op-id sequence.
+    """
+    entries = [
+        {
+            "op_id": operation.op_id,
+            "pid": operation.pid,
+            "op": operation.op,
+            "args": list(operation.args),
+            "result": operation.result,
+            "start": operation.start,
+            "end": operation.end,
+        }
+        for operation in history
+    ]
+    entries.sort(key=lambda entry: entry["op_id"])
+    payload = {
+        "spec": describe_spec(spec),
+        "history": entries,
+        "order": list(order),
+    }
+    return make_certificate(KIND_LINEARIZATION, payload)
+
+
+def sweep_run_certificate(
+    protocol,
+    inputs: Sequence[Any],
+    task,
+    seed: int,
+    decisions: Dict[int, Any],
+    run: str = "protocol",
+    max_steps: int = 100_000,
+    k: Optional[int] = None,
+    x: Optional[int] = None,
+) -> Certificate:
+    """Certify one violating sweep run as a *judgment* certificate.
+
+    The fast claim is "these recorded decisions violate this task" —
+    cheap to verify (one ``task.check``) and independent of scheduler
+    internals.  The seed and step bound ride along so ``deep=True``
+    verification can re-execute the run and compare decisions.
+    """
+    payload: Dict[str, Any] = {
+        "run": run,
+        "protocol": describe_protocol(protocol),
+        "task": describe_task(task),
+        "inputs": list(inputs),
+        "seed": int(seed),
+        "max_steps": int(max_steps),
+        "decisions": [
+            [index, decisions[index]] for index in sorted(decisions)
+        ],
+    }
+    if run == "simulation":
+        payload["k"] = int(k)
+        payload["x"] = int(x)
+    return make_certificate(KIND_SWEEP_RUN, payload)

@@ -1,0 +1,231 @@
+"""Descriptor registry: name protocols, tasks, and specs in JSON.
+
+A certificate must be self-contained, so it cannot embed live Python
+objects — it names them.  This registry maps the protocol zoo, the task
+checkers, and the sequential object specs to small JSON descriptors
+(``{"family": …, …params}``) and back.  The *descriptor* is the trust
+boundary: the verifier rebuilds the protocol from the descriptor with
+its own constructor call, so a certificate can only ever talk about
+protocols the verifying side also has.
+
+Test gadgets (e.g. the DiamondTrap regression protocol) register their
+own families with :func:`register_protocol`; an instance or descriptor
+with no registered family is a
+:class:`~repro.errors.CertificateError`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Tuple, Type
+
+from repro.errors import CertificateError
+
+_PROTOCOLS: Dict[str, Tuple[
+    Type, Callable[[Any], Dict[str, Any]],
+    Callable[[Dict[str, Any]], Any],
+]] = {}
+_TASKS: Dict[str, Tuple[
+    Type, Callable[[Any], Dict[str, Any]],
+    Callable[[Dict[str, Any]], Any],
+]] = {}
+
+
+def register_protocol(
+    family: str,
+    cls: Type,
+    describe: Callable[[Any], Dict[str, Any]],
+    build: Callable[[Dict[str, Any]], Any],
+) -> None:
+    """Register a protocol family.
+
+    ``describe(protocol)`` returns the family's parameters (without the
+    ``family`` key); ``build(descriptor)`` reconstructs an instance.
+    Re-registering a family replaces it (tests rely on this).
+    """
+    _PROTOCOLS[family] = (cls, describe, build)
+
+
+def register_task(
+    family: str,
+    cls: Type,
+    describe: Callable[[Any], Dict[str, Any]],
+    build: Callable[[Dict[str, Any]], Any],
+) -> None:
+    """Register a task-checker family (same contract as protocols)."""
+    _TASKS[family] = (cls, describe, build)
+
+
+def _register_builtins() -> None:
+    """Install descriptors for the protocol zoo and the task checkers."""
+    from repro.protocols import (
+        ApproxAgreementTask,
+        AveragingApprox,
+        BisectionApprox,
+        GroupedKSet,
+        ImmediateDecide,
+        KSetAgreementTask,
+        MinSeen,
+        RacingConsensus,
+        RotatingWrites,
+        TruncatedProtocol,
+    )
+
+    register_protocol(
+        "immediate-decide", ImmediateDecide,
+        lambda p: {"n": p.n},
+        lambda d: ImmediateDecide(d["n"]),
+    )
+    register_protocol(
+        "min-seen", MinSeen,
+        lambda p: {"n": p.n, "rounds": p.rounds},
+        lambda d: MinSeen(d["n"], rounds=d["rounds"]),
+    )
+    register_protocol(
+        "rotating-writes", RotatingWrites,
+        lambda p: {"n": p.n, "m": p.m, "rounds": p.rounds},
+        lambda d: RotatingWrites(d["n"], d["m"], rounds=d["rounds"]),
+    )
+    register_protocol(
+        "racing-consensus", RacingConsensus,
+        lambda p: {"n": p.n},
+        lambda d: RacingConsensus(d["n"]),
+    )
+    register_protocol(
+        "grouped-kset", GroupedKSet,
+        lambda p: {"n": p.n, "k": p.k},
+        lambda d: GroupedKSet(d["n"], d["k"]),
+    )
+    register_protocol(
+        "truncated", TruncatedProtocol,
+        lambda p: {
+            "base": describe_protocol(p.base), "registers": p.m,
+        },
+        lambda d: TruncatedProtocol(
+            build_protocol(d["base"]), d["registers"]
+        ),
+    )
+    register_protocol(
+        "averaging-approx", AveragingApprox,
+        lambda p: {"n": p.n, "epsilon": p.epsilon},
+        lambda d: AveragingApprox(d["n"], d["epsilon"]),
+    )
+    register_protocol(
+        "bisection-approx", BisectionApprox,
+        lambda p: {"epsilon": p.epsilon},
+        lambda d: BisectionApprox(d["epsilon"]),
+    )
+
+    register_task(
+        "kset-agreement", KSetAgreementTask,
+        lambda t: {"k": t.k},
+        lambda d: KSetAgreementTask(d["k"]),
+    )
+    register_task(
+        "approx-agreement", ApproxAgreementTask,
+        lambda t: {"epsilon": t.epsilon},
+        lambda d: ApproxAgreementTask(d["epsilon"]),
+    )
+
+
+_register_builtins()
+
+
+def _describe(obj: Any, table, noun: str) -> Dict[str, Any]:
+    for family, (cls, describe, _build) in table.items():
+        if type(obj) is cls:
+            descriptor = dict(describe(obj))
+            descriptor["family"] = family
+            return descriptor
+    raise CertificateError(
+        f"no registered certificate descriptor for {noun} "
+        f"{type(obj).__name__} ({getattr(obj, 'name', obj)!r}); "
+        f"register it with repro.certify.registry"
+    )
+
+
+def _build(descriptor: Any, table, noun: str) -> Any:
+    if not isinstance(descriptor, dict) or "family" not in descriptor:
+        raise CertificateError(
+            f"malformed {noun} descriptor: {descriptor!r}"
+        )
+    family = descriptor["family"]
+    entry = table.get(family)
+    if entry is None:
+        raise CertificateError(
+            f"unknown {noun} family {family!r} in certificate"
+        )
+    _cls, _describe, build = entry
+    try:
+        return build(descriptor)
+    except CertificateError:
+        raise
+    except Exception as error:
+        raise CertificateError(
+            f"cannot rebuild {noun} from descriptor {descriptor!r}: "
+            f"{type(error).__name__}: {error}"
+        ) from error
+
+
+def describe_protocol(protocol: Any) -> Dict[str, Any]:
+    """The JSON descriptor naming a protocol instance."""
+    return _describe(protocol, _PROTOCOLS, "protocol")
+
+
+def build_protocol(descriptor: Dict[str, Any]) -> Any:
+    """Rebuild a protocol instance from its descriptor."""
+    return _build(descriptor, _PROTOCOLS, "protocol")
+
+
+def describe_task(task: Any) -> Dict[str, Any]:
+    """The JSON descriptor naming a task checker."""
+    return _describe(task, _TASKS, "task")
+
+
+def build_task(descriptor: Dict[str, Any]) -> Any:
+    """Rebuild a task checker from its descriptor."""
+    return _build(descriptor, _TASKS, "task")
+
+
+def describe_spec(spec: Any) -> Dict[str, Any]:
+    """The JSON descriptor naming a sequential object specification.
+
+    Accepts any object shaped like the linearizability specs — an
+    m-component snapshot (``.m``/``.initial``) or a single register
+    (``.initial``) — including the verifier's own independent
+    reimplementations (:mod:`repro.certify.replay`).
+    """
+    components = getattr(spec, "m", None)
+    if components is not None:
+        return {
+            "family": "snapshot",
+            "components": components,
+            "initial": spec.initial,
+        }
+    if hasattr(spec, "initial"):
+        return {"family": "register", "initial": spec.initial}
+    raise CertificateError(
+        f"no certificate descriptor for spec {type(spec).__name__}"
+    )
+
+
+def build_spec(descriptor: Dict[str, Any]) -> Any:
+    """Rebuild a spec as the verifier's *independent* implementation."""
+    from repro.certify.replay import (
+        SequentialRegister,
+        SequentialSnapshot,
+    )
+
+    if not isinstance(descriptor, dict) or "family" not in descriptor:
+        raise CertificateError(
+            f"malformed spec descriptor: {descriptor!r}"
+        )
+    family = descriptor["family"]
+    if family == "snapshot":
+        return SequentialSnapshot(
+            descriptor["components"], descriptor.get("initial")
+        )
+    if family == "register":
+        return SequentialRegister(descriptor.get("initial"))
+    raise CertificateError(
+        f"unknown spec family {family!r} in certificate"
+    )

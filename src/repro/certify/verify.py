@@ -1,0 +1,665 @@
+"""The independent certificate verifier.
+
+:func:`verify` re-checks a certificate's claim from scratch: it
+rebuilds the protocol/task/spec from registry descriptors, replays the
+claimed schedule (or executions, or linearization order) through the
+verifier's own replay machinery (:mod:`repro.certify.replay`), and
+compares what actually happens with what the certificate claims.  It
+never imports the searchers: :mod:`repro.analysis` is absent from this
+module's import graph, and ``tests/certify`` enforces that with a
+subprocess test.  That independence is the point — a campaign worker
+that produced a result cannot also vouch for it.
+
+Verification never raises on a bad certificate; it returns a
+:class:`Verdict` whose ``reason`` is one of the ``REASON_*`` codes, so
+callers (the CLI, the campaign merge fold, the adversarial tests) can
+branch on *why* a claim was rejected.  Checks run in a fixed order —
+structure, schema version, checksum, kind, descriptors, then the
+semantic claim — so each mutation class maps to one stable reason.
+
+``deep=True`` additionally re-executes sweep-run certificates (a full
+seeded re-run instead of the fast decision-judgment check); it lazily
+imports the runtime sweep entry points (:mod:`repro.core`), still never
+the searchers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Sequence, Tuple
+
+from repro.certify.canonical import canonical_payload, content_checksum
+from repro.certify.certificates import (
+    CERTIFICATE_SCHEMA_VERSION,
+    Certificate,
+    KIND_COVERING,
+    KIND_LINEARIZATION,
+    KIND_SWEEP_RUN,
+    KIND_VALENCE,
+    KIND_VIOLATION,
+    from_json,
+    load_certificate,
+    load_certificates,
+)
+from repro.certify.registry import build_protocol, build_spec, build_task
+from repro.certify.replay import (
+    decisions_of,
+    replay_configuration,
+    step_process,
+)
+from repro.errors import CertificateError, ReproError
+from repro.protocols.base import DECIDE, SCAN, UPDATE
+
+#: The certificate's claim re-checked out as stated.
+REASON_OK = "ok"
+#: The certificate is not even structurally a certificate.
+REASON_MALFORMED = "malformed-certificate"
+#: The checksum does not match the claim content.
+REASON_CHECKSUM = "checksum-mismatch"
+#: The schema version is not one this verifier understands.
+REASON_SCHEMA_VERSION = "unsupported-schema-version"
+#: The certificate kind is not one this verifier knows.
+REASON_UNKNOWN_KIND = "unknown-kind"
+#: A protocol/task/spec descriptor has no registered family here.
+REASON_UNKNOWN_DESCRIPTOR = "unknown-descriptor"
+#: The claimed schedule cannot be replayed (bad index, bad step).
+REASON_SCHEDULE_INVALID = "schedule-invalid"
+#: Replaying the schedule produced different decisions than claimed.
+REASON_DECISIONS_MISMATCH = "decisions-mismatch"
+#: The replayed decisions do not actually violate the claimed task.
+REASON_NO_VIOLATION = "no-violation"
+#: The claim disagrees with itself or the runtime rejected it.
+REASON_CLAIM_MISMATCH = "claim-mismatch"
+#: A valence witness schedule does not decide its claimed value.
+REASON_VALENCE_MISMATCH = "valence-witness-mismatch"
+#: The covering claim fails replay (stale log, landed write, no cover).
+REASON_COVERING_INVALID = "covering-invalid"
+#: The linearization order is not a valid witness for the history.
+REASON_LINEARIZATION_INVALID = "linearization-order-invalid"
+#: A deep re-execution of a sweep run disagreed with the claim.
+REASON_RUN_MISMATCH = "run-mismatch"
+
+#: Every reason a verdict can carry.
+REASON_CODES = (
+    REASON_OK,
+    REASON_MALFORMED,
+    REASON_CHECKSUM,
+    REASON_SCHEMA_VERSION,
+    REASON_UNKNOWN_KIND,
+    REASON_UNKNOWN_DESCRIPTOR,
+    REASON_SCHEDULE_INVALID,
+    REASON_DECISIONS_MISMATCH,
+    REASON_NO_VIOLATION,
+    REASON_CLAIM_MISMATCH,
+    REASON_VALENCE_MISMATCH,
+    REASON_COVERING_INVALID,
+    REASON_LINEARIZATION_INVALID,
+    REASON_RUN_MISMATCH,
+)
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """Structured accept/reject for one certificate.
+
+    ``reason`` is always one of the ``REASON_*`` codes (``"ok"`` iff
+    ``accepted``); ``detail`` is a human-readable elaboration.
+    """
+
+    accepted: bool
+    reason: str
+    detail: str = ""
+
+    def __bool__(self) -> bool:
+        return self.accepted
+
+
+class _Reject(Exception):
+    """Internal: unwind a checker with a (reason, detail) rejection."""
+
+    def __init__(self, reason: str, detail: str) -> None:
+        super().__init__(detail)
+        self.reason = reason
+        self.detail = detail
+
+
+def _field(payload: Dict[str, Any], name: str, types) -> Any:
+    value = payload.get(name)
+    valid = isinstance(value, types)
+    if valid and types is int and isinstance(value, bool):
+        valid = False
+    if not valid:
+        raise _Reject(
+            REASON_MALFORMED,
+            f"payload field {name!r} missing or not "
+            f"{getattr(types, '__name__', types)}",
+        )
+    return value
+
+
+def _int_list(payload: Dict[str, Any], name: str) -> List[int]:
+    value = _field(payload, name, list)
+    for item in value:
+        if not isinstance(item, int) or isinstance(item, bool):
+            raise _Reject(
+                REASON_MALFORMED,
+                f"payload field {name!r} must hold integers",
+            )
+    return value
+
+
+def _pairs(payload: Dict[str, Any], name: str) -> List[List[Any]]:
+    value = _field(payload, name, list)
+    for item in value:
+        if not isinstance(item, list) or len(item) != 2:
+            raise _Reject(
+                REASON_MALFORMED,
+                f"payload field {name!r} must hold [key, value] pairs",
+            )
+    return value
+
+
+def _protocol(payload: Dict[str, Any]):
+    try:
+        return build_protocol(_field(payload, "protocol", dict))
+    except CertificateError as error:
+        raise _Reject(REASON_UNKNOWN_DESCRIPTOR, str(error))
+
+
+def _task(payload: Dict[str, Any]):
+    try:
+        return build_task(_field(payload, "task", dict))
+    except CertificateError as error:
+        raise _Reject(REASON_UNKNOWN_DESCRIPTOR, str(error))
+
+
+def _replay(protocol, inputs, schedule) -> Tuple[Tuple, Tuple]:
+    try:
+        return replay_configuration(protocol, inputs, schedule)
+    except ReproError as error:
+        raise _Reject(REASON_SCHEDULE_INVALID, str(error))
+
+
+def _canonical_decisions(decisions: Dict[int, Any]) -> List[List[Any]]:
+    """A decisions map as canonically-sorted ``[index, value]`` pairs."""
+    return [
+        [index, canonical_payload(decisions[index])]
+        for index in sorted(decisions)
+    ]
+
+
+def _equal(claimed: Any, actual: Any) -> bool:
+    """Compare a claimed (canonical) value with a live Python value."""
+    try:
+        return canonical_payload(actual) == claimed
+    except CertificateError:
+        return False
+
+
+# ---------------------------------------------------------------------
+# Per-kind semantic checkers.  Each raises _Reject or returns None.
+# ---------------------------------------------------------------------
+def _check_violation(payload: Dict[str, Any], deep: bool) -> None:
+    protocol = _protocol(payload)
+    task = _task(payload)
+    inputs = _field(payload, "inputs", list)
+    schedule = _int_list(payload, "schedule")
+    claimed = _pairs(payload, "decisions")
+    states, _memory = _replay(protocol, inputs, schedule)
+    decisions = decisions_of(protocol, states)
+    if _canonical_decisions(decisions) != claimed:
+        raise _Reject(
+            REASON_DECISIONS_MISMATCH,
+            f"replay decided {_canonical_decisions(decisions)!r}, "
+            f"certificate claims {claimed!r}",
+        )
+    if not task.check(list(inputs), decisions):
+        raise _Reject(
+            REASON_NO_VIOLATION,
+            "replayed decisions do not violate the claimed task",
+        )
+
+
+def _check_valence(payload: Dict[str, Any], deep: bool) -> None:
+    protocol = _protocol(payload)
+    inputs = _field(payload, "inputs", list)
+    witnesses = _pairs(payload, "witnesses")
+    if not witnesses:
+        raise _Reject(
+            REASON_VALENCE_MISMATCH, "certificate claims no witnesses"
+        )
+    for value, schedule in witnesses:
+        if not isinstance(schedule, list):
+            raise _Reject(
+                REASON_MALFORMED, "witness schedule must be a list"
+            )
+        states, _memory = _replay(protocol, inputs, schedule)
+        decided = []
+        for state in states:
+            kind, decision = protocol.poised(state)
+            if kind == DECIDE:
+                decided.append(decision)
+        if not any(_equal(value, decision) for decision in decided):
+            raise _Reject(
+                REASON_VALENCE_MISMATCH,
+                f"witness schedule {schedule!r} does not decide "
+                f"{value!r} (decided: {decided!r})",
+            )
+
+
+def _check_covering(payload: Dict[str, Any], deep: bool) -> None:
+    protocol = _protocol(payload)
+    inputs = _field(payload, "inputs", list)
+    budget = _field(payload, "per_process_budget", int)
+    covered = _pairs(payload, "covered")
+    poised_claims = _field(payload, "poised", list)
+    blocked = set(_int_list(payload, "blocked"))
+    executions = _pairs(payload, "executions")
+    claimed_memory = _field(payload, "memory", list)
+
+    poised_by_index: Dict[int, Tuple[int, Any]] = {}
+    for entry in poised_claims:
+        if not isinstance(entry, list) or len(entry) != 3:
+            raise _Reject(
+                REASON_MALFORMED,
+                "poised entries must be [index, component, value]",
+            )
+        index, component, value = entry
+        poised_by_index[index] = (component, value)
+    covered_claim = {component: index for component, index in covered}
+    if len(covered_claim) != len(covered):
+        raise _Reject(
+            REASON_COVERING_INVALID, "duplicate covered components"
+        )
+    if sorted(covered_claim.items()) != sorted(
+        (component, index)
+        for index, (component, _v) in poised_by_index.items()
+    ):
+        raise _Reject(
+            REASON_COVERING_INVALID,
+            "covered map and poised updates disagree",
+        )
+
+    ran = {index for index, _steps in executions}
+    for index in set(poised_by_index) | blocked:
+        if index not in ran:
+            raise _Reject(
+                REASON_COVERING_INVALID,
+                f"process {index} is claimed frozen or blocked but has "
+                f"no recorded execution",
+            )
+    if poised_by_index.keys() & blocked:
+        raise _Reject(
+            REASON_COVERING_INVALID,
+            "a process cannot be both covering and blocked",
+        )
+
+    memory: List[Any] = [None] * protocol.m
+    covering: Dict[int, int] = {}
+    previous = -1
+    for index, steps in executions:
+        if not isinstance(index, int) or not 0 <= index < len(inputs):
+            raise _Reject(
+                REASON_COVERING_INVALID,
+                f"execution index {index!r} out of range",
+            )
+        if index <= previous:
+            raise _Reject(
+                REASON_COVERING_INVALID,
+                "executions must be recorded in ascending process order",
+            )
+        previous = index
+        if not isinstance(steps, list):
+            raise _Reject(
+                REASON_MALFORMED, "execution steps must be a list"
+            )
+        try:
+            state = protocol.initial_state(index, inputs[index])
+        except ReproError as error:
+            raise _Reject(REASON_COVERING_INVALID, str(error))
+        for step in steps:
+            if not isinstance(step, list) or not step:
+                raise _Reject(
+                    REASON_MALFORMED,
+                    "execution steps must be [kind, ...] lists",
+                )
+            kind, observed = protocol.poised(state)
+            if step[0] == SCAN:
+                if kind != SCAN:
+                    raise _Reject(
+                        REASON_COVERING_INVALID,
+                        f"process {index} logged a scan while poised "
+                        f"to {kind}",
+                    )
+                state = protocol.advance(state, tuple(memory))
+            elif step[0] == UPDATE:
+                if len(step) != 3:
+                    raise _Reject(
+                        REASON_MALFORMED,
+                        "update steps must be [kind, component, value]",
+                    )
+                if kind != UPDATE or observed[0] != step[1] or (
+                    not _equal(step[2], observed[1])
+                ):
+                    raise _Reject(
+                        REASON_COVERING_INVALID,
+                        f"process {index} logged update {step[1:]} "
+                        f"while poised to {kind} {observed!r}",
+                    )
+                if step[1] not in covering:
+                    raise _Reject(
+                        REASON_COVERING_INVALID,
+                        f"process {index} let a write land on "
+                        f"component {step[1]}, which no earlier "
+                        f"process covers",
+                    )
+                memory[step[1]] = observed[1]
+                state = protocol.advance(state, None)
+            else:
+                raise _Reject(
+                    REASON_MALFORMED,
+                    f"unknown execution step kind {step[0]!r}",
+                )
+        kind, observed = protocol.poised(state)
+        if index in poised_by_index:
+            component, value = poised_by_index[index]
+            if kind != UPDATE or observed[0] != component or (
+                not _equal(value, observed[1])
+            ):
+                raise _Reject(
+                    REASON_COVERING_INVALID,
+                    f"process {index} is not poised to update "
+                    f"component {component} with {value!r} "
+                    f"(poised: {kind} {observed!r})",
+                )
+            if component in covering:
+                raise _Reject(
+                    REASON_COVERING_INVALID,
+                    f"component {component} is covered twice",
+                )
+            covering[component] = index
+        elif index in blocked:
+            if kind != DECIDE and len(steps) < budget:
+                raise _Reject(
+                    REASON_COVERING_INVALID,
+                    f"process {index} is claimed blocked but neither "
+                    f"decided nor exhausted its {budget}-step budget",
+                )
+        else:
+            raise _Reject(
+                REASON_COVERING_INVALID,
+                f"process {index} ran but is neither covering nor "
+                f"blocked",
+            )
+    if not _equal(claimed_memory, list(memory)):
+        raise _Reject(
+            REASON_COVERING_INVALID,
+            f"replayed memory {memory!r} differs from claimed "
+            f"{claimed_memory!r}",
+        )
+    if sorted(covering.items()) != sorted(covered_claim.items()):
+        raise _Reject(
+            REASON_COVERING_INVALID,
+            "replayed covering differs from claimed covered map",
+        )
+
+
+def _check_linearization(payload: Dict[str, Any], deep: bool) -> None:
+    try:
+        spec = build_spec(_field(payload, "spec", dict))
+    except CertificateError as error:
+        raise _Reject(REASON_UNKNOWN_DESCRIPTOR, str(error))
+    history = _field(payload, "history", list)
+    order = _field(payload, "order", list)
+    by_id: Dict[str, Dict[str, Any]] = {}
+    for entry in history:
+        if not isinstance(entry, dict):
+            raise _Reject(
+                REASON_MALFORMED, "history entries must be objects"
+            )
+        for name in ("op_id", "op", "args", "result", "start", "end"):
+            if name not in entry:
+                raise _Reject(
+                    REASON_MALFORMED,
+                    f"history entry missing field {name!r}",
+                )
+        op_id = entry["op_id"]
+        if not isinstance(op_id, str) or op_id in by_id:
+            raise _Reject(
+                REASON_MALFORMED,
+                f"history op_id {op_id!r} missing or duplicated",
+            )
+        by_id[op_id] = entry
+    if sorted(order) != sorted(by_id):
+        raise _Reject(
+            REASON_LINEARIZATION_INVALID,
+            "order is not a permutation of the history's op_ids",
+        )
+    position = {op_id: rank for rank, op_id in enumerate(order)}
+    for a in history:
+        for b in history:
+            if a["end"] < b["start"] and (
+                position[a["op_id"]] > position[b["op_id"]]
+            ):
+                raise _Reject(
+                    REASON_LINEARIZATION_INVALID,
+                    f"order puts {a['op_id']} after {b['op_id']} "
+                    f"despite real-time precedence",
+                )
+    state = spec.initial_state()
+    for op_id in order:
+        entry = by_id[op_id]
+        try:
+            state, result = spec.apply(
+                state, entry["op"], entry["args"]
+            )
+        except (ReproError, TypeError, ValueError) as error:
+            raise _Reject(
+                REASON_LINEARIZATION_INVALID,
+                f"operation {op_id} is not applicable: {error}",
+            )
+        if not _equal(entry["result"], result):
+            raise _Reject(
+                REASON_LINEARIZATION_INVALID,
+                f"operation {op_id} returned {result!r} sequentially, "
+                f"history recorded {entry['result']!r}",
+            )
+
+
+def _check_sweep_run(payload: Dict[str, Any], deep: bool) -> None:
+    protocol = _protocol(payload)
+    task = _task(payload)
+    inputs = _field(payload, "inputs", list)
+    seed = _field(payload, "seed", int)
+    max_steps = _field(payload, "max_steps", int)
+    run = _field(payload, "run", str)
+    claimed = _pairs(payload, "decisions")
+    decisions = {}
+    for index, value in claimed:
+        if not isinstance(index, int) or index in decisions:
+            raise _Reject(
+                REASON_MALFORMED,
+                "decision pairs must have unique integer indices",
+            )
+        decisions[index] = value
+    if not task.check(list(inputs), decisions):
+        raise _Reject(
+            REASON_NO_VIOLATION,
+            "claimed decisions do not violate the claimed task",
+        )
+    if not deep:
+        return
+    # Deep mode: re-execute the seeded run and compare decisions.  The
+    # sweep entry points live in repro.core / repro.runtime — still no
+    # searcher import — and are loaded lazily to keep the fast path light.
+    from repro.runtime.scheduler import RandomScheduler
+
+    try:
+        if run == "protocol":
+            from repro.protocols.base import run_protocol
+
+            _system, result = run_protocol(
+                protocol, list(inputs), RandomScheduler(seed),
+                max_steps=max_steps,
+            )
+            replayed = dict(result.outputs)
+        elif run == "simulation":
+            from repro.core.simulation import run_simulation
+
+            outcome = run_simulation(
+                protocol,
+                k=_field(payload, "k", int),
+                x=_field(payload, "x", int),
+                inputs=list(inputs),
+                scheduler=RandomScheduler(seed),
+                max_steps=max_steps,
+                aug_annotations=False,
+            )
+            replayed = dict(outcome.decisions)
+        else:
+            raise _Reject(
+                REASON_MALFORMED, f"unknown sweep run kind {run!r}"
+            )
+    except _Reject:
+        raise
+    except ReproError as error:
+        raise _Reject(
+            REASON_RUN_MISMATCH,
+            f"seeded re-execution failed: {type(error).__name__}: "
+            f"{error}",
+        )
+    if _canonical_decisions(replayed) != sorted(
+        [[index, value] for index, value in decisions.items()]
+    ):
+        raise _Reject(
+            REASON_RUN_MISMATCH,
+            f"seeded re-execution decided "
+            f"{_canonical_decisions(replayed)!r}, certificate claims "
+            f"{claimed!r}",
+        )
+
+
+_CHECKERS: Dict[str, Callable[[Dict[str, Any], bool], None]] = {
+    KIND_VIOLATION: _check_violation,
+    KIND_VALENCE: _check_valence,
+    KIND_COVERING: _check_covering,
+    KIND_LINEARIZATION: _check_linearization,
+    KIND_SWEEP_RUN: _check_sweep_run,
+}
+
+
+def verify(certificate: Certificate, deep: bool = False) -> Verdict:
+    """Re-check one certificate; never raises on a bad one.
+
+    Check order is fixed: structure, schema version, checksum, kind,
+    descriptors, semantic claim — so every rejection class has one
+    stable reason code.  ``deep=True`` re-executes sweep runs instead
+    of only judging their recorded decisions.
+    """
+    kind = getattr(certificate, "kind", None)
+    version = getattr(certificate, "schema_version", None)
+    payload = getattr(certificate, "payload", None)
+    checksum = getattr(certificate, "checksum", None)
+    if (
+        not isinstance(kind, str)
+        or not isinstance(version, int)
+        or isinstance(version, bool)
+        or not isinstance(payload, dict)
+        or not isinstance(checksum, str)
+    ):
+        return Verdict(
+            False, REASON_MALFORMED,
+            "certificate is missing kind/schema_version/payload/checksum",
+        )
+    if version != CERTIFICATE_SCHEMA_VERSION:
+        return Verdict(
+            False, REASON_SCHEMA_VERSION,
+            f"schema_version {version} is not the supported "
+            f"{CERTIFICATE_SCHEMA_VERSION}",
+        )
+    try:
+        expected = content_checksum(kind, version, payload)
+    except CertificateError as error:
+        return Verdict(False, REASON_MALFORMED, str(error))
+    if expected != checksum:
+        return Verdict(
+            False, REASON_CHECKSUM,
+            f"claim checksum is {expected}, certificate says {checksum}",
+        )
+    checker = _CHECKERS.get(kind)
+    if checker is None:
+        return Verdict(
+            False, REASON_UNKNOWN_KIND,
+            f"no verifier for certificate kind {kind!r}",
+        )
+    try:
+        checker(payload, deep)
+    except _Reject as rejection:
+        return Verdict(False, rejection.reason, rejection.detail)
+    except CertificateError as error:
+        return Verdict(False, REASON_MALFORMED, str(error))
+    except ReproError as error:
+        return Verdict(
+            False, REASON_CLAIM_MISMATCH,
+            f"the runtime rejected the claim: {type(error).__name__}: "
+            f"{error}",
+        )
+    return Verdict(True, REASON_OK)
+
+
+def verify_json(text: str, deep: bool = False) -> Verdict:
+    """Parse and verify one serialized certificate."""
+    try:
+        certificate = from_json(text)
+    except CertificateError as error:
+        return Verdict(False, REASON_MALFORMED, str(error))
+    return verify(certificate, deep=deep)
+
+
+def verify_file(path: str, deep: bool = False) -> Verdict:
+    """Load and verify one certificate file."""
+    try:
+        certificate = load_certificate(path)
+    except CertificateError as error:
+        return Verdict(False, REASON_MALFORMED, str(error))
+    return verify(certificate, deep=deep)
+
+
+def verify_directory(
+    directory: str, deep: bool = False
+) -> List[Tuple[str, Verdict]]:
+    """Verify every ``*.json`` certificate in a directory.
+
+    Returns ``(path, verdict)`` pairs in sorted path order; an
+    unreadable directory is a single malformed entry for the directory
+    itself rather than an exception.
+    """
+    import os
+
+    try:
+        names = sorted(os.listdir(directory))
+    except OSError as error:
+        return [(directory, Verdict(False, REASON_MALFORMED, str(error)))]
+    results = []
+    for name in names:
+        if not name.endswith(".json"):
+            continue
+        path = os.path.join(directory, name)
+        results.append((path, verify_file(path, deep=deep)))
+    return results
+
+
+def verify_certificates(
+    certificates: Sequence[Certificate], deep: bool = False
+) -> Verdict:
+    """Verify a batch; returns the first rejection or an ``ok`` verdict.
+
+    This is the campaign merge-fold hook: a chunk report's certificate
+    list is either entirely acceptable or the chunk is rejected with
+    the first failing verdict.
+    """
+    for certificate in certificates:
+        verdict = verify(certificate, deep=deep)
+        if not verdict.accepted:
+            return verdict
+    return Verdict(True, REASON_OK)

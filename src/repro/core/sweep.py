@@ -20,7 +20,7 @@ the result.  The determinism contract is spelled out in docs/CAMPAIGNS.md.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.invariant import check_correspondence
 from repro.core.simulation import run_simulation
@@ -46,6 +46,19 @@ class SweepReport:
     first_violating_seed: Optional[int] = None
     max_steps_observed: int = 0
     decisions_histogram: Dict[Any, int] = field(default_factory=dict)
+    #: Witness certificate (:mod:`repro.certify`) for the first
+    #: (minimum-seed) violating run; excluded from equality and repr so
+    #: carrying it never changes report comparisons.
+    certificates: List[Any] = field(
+        default_factory=list, compare=False, repr=False
+    )
+    #: Raw witness for the minimum-seed violating run: ``(seed,
+    #: decisions)``.  Carried (never compared) so a sharded sweep's
+    #: coordinator can mint the certificate once at finalize time
+    #: instead of once per chunk.
+    best_violation: Optional[Tuple[int, Dict[int, Any]]] = field(
+        default=None, compare=False, repr=False
+    )
 
     @property
     def clean(self) -> bool:
@@ -89,7 +102,7 @@ class SweepReport:
         for part in (self, other):
             for value, count in part.decisions_histogram.items():
                 histogram[value] = histogram.get(value, 0) + count
-        return SweepReport(
+        merged = SweepReport(
             runs=self.runs + other.runs,
             completed=self.completed + other.completed,
             all_decided=self.all_decided + other.all_decided,
@@ -104,6 +117,25 @@ class SweepReport:
             ),
             decisions_histogram=histogram,
         )
+        if self.certificates or other.certificates:
+            # Keep exactly the certificate(s) of the merged minimum
+            # violating seed, so sharded sweeps carry the same
+            # certificate set as serial ones.
+            from repro.certify.certificates import sorted_certificates
+
+            merged.certificates = sorted_certificates([
+                certificate
+                for certificate in self.certificates + other.certificates
+                if certificate.payload.get("seed")
+                == merged.first_violating_seed
+            ])
+        for part in (self, other):
+            if part.best_violation is not None and (
+                merged.best_violation is None
+                or part.best_violation[0] < merged.best_violation[0]
+            ):
+                merged.best_violation = part.best_violation
+        return merged
 
     def summary(self) -> str:
         """One-line human summary."""
@@ -115,6 +147,40 @@ class SweepReport:
         )
 
 
+def _attach_sweep_certificate(
+    report: SweepReport,
+    best: Optional[Tuple[int, Dict[int, Any]]],
+    protocol: Protocol,
+    inputs: Sequence[Any],
+    task,
+    run: str,
+    max_steps: int,
+    k: Optional[int] = None,
+    x: Optional[int] = None,
+) -> None:
+    """Certify the minimum-seed violating run, if any.
+
+    A protocol or decision value without a canonical certificate form
+    just leaves the report uncertified — sweeps aggregate arbitrary
+    user protocols and must not fail because one is unregistered.
+    """
+    if best is None:
+        return
+    from repro.certify.emit import sweep_run_certificate
+    from repro.errors import CertificateError
+
+    seed, decisions = best
+    try:
+        report.certificates = [
+            sweep_run_certificate(
+                protocol, inputs, task, seed, decisions, run=run,
+                max_steps=max_steps, k=k, x=x,
+            )
+        ]
+    except CertificateError:
+        pass
+
+
 def sweep_simulation(
     protocol: Protocol,
     k: int,
@@ -124,6 +190,7 @@ def sweep_simulation(
     task=None,
     verify_correspondence: bool = False,
     max_steps: int = 500_000,
+    certificates: bool = False,
     **run_kwargs,
 ) -> SweepReport:
     """Run the revisionist simulation across seeds and aggregate outcomes.
@@ -137,9 +204,15 @@ def sweep_simulation(
     the augmented object's begin/end markers default to off here — unless
     ``verify_correspondence`` is set, whose Lemma 28 checker linearizes
     them.  Pass ``aug_annotations=True`` to force them back on.
+
+    With ``certificates=True`` the report carries a witness certificate
+    (:mod:`repro.certify`) for the minimum violating seed's run —
+    the same extreme the report itself quotes — when the protocol and
+    task have registered certificate descriptors.
     """
     run_kwargs.setdefault("aug_annotations", verify_correspondence)
     report = SweepReport()
+    best: Optional[Tuple[int, Dict[int, Any]]] = None
     for seed in seeds:
         outcome = run_simulation(
             protocol, k=k, x=x, inputs=list(inputs),
@@ -157,8 +230,16 @@ def sweep_simulation(
             report.divergences += 1
         if task is not None and outcome.task_violations(task):
             report.record_violation(seed)
+            if best is None or seed < best[0]:
+                best = (seed, dict(outcome.decisions))
         if verify_correspondence and not check_correspondence(outcome).ok:
             report.correspondence_failures += 1
+    report.best_violation = best
+    if certificates:
+        _attach_sweep_certificate(
+            report, best, protocol, inputs, task, "simulation",
+            max_steps, k=k, x=x,
+        )
     return report
 
 
@@ -168,9 +249,16 @@ def sweep_protocol(
     seeds: Sequence[int],
     task=None,
     max_steps: int = 100_000,
+    certificates: bool = False,
 ) -> SweepReport:
-    """Run a protocol instance across seeds and aggregate outcomes."""
+    """Run a protocol instance across seeds and aggregate outcomes.
+
+    With ``certificates=True`` the report carries a witness certificate
+    (:mod:`repro.certify`) for the minimum violating seed's run, when
+    the protocol and task have registered certificate descriptors.
+    """
     report = SweepReport()
+    best: Optional[Tuple[int, Dict[int, Any]]] = None
     for seed in seeds:
         _system, result = run_protocol(
             protocol, list(inputs), RandomScheduler(seed),
@@ -187,4 +275,11 @@ def sweep_protocol(
             report.divergences += 1
         if task is not None and task.check(list(inputs), result.outputs):
             report.record_violation(seed)
+            if best is None or seed < best[0]:
+                best = (seed, dict(result.outputs))
+    report.best_violation = best
+    if certificates:
+        _attach_sweep_certificate(
+            report, best, protocol, inputs, task, "protocol", max_steps
+        )
     return report

@@ -74,6 +74,19 @@ class CheckpointError(ReproError):
     """
 
 
+class CertificateError(ReproError):
+    """A result certificate could not be built or used.
+
+    Raised when a certificate payload contains values that have no
+    canonical JSON form, when a serialized certificate is structurally
+    malformed, or when a protocol/task/spec has no registered
+    descriptor.  Note that a certificate that *fails verification* is
+    not an exception: the verifier returns a structured rejection
+    (:class:`~repro.certify.verify.Verdict`) so campaigns can treat a
+    bad certificate as a retryable chunk failure, not a crash.
+    """
+
+
 class CampaignError(ReproError):
     """A strict campaign finished with permanently failed chunks.
 

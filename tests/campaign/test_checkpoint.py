@@ -162,6 +162,72 @@ class TestCorruptionDetection:
         with pytest.raises(CheckpointError, match="duplicate chunk"):
             load_checkpoint(str(path))
 
+    def test_scalar_json_line_rejected(self, tmp_path):
+        """A line that parses but is no object (e.g. a bare number)."""
+        path = tmp_path / "ckpt"
+        write_sample(path)
+        with open(path, "a") as handle:
+            handle.write("42\n")
+        with pytest.raises(CheckpointError, match="expected an object"):
+            load_checkpoint(str(path))
+
+    def test_unknown_record_kind_rejected(self, tmp_path):
+        path = tmp_path / "ckpt"
+        write_sample(path)
+        with open(path, "a") as handle:
+            handle.write(json.dumps({"kind": "mystery"}) + "\n")
+        with pytest.raises(CheckpointError, match="unknown record kind"):
+            load_checkpoint(str(path))
+
+    def test_chunk_record_missing_fields_rejected(self, tmp_path):
+        path = tmp_path / "ckpt"
+        write_sample(path)
+        with open(path, "a") as handle:
+            handle.write(json.dumps({"kind": "chunk"}) + "\n")
+        with pytest.raises(CheckpointError, match="malformed chunk record"):
+            load_checkpoint(str(path))
+
+    def test_header_missing_fields_rejected(self, tmp_path):
+        path = tmp_path / "ckpt"
+        write_sample(path)
+        lines = path.read_text().splitlines()
+        header = json.loads(lines[0])
+        del header["fingerprint"]
+        lines[0] = json.dumps(header, sort_keys=True)
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(CheckpointError, match="malformed header"):
+            load_checkpoint(str(path))
+
+    def test_invalid_base64_payload_rejected(self, tmp_path):
+        path = tmp_path / "ckpt"
+        write_sample(path)
+        lines = path.read_text().splitlines()
+        record = json.loads(lines[1])
+        record["payload"] = "!!!not base64!!!"
+        lines[1] = json.dumps(record, sort_keys=True)
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(CheckpointError, match="unreadable payload"):
+            load_checkpoint(str(path))
+
+    def test_unpicklable_payload_rejected(self, tmp_path):
+        """Valid base64, matching checksum — but the bytes are not a
+        pickle.  The checksum says 'intact'; unpickling must still be
+        guarded, because intact garbage is not a report."""
+        import base64
+        import hashlib
+
+        path = tmp_path / "ckpt"
+        write_sample(path)
+        lines = path.read_text().splitlines()
+        record = json.loads(lines[1])
+        garbage = b"intact but not a pickle"
+        record["payload"] = base64.b64encode(garbage).decode("ascii")
+        record["sha256"] = hashlib.sha256(garbage).hexdigest()
+        lines[1] = json.dumps(record, sort_keys=True)
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(CheckpointError, match="failed to unpickle"):
+            load_checkpoint(str(path))
+
 
 class TestResumeValidation:
     def test_fingerprint_mismatch_rejected_on_resume(self, tmp_path):
@@ -209,6 +275,22 @@ class TestResumeValidation:
             run_campaign(
                 make_job(15), workers=1, chunk_size=3,
                 checkpoint=path, resume=True,
+            )
+
+    def test_chunk_range_mismatch_rejected_on_resume(self, tmp_path):
+        """A journaled chunk whose range disagrees with the campaign's
+        chunk plan (same fingerprint, same geometry) must be refused —
+        merging it would double- or under-count units."""
+        path = tmp_path / "ckpt"
+        job = make_job()
+        fingerprint = job_fingerprint(job, 12, 3)
+        writer = CheckpointWriter(str(path), fingerprint, 12, 3)
+        # Plan says chunk 0 covers (0, 3); journal claims (0, 4).
+        writer.record_chunk(0, 0, 4, job.run_range(0, 4))
+        with pytest.raises(CheckpointError, match="chunk plan"):
+            run_campaign(
+                job, workers=1, chunk_size=3,
+                checkpoint=str(path), resume=True,
             )
 
 

@@ -1,0 +1,295 @@
+"""Adversarial certificate suite: every mutation must be rejected.
+
+The certificate analogue of the chaos ``--slowdown`` must-fail
+self-test: start from honest certificates, apply each mutation class a
+dishonest worker could attempt — swap two schedule steps, drop a step,
+perturb a decided value, corrupt the checksum, bump the schema version
+— and assert the independent verifier rejects it with the *right*
+reason code, not just any rejection.
+"""
+
+import dataclasses
+import json
+
+from repro.analysis.bivalence import classify_valence
+from repro.analysis.covering import build_covering
+from repro.analysis.fuzz import fuzz_protocol
+from repro.analysis.linearizability import (
+    CompletedOperation,
+    SnapshotSpec,
+    certified_linearization,
+)
+from repro.certify.canonical import canonical_json
+from repro.certify.certificates import make_certificate, to_json
+from repro.certify.emit import SOURCE_FUZZ_SHRINK
+from repro.certify.verify import (
+    REASON_CHECKSUM,
+    REASON_COVERING_INVALID,
+    REASON_DECISIONS_MISMATCH,
+    REASON_LINEARIZATION_INVALID,
+    REASON_MALFORMED,
+    REASON_NO_VIOLATION,
+    REASON_SCHEDULE_INVALID,
+    REASON_SCHEMA_VERSION,
+    REASON_UNKNOWN_DESCRIPTOR,
+    REASON_UNKNOWN_KIND,
+    REASON_VALENCE_MISMATCH,
+    verify,
+    verify_json,
+)
+from repro.protocols import (
+    KSetAgreementTask,
+    RacingConsensus,
+    TruncatedProtocol,
+)
+from tests.certify.gadgets import register_gadgets
+
+register_gadgets()
+
+
+def remint(certificate, **updates):
+    """An honestly re-checksummed copy with payload fields replaced.
+
+    Mutating the payload and *recomputing* the checksum models a
+    dishonest worker that signs its own lie: the certificate is
+    structurally perfect, so the verifier must catch it on the semantic
+    replay, not on the checksum.
+    """
+    payload = json.loads(canonical_json(certificate.payload))
+    payload.update(updates)
+    return make_certificate(certificate.kind, payload)
+
+
+def fuzz_report():
+    return fuzz_protocol(
+        TruncatedProtocol(RacingConsensus(2), 1), [0, 1],
+        KSetAgreementTask(1), runs=80, schedule_length=40, seed=7,
+        certificates=True,
+    )
+
+
+def shrink_certificate(report):
+    """The report's 1-minimal shrunken-schedule certificate."""
+    for certificate in report.certificates:
+        if certificate.payload["source"] == SOURCE_FUZZ_SHRINK:
+            return certificate
+    raise AssertionError("fuzz report carried no shrink certificate")
+
+
+class TestScheduleMutations:
+    """Mutations of the claimed violating schedule."""
+
+    def test_honest_certificates_accepted(self):
+        report = fuzz_report()
+        assert report.certificates
+        for certificate in report.certificates:
+            verdict = verify(certificate)
+            assert verdict.accepted, verdict
+
+    def test_swapping_two_schedule_steps_rejected(self):
+        """Some transposition of distinct steps must change the outcome
+        and be caught as a decisions or violation mismatch."""
+        certificate = shrink_certificate(fuzz_report())
+        schedule = certificate.payload["schedule"]
+        rejected = []
+        for i in range(len(schedule)):
+            for j in range(i + 1, len(schedule)):
+                if schedule[i] == schedule[j]:
+                    continue
+                swapped = list(schedule)
+                swapped[i], swapped[j] = swapped[j], swapped[i]
+                verdict = verify(remint(certificate, schedule=swapped))
+                if not verdict.accepted:
+                    rejected.append(verdict)
+                    assert verdict.reason in (
+                        REASON_DECISIONS_MISMATCH, REASON_NO_VIOLATION,
+                    ), verdict
+        assert rejected, "no transposition changed the replay outcome"
+
+    def test_dropping_any_step_of_minimal_schedule_rejected(self):
+        """The shrunken schedule is 1-minimal: every single-step
+        deletion stops reproducing the claimed violating decisions."""
+        certificate = shrink_certificate(fuzz_report())
+        schedule = certificate.payload["schedule"]
+        for drop in range(len(schedule)):
+            shorter = schedule[:drop] + schedule[drop + 1:]
+            verdict = verify(remint(certificate, schedule=shorter))
+            assert not verdict.accepted, f"dropping step {drop} passed"
+            assert verdict.reason in (
+                REASON_DECISIONS_MISMATCH, REASON_NO_VIOLATION,
+            ), verdict
+
+    def test_out_of_range_process_index_rejected(self):
+        certificate = shrink_certificate(fuzz_report())
+        schedule = list(certificate.payload["schedule"]) + [99]
+        verdict = verify(remint(certificate, schedule=schedule))
+        assert not verdict.accepted
+        assert verdict.reason == REASON_SCHEDULE_INVALID, verdict
+
+
+class TestClaimMutations:
+    """Mutations of the claimed outcome, envelope, and descriptors."""
+
+    def test_perturbing_a_decided_value_rejected(self):
+        certificate = shrink_certificate(fuzz_report())
+        decisions = [
+            list(pair) for pair in certificate.payload["decisions"]
+        ]
+        assert decisions
+        decisions[0][1] = "not-what-was-decided"
+        verdict = verify(remint(certificate, decisions=decisions))
+        assert not verdict.accepted
+        assert verdict.reason == REASON_DECISIONS_MISMATCH, verdict
+
+    def test_corrupting_the_checksum_rejected(self):
+        certificate = shrink_certificate(fuzz_report())
+        tampered = dataclasses.replace(
+            certificate, checksum="0" * len(certificate.checksum)
+        )
+        verdict = verify(tampered)
+        assert not verdict.accepted
+        assert verdict.reason == REASON_CHECKSUM, verdict
+
+    def test_tampered_payload_without_reminting_fails_checksum(self):
+        """Editing the JSON on disk without recomputing the checksum is
+        the lazy tamper; it must die at the checksum, before replay."""
+        certificate = shrink_certificate(fuzz_report())
+        data = json.loads(to_json(certificate))
+        data["payload"]["inputs"] = [1, 1]
+        verdict = verify_json(json.dumps(data))
+        assert not verdict.accepted
+        assert verdict.reason == REASON_CHECKSUM, verdict
+
+    def test_bumping_the_schema_version_rejected(self):
+        certificate = shrink_certificate(fuzz_report())
+        tampered = dataclasses.replace(
+            certificate,
+            schema_version=certificate.schema_version + 1,
+        )
+        verdict = verify(tampered)
+        assert not verdict.accepted
+        assert verdict.reason == REASON_SCHEMA_VERSION, verdict
+
+    def test_unknown_kind_rejected(self):
+        certificate = shrink_certificate(fuzz_report())
+        data = json.loads(to_json(certificate))
+        data["kind"] = "alien-kind"
+        verdict = verify_json(json.dumps(data))
+        assert not verdict.accepted
+        # The checksum covers the kind, so the envelope edit dies there
+        # (reminting an unknown kind is impossible: make_certificate
+        # refuses it — a worker cannot even emit one honestly).
+        assert verdict.reason in (REASON_CHECKSUM, REASON_UNKNOWN_KIND)
+
+    def test_unknown_protocol_family_rejected(self):
+        certificate = shrink_certificate(fuzz_report())
+        verdict = verify(
+            remint(certificate, protocol={"family": "no-such-family"})
+        )
+        assert not verdict.accepted
+        assert verdict.reason == REASON_UNKNOWN_DESCRIPTOR, verdict
+
+    def test_missing_payload_field_rejected_as_malformed(self):
+        certificate = shrink_certificate(fuzz_report())
+        payload = json.loads(canonical_json(certificate.payload))
+        del payload["schedule"]
+        verdict = verify(make_certificate(certificate.kind, payload))
+        assert not verdict.accepted
+        assert verdict.reason == REASON_MALFORMED, verdict
+
+
+class TestOtherKindMutations:
+    """One semantic tamper per remaining certificate kind."""
+
+    def test_valence_witness_for_wrong_value_rejected(self):
+        report = classify_valence(
+            RacingConsensus(2), [0, 1], certificates=True
+        )
+        (certificate,) = report.certificates
+        witnesses = json.loads(
+            canonical_json(certificate.payload["witnesses"])
+        )
+        # Claim the first witness schedule decides the *other* value.
+        witnesses[0][0], witnesses[1][0] = witnesses[1][0], witnesses[0][0]
+        verdict = verify(remint(certificate, witnesses=witnesses))
+        assert not verdict.accepted
+        assert verdict.reason == REASON_VALENCE_MISMATCH, verdict
+
+    def test_covering_memory_tamper_rejected(self):
+        report = build_covering(
+            RacingConsensus(3), [0, 1, 1], certificates=True
+        )
+        (certificate,) = report.certificates
+        memory = json.loads(canonical_json(certificate.payload["memory"]))
+        memory[0] = "forged"
+        verdict = verify(remint(certificate, memory=memory))
+        assert not verdict.accepted
+        assert verdict.reason == REASON_COVERING_INVALID, verdict
+
+    def test_covering_uncovered_write_rejected(self):
+        """Forging a landed write on a component no earlier process
+        covers violates the reserving-execution discipline."""
+        report = build_covering(
+            RacingConsensus(3), [0, 1, 1], certificates=True
+        )
+        (certificate,) = report.certificates
+        executions = json.loads(
+            canonical_json(certificate.payload["executions"])
+        )
+        # Claim the first frozen process's *pending* update (which
+        # reserves a fresh component) actually landed: the step matches
+        # what the process is poised to do, so only the
+        # covered-component discipline can reject it.
+        index, component, value = certificate.payload["poised"][0]
+        steps = next(s for i, s in executions if i == index)
+        steps.append(["update", component, value])
+        verdict = verify(remint(certificate, executions=executions))
+        assert not verdict.accepted
+        assert verdict.reason == REASON_COVERING_INVALID, verdict
+
+    def test_linearization_order_violating_real_time_rejected(self):
+        history = [
+            CompletedOperation("u0", 0, "update", (0, "a"), None, 0, 1),
+            CompletedOperation("s1", 1, "scan", (), ("a",), 2, 3),
+        ]
+        ok, order, certificate = certified_linearization(
+            history, SnapshotSpec(1)
+        )
+        assert ok and verify(certificate).accepted
+        verdict = verify(remint(certificate, order=list(reversed(order))))
+        assert not verdict.accepted
+        assert verdict.reason == REASON_LINEARIZATION_INVALID, verdict
+
+    def test_sweep_judgment_without_violation_rejected(self):
+        from repro.core.sweep import sweep_protocol
+
+        report = sweep_protocol(
+            TruncatedProtocol(RacingConsensus(2), 1), [0, 1],
+            list(range(8)), task=KSetAgreementTask(1),
+            max_steps=400_000, certificates=True,
+        )
+        (certificate,) = report.certificates
+        # Claim unanimous decisions: consensus holds, nothing violated.
+        verdict = verify(
+            remint(certificate, decisions=[[0, 0], [1, 0]])
+        )
+        assert not verdict.accepted
+        assert verdict.reason == REASON_NO_VIOLATION, verdict
+
+    def test_sweep_deep_replay_catches_forged_decisions(self):
+        """A forged violating decision map passes the fast judgment but
+        dies on the ``deep=True`` seeded re-execution."""
+        from repro.certify.verify import REASON_RUN_MISMATCH
+        from repro.core.sweep import sweep_protocol
+
+        report = sweep_protocol(
+            TruncatedProtocol(RacingConsensus(2), 1), [0, 1],
+            list(range(8)), task=KSetAgreementTask(1),
+            max_steps=400_000, certificates=True,
+        )
+        (certificate,) = report.certificates
+        forged = remint(certificate, decisions=[[0, 7], [1, 8]])
+        assert verify(forged).accepted  # still a violation on its face
+        verdict = verify(forged, deep=True)
+        assert not verdict.accepted
+        assert verdict.reason == REASON_RUN_MISMATCH, verdict

@@ -1,0 +1,146 @@
+"""The untrusted-worker gate: ``run_campaign(verify_certificates=True)``.
+
+With the gate on, every chunk report's certificates are re-checked by
+the independent verifier before the merge fold accepts the chunk.  An
+honest campaign is unchanged (same report, same repr); a lying job —
+one whose chunks carry tampered certificates — has its chunks rejected,
+retried, and ultimately surfaced as explicit failures, never silently
+merged.  Resumed checkpoints get the same treatment.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.campaign import FakeClock, RetryPolicy, run_campaign
+from repro.campaign.engine import fuzz_campaign
+from repro.campaign.jobs import FuzzJob
+from repro.errors import CampaignError
+from repro.protocols import (
+    KSetAgreementTask,
+    RacingConsensus,
+    TruncatedProtocol,
+)
+from tests.certify.gadgets import register_gadgets
+
+register_gadgets()
+
+
+def make_job(**overrides):
+    options = dict(
+        protocol=TruncatedProtocol(RacingConsensus(2), 1),
+        inputs=(0, 1), task=KSetAgreementTask(1), runs=80,
+        schedule_length=40, seed=7,
+    )
+    options.update(overrides)
+    return FuzzJob(**options)
+
+
+@dataclasses.dataclass(frozen=True)
+class LyingFuzzJob(FuzzJob):
+    """A worker that forges its evidence: every chunk's first
+    certificate gets a corrupted checksum before it is handed back."""
+
+    def run_range(self, start, stop):
+        report = super().run_range(start, stop)
+        if report.certificates:
+            report.certificates = [
+                dataclasses.replace(report.certificates[0], checksum="0" * 64)
+            ] + report.certificates[1:]
+        return report
+
+
+class TestHonestCampaign:
+    def test_verified_report_equals_plain_report(self):
+        plain = run_campaign(make_job(), workers=1, chunk_size=20)
+        verified = run_campaign(
+            make_job(), workers=1, chunk_size=20,
+            verify_certificates=True,
+        )
+        assert verified.report == plain.report
+        assert repr(verified.report) == repr(plain.report)
+        assert verified.telemetry.certificates_verified > 0
+        assert plain.telemetry.certificates_verified == 0
+
+    def test_gate_works_on_the_pooled_path(self):
+        result = fuzz_campaign(
+            TruncatedProtocol(RacingConsensus(2), 1), [0, 1],
+            KSetAgreementTask(1), runs=80, schedule_length=40, seed=7,
+            workers=2, chunk_size=20, verify_certificates=True,
+        )
+        assert result.complete
+        assert result.telemetry.certificates_verified > 0
+
+    def test_job_flip_is_idempotent(self):
+        job = make_job()
+        flipped = job.with_certificates(True)
+        assert flipped.certificates
+        assert flipped.with_certificates(True) is flipped
+        assert job.with_certificates(False) is job
+
+
+class TestLyingWorker:
+    def test_forged_chunks_fail_instead_of_merging(self):
+        result = run_campaign(
+            LyingFuzzJob(**dataclasses.asdict(make_job())),
+            workers=1, chunk_size=20,
+            retry=RetryPolicy(max_retries=1), clock=FakeClock(),
+            verify_certificates=True,
+        )
+        assert not result.complete
+        assert result.telemetry.failures
+        for failure in result.telemetry.failures:
+            assert "CertificateError" in failure.error
+            assert "checksum-mismatch" in failure.error
+
+    def test_strict_campaign_raises_on_forged_chunks(self):
+        with pytest.raises(CampaignError):
+            run_campaign(
+                LyingFuzzJob(**dataclasses.asdict(make_job())),
+                workers=1, chunk_size=20,
+                retry=RetryPolicy(max_retries=0), clock=FakeClock(),
+                strict=True, verify_certificates=True,
+            )
+
+
+class TestResumedCheckpoints:
+    def test_honest_resume_reverifies_and_matches(self, tmp_path):
+        path = str(tmp_path / "ckpt")
+        plain = run_campaign(make_job(), workers=1, chunk_size=20)
+        first = run_campaign(
+            make_job(), workers=1, chunk_size=20, checkpoint=path,
+            verify_certificates=True,
+        )
+        resumed = run_campaign(
+            make_job(), workers=1, chunk_size=20, checkpoint=path,
+            resume=True, verify_certificates=True,
+        )
+        assert first.report == plain.report
+        assert resumed.report == plain.report
+        # Every certificate came from the journal this time, and each
+        # was re-verified rather than trusted.
+        assert resumed.telemetry.skipped_chunks == 4
+        assert resumed.telemetry.certificates_verified \
+            == first.telemetry.certificates_verified
+
+    def test_forged_journal_chunks_are_rerun_not_trusted(self, tmp_path):
+        """A checkpoint written by a lying worker (gate off) fails
+        re-verification on resume; its chunks are re-run, and if the
+        re-run still lies the campaign reports explicit failures."""
+        path = str(tmp_path / "ckpt")
+        lying = LyingFuzzJob(
+            **dataclasses.asdict(make_job(certificates=True))
+        )
+        ungated = run_campaign(
+            lying, workers=1, chunk_size=20, checkpoint=path,
+        )
+        assert ungated.complete  # the forgery sailed through, unchecked
+        resumed = run_campaign(
+            lying, workers=1, chunk_size=20, checkpoint=path,
+            resume=True, retry=RetryPolicy(max_retries=0),
+            clock=FakeClock(), verify_certificates=True,
+        )
+        assert not resumed.complete
+        assert resumed.telemetry.failures
+        # The forged journal chunks were not skipped-and-trusted.
+        assert resumed.telemetry.skipped_chunks < 4

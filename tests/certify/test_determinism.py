@@ -1,0 +1,86 @@
+"""Certificate emission is byte-deterministic across processes.
+
+The emit path was audited for latent nondeterminism — FuzzReport
+violation ordering, ValenceReport witness-dict iteration, covering
+dict iteration — and every ordering is pinned to canonical sorts.  The
+regression: two fresh interpreter processes with *different* hash
+randomization seeds must emit byte-identical certificate JSON for the
+same workload, or content-addressed certificate stores and sharded
+certificate-set comparisons silently fracture.
+"""
+
+import os
+import subprocess
+import sys
+
+import repro
+
+SRC_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+#: Emits one certificate of each searcher-produced kind and prints the
+#: canonical JSON lines.  String-keyed structures (valence witnesses,
+#: decision values) are exercised on purpose: str hashing is what
+#: PYTHONHASHSEED randomizes.
+EMIT_SCRIPT = """
+import sys
+
+from repro.analysis.bivalence import classify_valence
+from repro.analysis.covering import build_covering
+from repro.analysis.fuzz import fuzz_protocol
+from repro.analysis.linearizability import (
+    CompletedOperation, SnapshotSpec, certified_linearization,
+)
+from repro.certify.certificates import to_json
+from repro.core.sweep import sweep_protocol
+from repro.protocols import (
+    KSetAgreementTask, MinSeen, RacingConsensus, TruncatedProtocol,
+)
+
+certificates = []
+fuzz = fuzz_protocol(
+    TruncatedProtocol(RacingConsensus(2), 1), [0, 1],
+    KSetAgreementTask(1), runs=80, schedule_length=40, seed=7,
+    certificates=True,
+)
+certificates.extend(fuzz.certificates)
+valence = classify_valence(RacingConsensus(2), [0, 1], certificates=True)
+certificates.extend(valence.certificates)
+covering = build_covering(RacingConsensus(3), [0, 1, 1], certificates=True)
+certificates.extend(covering.certificates)
+sweep = sweep_protocol(
+    MinSeen(2), ["b", "a"], range(4), task=KSetAgreementTask(1),
+    certificates=True,
+)
+certificates.extend(sweep.certificates)
+history = [
+    CompletedOperation("u0", 0, "update", (0, "x"), None, 0, 1),
+    CompletedOperation("s1", 1, "scan", (), ("x", None), 2, 3),
+]
+ok, order, certificate = certified_linearization(history, SnapshotSpec(2))
+assert ok
+certificates.append(certificate)
+for certificate in certificates:
+    sys.stdout.write(to_json(certificate) + "\\n")
+"""
+
+
+def emit_output(hashseed: str) -> str:
+    env = dict(
+        os.environ, PYTHONPATH=SRC_ROOT, PYTHONHASHSEED=hashseed
+    )
+    completed = subprocess.run(
+        [sys.executable, "-c", EMIT_SCRIPT],
+        capture_output=True, text=True, env=env, timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert completed.stdout.strip(), "emit script produced nothing"
+    return completed.stdout
+
+
+def test_two_processes_emit_byte_identical_certificates():
+    """Different hash seeds, identical bytes — emission is canonical."""
+    assert emit_output("0") == emit_output("1")
+
+
+def test_third_seed_for_good_measure():
+    assert emit_output("1") == emit_output("31337")

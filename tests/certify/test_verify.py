@@ -1,0 +1,225 @@
+"""Verifier contract: honest acceptance, independence, files, CLI.
+
+The headline property is *independence*: ``repro.certify.verify``
+re-checks claims through its own replay machinery and must never import
+the searchers it audits — importing it leaves no ``repro.analysis``
+module loaded (asserted in a fresh subprocess).  The rest covers the
+file/directory verification surface and the ``repro certify`` CLI's
+exit-code contract.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import repro
+from repro.analysis.covering import build_covering
+from repro.analysis.linearizability import (
+    CompletedOperation,
+    RegisterSpec,
+    certified_linearization,
+)
+from repro.certify.certificates import (
+    certificate_filename,
+    load_certificates,
+    make_certificate,
+    write_certificates,
+)
+from repro.certify.emit import linearization_certificate
+from repro.certify.verify import (
+    REASON_CHECKSUM,
+    REASON_LINEARIZATION_INVALID,
+    REASON_MALFORMED,
+    verify,
+    verify_directory,
+    verify_file,
+    verify_json,
+)
+from repro.errors import CertificateError
+from repro.protocols import RacingConsensus
+from tests.certify.gadgets import register_gadgets
+
+register_gadgets()
+
+SRC_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+
+class TestIndependence:
+    def test_verify_import_graph_excludes_analysis(self):
+        """Importing the verifier must not load any searcher module."""
+        code = (
+            "import sys\n"
+            "import repro.certify.verify\n"
+            "bad = sorted(\n"
+            "    name for name in sys.modules\n"
+            "    if name == 'repro.analysis'\n"
+            "    or name.startswith('repro.analysis.')\n"
+            ")\n"
+            "print('\\n'.join(bad))\n"
+            "sys.exit(1 if bad else 0)\n"
+        )
+        env = dict(os.environ, PYTHONPATH=SRC_ROOT)
+        completed = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True, text=True, env=env, timeout=120,
+        )
+        assert completed.returncode == 0, (
+            f"repro.certify.verify pulled in searcher modules:\n"
+            f"{completed.stdout}{completed.stderr}"
+        )
+
+    def test_deep_sweep_verification_stays_searcher_free(self):
+        """``deep=True`` re-execution loads the runtime, not searchers."""
+        code = (
+            "import sys\n"
+            "from repro.certify.verify import verify\n"
+            "from repro.certify.certificates import from_json\n"
+            "verdict = verify(from_json(sys.stdin.read()), deep=True)\n"
+            "assert verdict.accepted, verdict\n"
+            "bad = sorted(\n"
+            "    name for name in sys.modules\n"
+            "    if name == 'repro.analysis'\n"
+            "    or name.startswith('repro.analysis.')\n"
+            ")\n"
+            "sys.exit(1 if bad else 0)\n"
+        )
+        from repro.certify.certificates import to_json
+        from repro.core.sweep import sweep_protocol
+        from repro.protocols import (
+            KSetAgreementTask,
+            TruncatedProtocol,
+        )
+
+        report = sweep_protocol(
+            TruncatedProtocol(RacingConsensus(2), 1), [0, 1],
+            list(range(8)), task=KSetAgreementTask(1),
+            max_steps=400_000, certificates=True,
+        )
+        (certificate,) = report.certificates
+        env = dict(os.environ, PYTHONPATH=SRC_ROOT)
+        completed = subprocess.run(
+            [sys.executable, "-c", code], input=to_json(certificate),
+            capture_output=True, text=True, env=env, timeout=300,
+        )
+        assert completed.returncode == 0, completed.stderr
+
+
+def lin_certificate():
+    history = [
+        CompletedOperation("w0", 0, "write", (5,), 5, 0, 1),
+        CompletedOperation("r1", 1, "read", (), 5, 2, 3),
+    ]
+    ok, order, certificate = certified_linearization(
+        history, RegisterSpec()
+    )
+    assert ok
+    return history, order, certificate
+
+
+class TestHonestCertificates:
+    def test_register_linearization_verifies(self):
+        _history, _order, certificate = lin_certificate()
+        assert verify(certificate).accepted
+
+    def test_covering_certificate_verifies(self):
+        report = build_covering(
+            RacingConsensus(3), [0, 1, 1], certificates=True
+        )
+        (certificate,) = report.certificates
+        verdict = verify(certificate)
+        assert verdict.accepted, verdict
+
+    def test_non_witness_order_rejected(self):
+        history, order, certificate = lin_certificate()
+        bogus = linearization_certificate(
+            RegisterSpec(), history, list(reversed(order))
+        )
+        verdict = verify(bogus)
+        assert not verdict.accepted
+        assert verdict.reason == REASON_LINEARIZATION_INVALID
+
+
+class TestFilesAndDirectories:
+    def test_write_load_verify_directory(self, tmp_path):
+        _h, _o, certificate = lin_certificate()
+        paths = write_certificates(str(tmp_path), [certificate])
+        assert paths == [
+            str(tmp_path / certificate_filename(certificate))
+        ]
+        # Idempotent: re-writing the same claims changes nothing.
+        assert write_certificates(str(tmp_path), [certificate]) == paths
+        assert load_certificates(str(tmp_path)) == [certificate]
+        results = verify_directory(str(tmp_path))
+        assert [(p, v.accepted) for p, v in results] == [
+            (paths[0], True)
+        ]
+
+    def test_tampered_file_rejected_at_checksum(self, tmp_path):
+        _h, _o, certificate = lin_certificate()
+        (path,) = write_certificates(str(tmp_path), [certificate])
+        data = json.loads(open(path).read())
+        data["payload"]["order"] = list(reversed(data["payload"]["order"]))
+        with open(path, "w") as handle:
+            handle.write(json.dumps(data))
+        verdict = verify_file(path)
+        assert not verdict.accepted
+        assert verdict.reason == REASON_CHECKSUM
+
+    def test_non_certificate_json_is_malformed(self):
+        assert verify_json("[1, 2, 3]").reason == REASON_MALFORMED
+        assert verify_json("{not json").reason == REASON_MALFORMED
+        assert verify_json('{"kind": "violation-schedule"}').reason \
+            == REASON_MALFORMED
+
+    def test_missing_directory_is_malformed_not_raised(self, tmp_path):
+        results = verify_directory(str(tmp_path / "missing"))
+        assert len(results) == 1
+        assert results[0][1].reason == REASON_MALFORMED
+
+    def test_make_certificate_refuses_bad_claims(self):
+        import pytest
+
+        with pytest.raises(CertificateError):
+            make_certificate("alien-kind", {})
+        with pytest.raises(CertificateError):
+            make_certificate("violation-schedule", {1: "non-str key"})
+        with pytest.raises(CertificateError):
+            make_certificate("violation-schedule", {"x": float("nan")})
+
+
+class TestCli:
+    def run_cli(self, *argv):
+        from repro.__main__ import main
+
+        return main(list(argv))
+
+    def test_emit_then_verify_roundtrip(self, tmp_path, capsys):
+        out = str(tmp_path / "certs")
+        assert self.run_cli(
+            "certify", "emit", "--scenario", "sweep", "--runs", "8",
+            "--out", out,
+        ) == 0
+        assert self.run_cli("certify", "verify", "--dir", out) == 0
+        captured = capsys.readouterr()
+        assert "REJECT" not in captured.out
+
+    def test_verify_rejects_tampered_file_nonzero(self, tmp_path, capsys):
+        out = str(tmp_path / "certs")
+        self.run_cli(
+            "certify", "emit", "--scenario", "valence", "--out", out,
+        )
+        (name,) = os.listdir(out)
+        path = os.path.join(out, name)
+        data = json.loads(open(path).read())
+        data["schema_version"] = 99
+        with open(path, "w") as handle:
+            handle.write(json.dumps(data))
+        assert self.run_cli("certify", "verify", path) == 1
+        assert "unsupported-schema-version" in capsys.readouterr().out
+
+    def test_verify_with_nothing_to_check_is_usage_error(self, tmp_path):
+        assert self.run_cli("certify", "verify") == 2
+        assert self.run_cli(
+            "certify", "verify", "--dir", str(tmp_path / "missing")
+        ) == 2

@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""CI certify drill: campaign with the gate on, tamper a file, verify.
+
+Runs a small fuzz campaign with ``verify_certificates=True``, writes
+the emitted witness certificates to disk, and checks the verify CLI's
+exit-code contract end to end: an honest certificate store verifies
+with exit 0, and after one file is tampered with on disk the same
+command must exit non-zero.  This is the end-to-end drill of the
+self-certifying-results contract (docs/CERTIFICATES.md): a forged or
+corrupted claim never survives an audit.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+from repro.campaign import fuzz_campaign
+from repro.certify.certificates import write_certificates
+from repro.protocols import (
+    KSetAgreementTask,
+    RacingConsensus,
+    TruncatedProtocol,
+)
+
+
+def verify_cli(directory: str) -> int:
+    """Run ``repro certify verify --dir`` in a fresh process."""
+    completed = subprocess.run(
+        [sys.executable, "-m", "repro", "certify", "verify",
+         "--dir", directory],
+        env=dict(os.environ), timeout=300,
+    )
+    return completed.returncode
+
+
+def main() -> int:
+    result = fuzz_campaign(
+        TruncatedProtocol(RacingConsensus(2), 1), [0, 1],
+        KSetAgreementTask(1), runs=80, schedule_length=40, seed=7,
+        workers=2, chunk_size=20, verify_certificates=True,
+    )
+    if not result.complete:
+        print("FAIL: campaign did not complete", file=sys.stderr)
+        return 1
+    certificates = result.report.certificates
+    if not certificates:
+        print("FAIL: campaign emitted no certificates", file=sys.stderr)
+        return 1
+    print(f"campaign: {result.report.summary()} "
+          f"({result.telemetry.certificates_verified} certificates "
+          f"verified in-engine)")
+
+    with tempfile.TemporaryDirectory(prefix="repro-certify-") as directory:
+        paths = write_certificates(directory, certificates)
+        print(f"wrote {len(paths)} certificate file(s)")
+
+        if verify_cli(directory) != 0:
+            print("FAIL: honest certificate store did not verify",
+                  file=sys.stderr)
+            return 1
+        print("OK: honest store verifies (exit 0)")
+
+        # Tamper with one claim on disk without re-minting its
+        # checksum — the CLI audit must now fail loudly.
+        victim = paths[0]
+        with open(victim) as handle:
+            data = json.load(handle)
+        data["payload"]["schedule"] = list(
+            reversed(data["payload"]["schedule"])
+        )
+        with open(victim, "w") as handle:
+            json.dump(data, handle)
+        print(f"tampered with {os.path.basename(victim)}")
+
+        code = verify_cli(directory)
+        if code == 0:
+            print("FAIL: tampered certificate store verified",
+                  file=sys.stderr)
+            return 1
+        print(f"OK: tampered store rejected (exit {code})")
+
+    print("OK: certify drill passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
