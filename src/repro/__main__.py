@@ -1,22 +1,23 @@
 """Command-line interface: the paper's results from a shell.
 
-Usage::
+Installed as the ``repro`` console script (``python -m repro`` is the
+same entry point).  Usage::
 
-    python -m repro bounds [--n-max 32] [--k-max 4]
-    python -m repro simulate [--k 2] [--x 1] [--m 3] [--seed 0]
-    python -m repro falsify [--k 1] [--x 1] [--m 1] [--runs 10]
-    python -m repro approx [--m 2] [--eps-exp 16]
-    python -m repro check [--seed 0]
-    python -m repro campaign [--seeds 50] [--workers N] [--chunk-size C]
-                             [--checkpoint PATH] [--resume [PATH]] [--strict]
-                             [--verify-certificates]
-                             [--certificates-dir DIR]
-    python -m repro explore [--scenario truncated] [--workers N]
-                            [--checkpoint PATH] [--resume [PATH]] [--strict]
-    python -m repro certify emit [--scenario falsify] --out DIR
-    python -m repro certify verify [PATH ...] [--dir DIR] [--deep]
-    python -m repro bench run [--quick] [--experiments E13,E14]
-    python -m repro bench compare [--baseline baselines/]
+    repro bounds [--n-max 32] [--k-max 4]
+    repro simulate [--k 2] [--x 1] [--m 3] [--seed 0]
+    repro falsify [--k 1] [--x 1] [--m 1] [--runs 10]
+    repro approx [--m 2] [--eps-exp 16]
+    repro check [--seed 0]
+    repro campaign [--seeds 50] [--workers N] [--chunk-size C]
+                   [--checkpoint PATH] [--resume [PATH]] [--strict]
+                   [--verify-certificates] [--certificates-dir DIR]
+    repro explore [--scenario truncated] [--workers N] [--symmetry]
+                  [--packed/--no-packed]
+                  [--checkpoint PATH] [--resume [PATH]] [--strict]
+    repro certify emit [--scenario falsify] --out DIR
+    repro certify verify [PATH ...] [--dir DIR] [--deep]
+    repro bench run [--quick] [--experiments E13,E14]
+    repro bench compare [--baseline baselines/]
 
 ``bounds`` prints the Theorem 3 table; ``simulate`` runs the revisionist
 simulation on a correct workload and checks the Lemma 28 invariant;
@@ -29,14 +30,17 @@ oracles as hardware-parallel seed/fuzz campaigns through
 telemetry (results are byte-identical for any worker count — see
 docs/CAMPAIGNS.md); ``explore`` runs the bounded-exhaustive model
 checker sharded over schedule-prefix subtrees, optionally verifying the
-sharded report against a serial run; ``certify`` emits and verifies the
+sharded report against a serial run (``--symmetry`` reduces
+full-symmetric protocols under process permutation, ``--no-packed``
+falls back to the object-tuple configuration encoding — see
+docs/PERFORMANCE.md); ``certify`` emits and verifies the
 witness certificates of :mod:`repro.certify` (docs/CERTIFICATES.md) —
 machine-checkable claims that an independent verifier replays without
 trusting the searcher that produced them; ``campaign
 --verify-certificates`` applies the same gate inside the engine,
 rejecting worker chunks whose certificates fail to replay;
 ``bench`` measures the EXPERIMENTS.md
-experiments (E1–E15), writes schema-versioned ``BENCH_*.json`` artifacts,
+experiments (E1–E16), writes schema-versioned ``BENCH_*.json`` artifacts,
 and regression-gates them against a committed baseline (see
 docs/BENCHMARKS.md).
 
@@ -301,7 +305,10 @@ def cmd_campaign(args) -> int:
             schedule_length=40, seed=args.seed, **options,
             **fault_options("fuzz"),
         )
-        ok = not result.report.clean
+        # The must-violate expectation is vacuous for a zero-run campaign:
+        # an empty fuzz report is clean by construction, not evidence the
+        # protocol is safe.
+        ok = result.report.runs == 0 or not result.report.clean
         show("schedule fuzz (truncated consensus, must violate)", result, ok)
         if result.report.minimized is not None:
             print(f"   minimized counterexample: "
@@ -329,6 +336,7 @@ def cmd_explore(args) -> int:
     from repro.analysis import explore_protocol
     from repro.campaign import explore_campaign
     from repro.protocols import (
+        AnonymousSweepConsensus,
         KSetAgreementTask,
         MinSeen,
         RacingConsensus,
@@ -342,6 +350,12 @@ def cmd_explore(args) -> int:
     if args.chunk_size is not None and args.chunk_size < 1:
         print(f"error: --chunk-size must be >= 1, got {args.chunk_size}",
               file=sys.stderr)
+        return 2
+    if args.symmetry and not args.packed:
+        # Fail fast: otherwise every chunk would burn its retry budget
+        # on the same ValidationError inside the workers.
+        print("error: --symmetry requires the packed encoding "
+              "(drop --no-packed)", file=sys.stderr)
         return 2
     resolved = _resolve_fault_tolerance(args)
     if isinstance(resolved, int):
@@ -360,6 +374,13 @@ def cmd_explore(args) -> int:
         "minseen": (
             MinSeen(2), [0, 1], KSetAgreementTask(2), True,
         ),
+        # Genuinely unsafe at m < n: the checker finds (and the runtime
+        # replays) a two-value decision, the covering-attack frontier
+        # the anonymous module's docstring describes.
+        "anonymous": (
+            AnonymousSweepConsensus(3, m=2), [0, 1, 1],
+            KSetAgreementTask(1), False,
+        ),
     }
     protocol, inputs, task, expect_safe = scenarios[args.scenario]
 
@@ -370,9 +391,13 @@ def cmd_explore(args) -> int:
         prefix_depth=args.prefix_depth,
         workers=args.workers, chunk_size=args.chunk_size,
         checkpoint=checkpoint, resume=resume, retry=retry,
+        packed=args.packed, symmetry=args.symmetry,
     )
+    mode = "" if args.packed else ", unpacked"
+    if args.symmetry:
+        mode += ", symmetry-reduced"
     print(f"exploring {protocol.name} on inputs {inputs} "
-          f"(prefix depth {args.prefix_depth}):")
+          f"(prefix depth {args.prefix_depth}{mode}):")
     print(f"   {result.report.summary()}")
     print(f"   {result.telemetry.summary()}")
     if not result.complete:
@@ -394,6 +419,7 @@ def cmd_explore(args) -> int:
             max_configs=args.max_configs, max_steps=args.max_steps,
             stop_at_first_violation=not args.collect_all,
             prefix_depth=args.prefix_depth,
+            packed=args.packed, symmetry=args.symmetry,
         )
         if result.report == serial and repr(result.report) == repr(serial):
             print("   serial verification: sharded report identical")
@@ -427,8 +453,11 @@ def _add_fault_tolerance_args(subparser) -> None:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    # prog matches the installed console-script entry point (setup.cfg:
+    # ``repro = repro.__main__:main``) so help text, docs, and the
+    # ``python -m repro`` spelling all name the same command.
     parser = argparse.ArgumentParser(
-        prog="python -m repro",
+        prog="repro",
         description="Revisionist Simulations (PODC 2018), executable.",
     )
     sub = parser.add_subparsers(dest="command", required=True)
@@ -491,7 +520,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     explore.add_argument(
         "--scenario",
-        choices=["truncated", "racing", "minseen"],
+        choices=["truncated", "racing", "minseen", "anonymous"],
         default="truncated",
     )
     explore.add_argument("--max-configs", type=int, default=200_000)
@@ -502,6 +531,16 @@ def build_parser() -> argparse.ArgumentParser:
     explore.add_argument(
         "--collect-all", action="store_true",
         help="keep exploring past the first violation",
+    )
+    explore.add_argument(
+        "--symmetry", action="store_true",
+        help="canonicalize configurations under process permutation "
+             "(reduces protocols that declare full symmetry)",
+    )
+    explore.add_argument(
+        "--packed", action=argparse.BooleanOptionalAction, default=True,
+        help="pack configurations into integer keys (--no-packed falls "
+             "back to the object-tuple encoding; reports are identical)",
     )
     explore.add_argument(
         "--verify-serial", action="store_true",

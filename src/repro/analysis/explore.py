@@ -43,6 +43,27 @@ stepped process can change it).  The caches hold *pure derived data
 only*, so sharing them across units — or not — cannot change any report;
 docs/PERFORMANCE.md records the purity assumptions they rely on and the
 measured effect.
+
+Two further levers live on the context.  With ``packed=True`` (the
+default) every distinct process state and memory value is interned to a
+small integer in a per-context table and each configuration is keyed by a
+pair of machine-word-packed integers (``_SLOT_BITS`` bits per process /
+component), so interning and successor lookups hash and compare ints
+instead of wide object tuples; the packed path is pure key encoding and
+produces byte-identical reports (enforced by the frozen differential
+suite).  With ``symmetry=True`` the per-unit depth memo is keyed by the
+configuration's *canonical form under process permutation* — the packed
+sorted state-id multiset plus the memory key — so configurations that
+differ only by renaming processes share one memo entry and only one
+representative subtree is expanded.  That is sound exactly when the
+protocol declares :data:`~repro.protocols.base.SYMMETRY_FULL` via
+:meth:`~repro.protocols.base.Protocol.symmetry` (anonymous protocols:
+transitions depend only on the state, so permuted configurations root
+isomorphic subtrees and task verdicts depend only on the decided value
+multiset); protocols declaring ``identity`` keep the exact unreduced
+semantics even under ``symmetry=True``.  Reduced reports keep the same
+safe/unsafe verdict and a genuinely replayable counterexample, but visit
+(and therefore count) fewer configurations — see docs/PERFORMANCE.md.
 """
 
 from __future__ import annotations
@@ -51,7 +72,14 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import DivergenceError, ValidationError
-from repro.protocols.base import DECIDE, SCAN, Protocol, solo_run
+from repro.protocols.base import (
+    DECIDE,
+    SCAN,
+    SYMMETRY_FULL,
+    SYMMETRY_IDENTITY,
+    Protocol,
+    solo_run,
+)
 
 
 @dataclass
@@ -140,6 +168,22 @@ class ExplorationReport:
 #: Cache-miss sentinel (``None`` is a legal cached value for states).
 _MISSING = object()
 
+#: Bits per process / memory slot in packed configuration keys.  Interned
+#: state/value ids live in ``[0, 2**_SLOT_BITS)``; a protocol instance
+#: with more distinct states or written values than that is rejected.
+_SLOT_BITS = 32
+_SLOT_LIMIT = 1 << _SLOT_BITS
+
+
+def _pack(ids: Sequence[int]) -> int:
+    """Pack a sequence of slot ids into one integer key, slot 0 lowest."""
+    key = 0
+    shift = 0
+    for slot_id in ids:
+        key |= slot_id << shift
+        shift += _SLOT_BITS
+    return key
+
 
 class _Config:
     """One interned system configuration (hash-consed by the context).
@@ -157,24 +201,52 @@ class _Config:
     instead of re-hashing wide state/memory tuples on every lookup.
     ``decided``/``undecided`` may be shared between a parent and a child
     that made no new decision; treat them as immutable.
+
+    On a packed context the node also carries its packed encoding:
+    ``sids``/``mids`` are the per-slot interned ids of ``states`` and
+    ``memory`` and ``skey``/``mkey`` the corresponding packed integers
+    (children derive theirs from the parent's with one shifted-delta
+    addition per step).  ``canon`` lazily caches the canonical key under
+    process permutation used by symmetry-reduced memo tables.  On an
+    unpacked context all five stay ``None``.
+
+    Packed nodes are created with ``states``/``memory`` as ``None``:
+    the hot path runs entirely on slot ids and packed keys, and the raw
+    tuples are materialized from the context's reverse table only when
+    a transition-cache miss (or an external caller, via
+    :meth:`ExplorationContext.states_of` /
+    :meth:`ExplorationContext.memory_of`) actually needs the objects.
     """
 
     __slots__ = ("states", "memory", "decided", "undecided", "succ",
-                 "check_cache")
+                 "check_cache", "skey", "sids", "mkey", "mids", "canon")
 
     def __init__(
         self,
-        states: Tuple,
-        memory: Tuple,
+        states: Optional[Tuple],
+        memory: Optional[Tuple],
         decided: Dict[int, Any],
         undecided: Tuple[int, ...],
+        skey: Optional[int] = None,
+        sids: Optional[Tuple[int, ...]] = None,
+        mkey: Optional[int] = None,
+        mids: Optional[Tuple[int, ...]] = None,
     ) -> None:
         self.states = states
         self.memory = memory
         self.decided = decided
         self.undecided = undecided
-        self.succ: Dict[int, "_Config"] = {}
+        # One slot per process; replay steps by decided processes cache
+        # the parent itself, so a list (no key hashing) suffices.
+        self.succ: List[Optional["_Config"]] = [None] * (
+            len(states) if states is not None else len(sids)
+        )
         self.check_cache: Optional[List[str]] = None
+        self.skey = skey
+        self.sids = sids
+        self.mkey = mkey
+        self.mids = mids
+        self.canon: Optional[Tuple[int, int]] = None
 
 
 class ExplorationContext:
@@ -201,18 +273,71 @@ class ExplorationContext:
     depth memo is *not* part of the context; each unit keeps its own.
     See docs/PERFORMANCE.md for the full purity contract and the
     measured effect.
+
+    ``packed`` (default) interns every distinct state and memory value to
+    a small integer and keys the intern/successor tables by packed
+    integer pairs instead of object tuples — pure key encoding, reports
+    are byte-identical.  ``symmetry`` additionally asks for symmetry
+    reduction; it requires the packed encoding and takes effect only when
+    the protocol declares :data:`~repro.protocols.base.SYMMETRY_FULL`
+    (``self.symmetry`` records whether reduction is active;
+    identity-group protocols keep exact unreduced semantics).
     """
 
     def __init__(
-        self, protocol: Protocol, inputs: Sequence[Any], task: Any = None
+        self,
+        protocol: Protocol,
+        inputs: Sequence[Any],
+        task: Any = None,
+        packed: bool = True,
+        symmetry: bool = False,
     ) -> None:
         self.protocol = protocol
         self.inputs = tuple(inputs)
         self.task = task
+        self.packed = bool(packed)
+        self.symmetry_requested = bool(symmetry)
+        self.symmetry = False
+        if symmetry:
+            if not self.packed:
+                raise ValidationError(
+                    "symmetry reduction requires the packed configuration "
+                    "encoding (symmetry=True with packed=False)"
+                )
+            group = protocol.symmetry()
+            if group not in (SYMMETRY_FULL, SYMMETRY_IDENTITY):
+                raise ValidationError(
+                    f"{protocol.name}: unknown symmetry group {group!r} "
+                    f"(expected {SYMMETRY_FULL!r} or {SYMMETRY_IDENTITY!r})"
+                )
+            self.symmetry = group == SYMMETRY_FULL
         self._poised: Dict[Any, Tuple[str, Any]] = {}
-        self._scan_succ: Dict[Tuple[Any, Tuple], Any] = {}
+        #: Unpacked scan successors: ``(state, memory) -> new state``
+        #: (packed contexts use ``_scan_by_sid`` instead).
+        self._scan_succ: Dict[Tuple[Any, Any], Any] = {}
+        #: Packed: ``sid -> (new sid, component, value mid)``; unpacked:
+        #: ``state -> (new state, component, value)``.  A context lives
+        #: in one mode, so the key shapes never share a table instance.
         self._update_succ: Dict[Any, Tuple[Any, int, Any]] = {}
-        self._configs: Dict[Tuple[Tuple, Tuple], _Config] = {}
+        self._configs: Dict[Tuple, _Config] = {}
+        #: state/value -> slot id for the packed encoding.  States and
+        #: memory values share one table; ids are assigned in first-seen
+        #: order, so the mapping is deterministic per traversal order but
+        #: never observable in a report (keys only gate equality).
+        self._ids: Dict[Any, int] = {}
+        #: id -> state/value, the inverse of ``_ids`` (packed contexts
+        #: materialize tuples from it on transition-cache misses).
+        self._values: List[Any] = []
+        #: id -> cached ``protocol.poised`` entry, filled on first use
+        #: (slots holding memory values simply never get asked).
+        self._poised_ids: List[Optional[Tuple[str, Any]]] = []
+        #: id -> ``{memory key -> scanned successor id}`` for the packed
+        #: scan cache, created lazily per scanning state.
+        self._scan_by_sid: List[Optional[Dict[int, int]]] = []
+        #: One attribute load dispatches the encoding for the hot path.
+        self.child = (
+            self._child_packed if self.packed else self._child_unpacked
+        )
         states = tuple(
             protocol.initial_state(i, v) for i, v in enumerate(inputs)
         )
@@ -225,10 +350,89 @@ class ExplorationContext:
             entry = self._poised[state] = self.protocol.poised(state)
         return entry
 
+    def _id(self, value: Any) -> int:
+        """The slot id interning a state or memory value (assigning one
+        on first sight).  Ids compare like the values they stand for:
+        the table is keyed by equality, so equal objects share an id and
+        distinct-by-equality objects never do — packed key equality is
+        exactly tuple equality."""
+        ids = self._ids
+        found = ids.get(value)
+        if found is None:
+            found = len(ids)
+            if found >= _SLOT_LIMIT:
+                raise ValidationError(
+                    f"{self.protocol.name}: more than {_SLOT_LIMIT} "
+                    "distinct states/values; packed exploration cannot "
+                    "encode this instance (pass packed=False)"
+                )
+            ids[value] = found
+            self._values.append(value)
+            self._poised_ids.append(None)
+            self._scan_by_sid.append(None)
+        return found
+
+    def _poised_by_id(self, sid: int) -> Tuple[str, Any]:
+        """``protocol.poised`` for a slot id, computed once per id.
+
+        The packed hot path classifies states by list index instead of
+        re-hashing the state object; the entry is the same pure
+        ``poised`` result the unpacked cache would hold.
+        """
+        entry = self._poised_ids[sid]
+        if entry is None:
+            entry = self._poised_ids[sid] = self.protocol.poised(
+                self._values[sid]
+            )
+        return entry
+
+    def states_of(self, config: _Config) -> Tuple:
+        """The configuration's raw state tuple (materialized lazily on
+        packed contexts, where the hot path runs on slot ids)."""
+        states = config.states
+        if states is None:
+            values = self._values
+            states = config.states = tuple(
+                values[sid] for sid in config.sids
+            )
+        return states
+
+    def memory_of(self, config: _Config) -> Tuple:
+        """The configuration's raw memory tuple (lazy, like
+        :meth:`states_of`)."""
+        memory = config.memory
+        if memory is None:
+            values = self._values
+            memory = config.memory = tuple(
+                values[mid] for mid in config.mids
+            )
+        return memory
+
+    def canon_key(self, config: _Config) -> Tuple[int, int]:
+        """The configuration's canonical key under process permutation:
+        the packed *sorted* state-id tuple plus the memory key.  Two
+        configurations share a canonical key iff one is a process
+        permutation of the other (memory is permutation-invariant —
+        component j is component j for every process).  Cached on the
+        node; packed contexts only."""
+        key = config.canon
+        if key is None:
+            key = (_pack(sorted(config.sids)), config.mkey)
+            config.canon = key
+        return key
+
     def _intern_scan(self, states: Tuple, memory: Tuple) -> _Config:
         """Intern a configuration, deriving the decided split by full scan
         (used only for roots; children derive it incrementally)."""
-        key = (states, memory)
+        if self.packed:
+            sids = tuple(self._id(state) for state in states)
+            mids = tuple(self._id(value) for value in memory)
+            skey = _pack(sids)
+            mkey = _pack(mids)
+            key: Tuple = (skey, mkey)
+        else:
+            sids = mids = skey = mkey = None
+            key = (states, memory)
         config = self._configs.get(key)
         if config is None:
             decided: Dict[int, Any] = {}
@@ -239,19 +443,24 @@ class ExplorationContext:
                     decided[index] = payload
                 else:
                     undecided.append(index)
-            config = _Config(states, memory, decided, tuple(undecided))
+            config = _Config(
+                states, memory, decided, tuple(undecided),
+                skey, sids, mkey, mids,
+            )
             self._configs[key] = config
         return config
 
-    def child(self, parent: _Config, index: int) -> _Config:
+    def _child_unpacked(self, parent: _Config, index: int) -> _Config:
         """The configuration after process ``index`` takes one step.
 
         Stepping a decided process is a no-op returning ``parent``
         (replay semantics).  The result is interned and cached on the
         parent, so each edge of the configuration graph pays for its
-        transition exactly once per context.
+        transition exactly once per context.  ``child`` is bound to
+        this or to :meth:`_child_packed` at construction — one
+        attribute load dispatches the mode, not a per-call branch.
         """
-        cached = parent.succ.get(index)
+        cached = parent.succ[index]
         if cached is not None:
             return cached
         state = parent.states[index]
@@ -295,6 +504,82 @@ class ExplorationContext:
                 decided = parent.decided
                 undecided = parent.undecided
             config = _Config(new_states, new_memory, decided, undecided)
+            self._configs[key] = config
+        parent.succ[index] = config
+        return config
+
+    def _child_packed(self, parent: _Config, index: int) -> _Config:
+        """The packed successor computation: slot ids and packed keys
+        only.  State and memory *objects* are touched exclusively on
+        transition-cache misses — every revisit of a known ``(state,
+        memory snapshot)`` pair runs on machine words (list indexing,
+        int-keyed dict gets, and one shifted-delta addition per step)
+        without hashing or allocating any wide tuple.
+        """
+        cached = parent.succ[index]
+        if cached is not None:
+            return cached
+        sid = parent.sids[index]
+        kind, payload = self._poised_ids[sid] or self._poised_by_id(sid)
+        if kind == DECIDE:
+            parent.succ[index] = parent
+            return parent
+        mkey = parent.mkey
+        mids = parent.mids
+        if kind == SCAN:
+            # Per-sid table keyed by the memory key alone: an int-keyed
+            # dict get with no key-tuple allocation.
+            by_memory = self._scan_by_sid[sid]
+            if by_memory is None:
+                by_memory = self._scan_by_sid[sid] = {}
+            new_sid = by_memory.get(mkey, _MISSING)
+            if new_sid is _MISSING:
+                new_sid = self._id(self.protocol.advance(
+                    self._values[sid], self.memory_of(parent)
+                ))
+                by_memory[mkey] = new_sid
+        else:
+            entry = self._update_succ.get(sid)
+            if entry is None:
+                component, value = payload
+                entry = (
+                    self._id(self.protocol.advance(self._values[sid], None)),
+                    component, self._id(value),
+                )
+                self._update_succ[sid] = entry
+            new_sid, component, new_mid = entry
+            old_mid = mids[component]
+            if new_mid != old_mid:
+                mkey = mkey + (
+                    (new_mid - old_mid) << (component * _SLOT_BITS)
+                )
+                mids = (
+                    mids[:component] + (new_mid,) + mids[component + 1:]
+                )
+        skey = parent.skey + ((new_sid - sid) << (index * _SLOT_BITS))
+        key = (skey, mkey)
+        config = self._configs.get(key)
+        if config is None:
+            new_kind, new_payload = (
+                self._poised_ids[new_sid] or self._poised_by_id(new_sid)
+            )
+            if new_kind == DECIDE:
+                decided = dict(parent.decided)
+                decided[index] = new_payload
+                if any(k > index for k in parent.decided):
+                    decided = {k: decided[k] for k in sorted(decided)}
+                undecided = tuple(
+                    k for k in parent.undecided if k != index
+                )
+            else:
+                decided = parent.decided
+                undecided = parent.undecided
+            sids = (
+                parent.sids[:index] + (new_sid,) + parent.sids[index + 1:]
+            )
+            config = _Config(
+                None, None, decided, undecided, skey, sids, mkey, mids,
+            )
             self._configs[key] = config
         parent.succ[index] = config
         return config
@@ -445,9 +730,21 @@ def _explore_unit(
     deeper or equal one is pruned.  The memo is keyed by interned
     :class:`_Config` nodes (identity hash) and is per-unit — only the
     context's pure transition caches persist across units.
+
+    On a symmetry-reducing context the memo is keyed by
+    :meth:`ExplorationContext.canon_key` instead, so an arrival at any
+    process permutation of an already-expanded configuration is pruned
+    the same way a repeat arrival is: the permuted subtree is isomorphic
+    (full symmetry: transitions depend only on the state) and its task
+    verdicts hold the same decided-value multiset, so a violation exists
+    below one iff it exists below the other.  Budgets, counts, and
+    ``fully_decided`` then tally canonical classes, not raw
+    configurations — that is the reduction.
     """
     report = ExplorationReport()
-    best_depth: Dict[_Config, int] = {}
+    best_depth: Dict[Any, int] = {}
+    symmetric = ctx.symmetry
+    canon_key = ctx.canon_key
 
     # Pass 1: walk the prefix, recording the path and whether each step
     # took the least viable index (the ownership rule needs the suffix).
@@ -469,9 +766,10 @@ def _explore_unit(
     # owned interior ones (in path order, same count/check/budget
     # sequence as the frontier loop below).
     for depth, p_config in enumerate(path):
-        if p_config in best_depth:
+        memo_key = canon_key(p_config) if symmetric else p_config
+        if memo_key in best_depth:
             continue
-        best_depth[p_config] = depth
+        best_depth[memo_key] = depth
         if depth < owned_from:
             continue
         report.configurations += 1
@@ -495,21 +793,25 @@ def _explore_unit(
     frontier: List[Tuple[_Config, int, Optional[Tuple]]] = [
         (config, len(prefix), None)
     ]
+    child = ctx.child
+    best_get = best_depth.get
     while frontier:
         config, depth, tail = frontier.pop()
-        prior = best_depth.get(config)
+        memo_key = canon_key(config) if symmetric else config
+        prior = best_get(memo_key)
         if prior is not None and depth >= prior:
             continue
         first_visit = prior is None
-        best_depth[config] = depth
+        best_depth[memo_key] = depth
         if first_visit:
             report.configurations += 1
 
-        stop = _check_node(
-            report, ctx, config, prefix, tail, stop_at_first_violation
-        )
-        if stop:
-            break
+        if config.decided:
+            stop = _check_node(
+                report, ctx, config, prefix, tail, stop_at_first_violation
+            )
+            if stop:
+                break
         undecided = config.undecided
         all_decided = not undecided
         if all_decided and first_visit:
@@ -523,10 +825,23 @@ def _explore_unit(
             report.truncated = True
             continue
 
-        child = ctx.child
+        succ = config.succ
         next_depth = depth + 1
         for index in undecided:
-            frontier.append((child(config, index), next_depth, (tail, index)))
+            # Inlined successor-cache hit: after the first expansion of
+            # this configuration every edge is a plain list index, not a
+            # method call (child() re-checks the same slot on a miss).
+            nxt = succ[index]
+            if nxt is None:
+                nxt = child(config, index)
+            # Push-time pruning: best_depth only ever decreases, so a
+            # child already expanded this shallow (or shallower) would
+            # be discarded at pop time anyway — dropping it here skips
+            # the frontier churn without changing any report field.
+            prior = best_get(canon_key(nxt) if symmetric else nxt)
+            if prior is not None and next_depth >= prior:
+                continue
+            frontier.append((nxt, next_depth, (tail, index)))
     report.violations.sort()
     return report
 
@@ -543,6 +858,8 @@ def explore_prefix_range(
     stop_at_first_violation: bool = True,
     context: Optional[ExplorationContext] = None,
     certificates: bool = False,
+    packed: bool = True,
+    symmetry: bool = False,
 ) -> ExplorationReport:
     """Explore units ``start..stop-1`` of a prefix decomposition.
 
@@ -553,18 +870,33 @@ def explore_prefix_range(
     function :class:`repro.campaign.ExploreJob` workers execute.
 
     All units share one :class:`ExplorationContext` (``context``, or a
-    fresh one) for its pure transition caches; each unit still gets a
-    fresh depth memo, so the merged report is byte-identical whether
-    units run in one call, in separate calls, or on separate workers.
+    fresh one built with ``packed``/``symmetry``; a supplied context must
+    already carry the same modes) for its pure transition caches; each
+    unit still gets a fresh depth memo, so the merged report is
+    byte-identical whether units run in one call, in separate calls, or
+    on separate workers — in every mode, since the per-unit function and
+    the merge are mode-parametric but worker-independent.
 
     With ``certificates=True`` the range's report carries a witness
     certificate for its counterexample (:mod:`repro.certify`); merging
     keeps exactly the certificates of the merged counterexample, so
-    serial and sharded runs emit identical certificate sets.
+    serial and sharded runs emit identical certificate sets.  Symmetry
+    reduction never rewrites schedules (it only prunes), so reduced
+    counterexamples are genuine schedules and their certificates replay
+    unchanged.
     """
     budget = unit_budget(max_configs, len(prefixes))
+    if context is not None and (
+        context.packed != packed
+        or context.symmetry_requested != symmetry
+    ):
+        raise ValidationError(
+            "supplied ExplorationContext was built with "
+            f"packed={context.packed}, symmetry={context.symmetry_requested} "
+            f"but the call asked for packed={packed}, symmetry={symmetry}"
+        )
     ctx = context if context is not None else ExplorationContext(
-        protocol, inputs, task
+        protocol, inputs, task, packed=packed, symmetry=symmetry
     )
     report = ExplorationReport()
     for prefix in prefixes[start:stop]:
@@ -592,6 +924,8 @@ def explore_protocol(
     stop_at_first_violation: bool = True,
     prefix_depth: int = 0,
     certificates: bool = False,
+    packed: bool = True,
+    symmetry: bool = False,
 ) -> ExplorationReport:
     """Explore every interleaving of a protocol instance, checking safety.
 
@@ -615,19 +949,28 @@ def explore_protocol(
         certificates: emit a witness certificate for the counterexample
             (:mod:`repro.certify`); requires a registered protocol/task
             descriptor.
+        packed: use the packed configuration encoding (the default;
+            pure key encoding, reports are byte-identical either way).
+        symmetry: canonicalize configurations under process permutation
+            before memo lookup; requires ``packed`` and reduces only
+            protocols declaring full symmetry.  Reduced reports keep the
+            safe/unsafe verdict and a replayable counterexample but
+            count canonical classes, not raw configurations.
     """
     if len(inputs) > protocol.n:
         raise ValidationError(
             f"{protocol.name} supports n={protocol.n}, got {len(inputs)} inputs"
         )
     depth = effective_prefix_depth(prefix_depth, max_steps)
-    ctx = ExplorationContext(protocol, inputs, task)
+    ctx = ExplorationContext(
+        protocol, inputs, task, packed=packed, symmetry=symmetry
+    )
     prefixes = schedule_prefixes(protocol, inputs, depth, context=ctx)
     return explore_prefix_range(
         protocol, inputs, task, prefixes, 0, len(prefixes),
         max_configs=max_configs, max_steps=max_steps,
         stop_at_first_violation=stop_at_first_violation, context=ctx,
-        certificates=certificates,
+        certificates=certificates, packed=packed, symmetry=symmetry,
     )
 
 
@@ -660,8 +1003,8 @@ def check_obstruction_freedom(
                 continue
             try:
                 _state, _mem, _pending, decision = solo_run(
-                    protocol, config.states[index], config.memory,
-                    max_steps=solo_budget,
+                    protocol, ctx.states_of(config)[index],
+                    ctx.memory_of(config), max_steps=solo_budget,
                 )
             except DivergenceError:
                 violations.append(

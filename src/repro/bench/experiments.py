@@ -1,4 +1,4 @@
-"""Discovery registry for the measurable experiments (E1–E15).
+"""Discovery registry for the measurable experiments (E1–E16).
 
 Each :class:`Experiment` binds an experiment id to a *payload*: a
 callable taking ``quick`` (bool) and returning a :class:`PayloadResult`
@@ -7,7 +7,7 @@ metrics.  ``quick`` selects a CI-sized parameterisation of the same
 workload; ``full`` matches the EXPERIMENTS.md tables.  The runner times
 payload calls from the outside — payloads only do work.
 
-Campaign-backed experiments (E4, E13–E15) run through
+Campaign-backed experiments (E4, E13–E16) run through
 :mod:`repro.campaign` and surface the engine's telemetry (mode, worker
 count, utilization) in their metrics, so a ``BENCH_*.json`` records not
 just *how fast* but *which execution path* produced the number.
@@ -345,3 +345,26 @@ def run_e15(quick: bool) -> PayloadResult:
     metrics["retried_attempts"] = faulted.telemetry.retries
     metrics["resumed_chunks"] = resumed.telemetry.skipped_chunks
     return PayloadResult(units=faulted.report.runs, metrics=metrics)
+
+
+@_register("E16", "symmetry",
+           "Symmetry-reduced exploration of an anonymous protocol",
+           campaign_backed=True)
+def run_e16(quick: bool) -> PayloadResult:
+    """E16 payload: symmetry-reduced anonymous-sweep exploration.
+
+    Units are *visited* (canonical) configurations, so units/second is
+    not comparable to E14 — the win shows up in wall time against the
+    unreduced ``baselines/pre_symmetry`` artifact, which explored the
+    same protocol instance without the reduction.
+    """
+    from repro.bench.workloads import explore_symmetry
+
+    result = explore_symmetry(
+        symmetry=True, workers=None, max_steps=10 if quick else 12
+    )
+    metrics = _campaign_metrics(result)
+    metrics["symmetry"] = True
+    return PayloadResult(
+        units=result.report.configurations, metrics=metrics
+    )

@@ -1,6 +1,6 @@
 """The experiment workloads, as plain callables.
 
-Every experiment of EXPERIMENTS.md (E1–E15) used to live only inside a
+Every experiment of EXPERIMENTS.md (E1–E16) used to live only inside a
 pytest-benchmark test; this module lifts each one's core workload into a
 library function so the same code path serves three callers:
 
@@ -13,7 +13,7 @@ library function so the same code path serves three callers:
 Functions here *run work and return data*; they never print, never time
 themselves, and raise :class:`AssertionError` if the experiment's
 correctness expectations fail (a benchmark number for a broken run is
-worse than no number).  Campaign-backed workloads (E4, E13–E15) route
+worse than no number).  Campaign-backed workloads (E4, E13–E16) route
 through :mod:`repro.campaign` so their numbers exercise the same engine
 and telemetry as ``repro campaign`` / ``repro explore``.
 """
@@ -391,3 +391,33 @@ def chaos_campaign(seeds: int = 120, chunk_size: int = 8,
     assert faulted.report == resumed.report
     assert repr(faulted.report) == repr(resumed.report)
     return faulted, resumed
+
+
+def explore_symmetry(symmetry: bool, workers: Optional[int] = None,
+                     n: int = 5, max_steps: int = 12,
+                     max_configs: int = 10_000_000,
+                     prefix_depth: int = 2):
+    """E16 core: anonymous-sweep exploration under process symmetry.
+
+    Explores :class:`~repro.protocols.AnonymousSweepConsensus` (fully
+    symmetric by construction) with one dissenting input through the
+    campaign engine.  With ``symmetry=True`` configurations are
+    canonicalized under process permutation — the measured claim is
+    that this collapses the state space superlinearly in ``n`` (toward
+    ``n!``), so the reduced run beats an unreduced run of the *same*
+    workload by far more than a constant factor.  ``symmetry=False``
+    is exactly that unreduced run (what every build before the
+    reduction had to do) and is how ``baselines/pre_symmetry`` was
+    measured.  Returns the :class:`~repro.campaign.engine.CampaignResult`.
+    """
+    from repro.campaign import explore_campaign
+    from repro.protocols import AnonymousSweepConsensus, KSetAgreementTask
+
+    result = explore_campaign(
+        AnonymousSweepConsensus(n, m=2), [0] + [1] * (n - 1),
+        KSetAgreementTask(1), max_configs=max_configs,
+        max_steps=max_steps, prefix_depth=prefix_depth,
+        workers=workers, symmetry=symmetry,
+    )
+    assert result.report.safe
+    return result

@@ -244,6 +244,12 @@ class ExploreJob(_CertifiableJob):
     (:func:`~repro.analysis.explore.explore_prefix_range`), so the merged
     :class:`~repro.analysis.explore.ExplorationReport` is identical to a
     serial ``explore_protocol`` call with the same ``prefix_depth``.
+
+    ``packed`` and ``symmetry`` select the configuration encoding and
+    symmetry reduction exactly as on ``explore_protocol``; both are part
+    of the job (and therefore of checkpoint fingerprints), and serial ==
+    sharded holds in every mode because each worker builds its context
+    from the same flags.
     """
 
     protocol: Protocol
@@ -254,6 +260,8 @@ class ExploreJob(_CertifiableJob):
     stop_at_first_violation: bool = True
     prefix_depth: int = 2
     certificates: bool = False
+    packed: bool = True
+    symmetry: bool = False
 
     def _prefixes(self) -> Tuple[Tuple[int, ...], ...]:
         """The canonical unit decomposition (pure, cheap to recompute)."""
@@ -276,6 +284,7 @@ class ExploreJob(_CertifiableJob):
             max_steps=self.max_steps,
             stop_at_first_violation=self.stop_at_first_violation,
             certificates=self.certificates,
+            packed=self.packed, symmetry=self.symmetry,
         )
 
     def describe_range(self, start: int, stop: int) -> str:

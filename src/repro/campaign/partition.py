@@ -18,10 +18,28 @@ from typing import List, Tuple
 CHUNKS_PER_WORKER = 4
 
 
+def _available_cpus() -> int:
+    """CPUs this process may actually run on.
+
+    ``os.cpu_count()`` reports the machine's CPUs even when the process
+    is pinned to fewer by a CPU affinity mask or a container cgroup
+    quota (the normal situation in CI), which would oversubscribe the
+    pool.  ``os.sched_getaffinity(0)`` reflects the mask where the
+    platform has it (Linux); elsewhere fall back to ``os.cpu_count()``.
+    """
+    getaffinity = getattr(os, "sched_getaffinity", None)
+    if getaffinity is not None:
+        try:
+            return len(getaffinity(0)) or 1
+        except OSError:
+            pass
+    return os.cpu_count() or 1
+
+
 def auto_workers(total_units: int) -> int:
-    """Default worker count: one per CPU, never more than units."""
-    cpus = os.cpu_count() or 1
-    return max(1, min(cpus, total_units))
+    """Default worker count: one per available CPU, never more than
+    units."""
+    return max(1, min(_available_cpus(), total_units))
 
 
 def auto_chunk_size(total_units: int, workers: int) -> int:

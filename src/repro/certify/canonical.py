@@ -44,6 +44,10 @@ def canonical_payload(value: Any) -> Any:
             raise CertificateError(
                 f"cannot canonicalize non-finite float {value!r}"
             )
+        # -0.0 == 0.0 but json.dumps spells them "-0.0" and "0.0";
+        # normalize so equal payloads cannot mint different checksums.
+        if value == 0.0:
+            return 0.0
         return value
     if isinstance(value, (list, tuple)):
         return [canonical_payload(item) for item in value]
@@ -104,4 +108,20 @@ def content_checksum(
         raise CertificateError(
             f"cannot serialize claim canonically: {error}"
         ) from error
+    if "-0.0" in claim:
+        # Negative zero is spelled "-0.0" by json.dumps but equals 0.0;
+        # fold it through canonical_payload so equal claims always hash
+        # equal.  (Over-matching on "-0.0" inside a string value just
+        # re-serializes to the same bytes.)
+        claim = json.dumps(
+            {
+                "kind": kind,
+                "schema_version": schema_version,
+                "payload": canonical_payload(payload),
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+            ensure_ascii=True,
+            allow_nan=False,
+        )
     return hashlib.sha256(claim.encode("ascii")).hexdigest()

@@ -128,6 +128,24 @@ def make_certificate(kind: str, payload: Dict[str, Any]) -> Certificate:
         raise CertificateError(
             f"cannot serialize claim canonically: {error}"
         ) from error
+    if "-0.0" in claim:
+        # Rare path: the payload may hold a negative-zero float, which
+        # json.dumps spells "-0.0" while the equal 0.0 is spelled "0.0".
+        # Re-serialize through canonical_payload (which folds -0.0 into
+        # 0.0) so equal payloads always mint equal checksums.  The
+        # substring test can also hit "-0.0" inside a string value;
+        # re-serializing is then a no-op, so over-matching is harmless.
+        claim = json.dumps(
+            {
+                "kind": kind,
+                "schema_version": CERTIFICATE_SCHEMA_VERSION,
+                "payload": canonical_payload(payload),
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+            ensure_ascii=True,
+            allow_nan=False,
+        )
     return Certificate(
         kind=kind,
         schema_version=CERTIFICATE_SCHEMA_VERSION,

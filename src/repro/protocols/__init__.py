@@ -36,6 +36,8 @@ Concrete protocols:
 from repro.protocols.base import (
     DECIDE,
     SCAN,
+    SYMMETRY_FULL,
+    SYMMETRY_IDENTITY,
     UPDATE,
     Protocol,
     protocol_body,
@@ -59,6 +61,8 @@ __all__ = [
     "SCAN",
     "UPDATE",
     "DECIDE",
+    "SYMMETRY_FULL",
+    "SYMMETRY_IDENTITY",
     "protocol_body",
     "run_protocol",
     "solo_run",

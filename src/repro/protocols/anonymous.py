@@ -27,7 +27,7 @@ from __future__ import annotations
 from typing import Any, Optional, Tuple
 
 from repro.errors import ProtocolError, ValidationError
-from repro.protocols.base import DECIDE, SCAN, UPDATE, Protocol
+from repro.protocols.base import DECIDE, SCAN, SYMMETRY_FULL, UPDATE, Protocol
 
 
 def _stronger(a: Tuple[int, Any], b: Tuple[int, Any]) -> Tuple[int, Any]:
@@ -71,6 +71,11 @@ class AnonymousSweepConsensus(Protocol):
         # Anonymous: the index is validated but never stored.
         self.check_index(index)
         return ("scan", 1, value)
+
+    def symmetry(self) -> str:
+        # Anonymous by construction: no state ever records the index, so
+        # every process permutation maps executions to executions.
+        return SYMMETRY_FULL
 
     def poised(self, state: Any) -> Tuple[str, Any]:
         phase, round_no, value = state

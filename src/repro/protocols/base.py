@@ -43,6 +43,12 @@ DECIDE = "decide"
 #: Annotation tag recorded when a protocol process decides.
 DECISION_TAG = "protocol.decision"
 
+#: Symmetry groups a protocol may declare via :meth:`Protocol.symmetry`.
+#: ``identity`` promises nothing; ``full`` declares the protocol anonymous
+#: (any process permutation maps executions to executions).
+SYMMETRY_IDENTITY = "identity"
+SYMMETRY_FULL = "full"
+
 
 class Protocol:
     """Base class for scan/update normal-form protocols.
@@ -90,6 +96,22 @@ class Protocol:
             raise ValidationError(
                 f"{self.name}: process index {index} out of range (n={self.n})"
             )
+
+    def symmetry(self) -> str:
+        """The protocol's process-symmetry group.
+
+        :data:`SYMMETRY_IDENTITY` (the default) promises nothing:
+        processes may behave differently, so configurations that differ
+        by a process permutation are not interchangeable.
+        :data:`SYMMETRY_FULL` declares the protocol *anonymous*:
+        ``initial_state`` validates but never stores the index and
+        transitions depend only on the state, so any permutation of
+        processes maps executions to executions.  Symmetry-reduced
+        exploration (:mod:`repro.analysis.explore`) canonicalizes
+        configurations under the declared group; declaring ``full`` for
+        a protocol that is not anonymous makes that reduction unsound.
+        """
+        return SYMMETRY_IDENTITY
 
 
 def protocol_body(

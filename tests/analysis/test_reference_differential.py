@@ -128,6 +128,26 @@ class TestShardedDifferential:
         assert_reports_identical(merged, reference)
 
 
+class TestUnpackedDifferential:
+    """The ``packed=False`` fallback encoding also equals the reference
+    (the packed default is covered by every other class here; together
+    they pin that the encoding choice is pure key representation)."""
+
+    @pytest.mark.parametrize("case", range(len(CASES)))
+    @pytest.mark.parametrize("stop_first", [True, False])
+    def test_report_identical(self, case, stop_first):
+        factory, inputs, task, bounds = CASES[case]
+        reference = reference_explore_protocol(
+            factory(), inputs, task,
+            stop_at_first_violation=stop_first, **bounds,
+        )
+        unpacked = explore_protocol(
+            factory(), inputs, task,
+            stop_at_first_violation=stop_first, packed=False, **bounds,
+        )
+        assert_reports_identical(unpacked, reference)
+
+
 class TestPrefixDecompositionDifferential:
     @pytest.mark.parametrize("case", range(len(CASES)))
     @pytest.mark.parametrize("depth", [0, 1, 2, 4])

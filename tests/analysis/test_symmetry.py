@@ -1,0 +1,253 @@
+"""Symmetry-reduced and packed exploration: contracts and reduction.
+
+Three layers of guarantees:
+
+* the packed configuration encoding is pure key encoding —
+  ``packed=False`` and ``packed=True`` produce byte-identical reports
+  (the frozen reference suite already pins the packed default against
+  the pre-optimization explorer; here the unpacked path is pinned
+  against the packed one across the same corpus, serially and sharded);
+* symmetry reduction keeps the differential contract: identical reports
+  for identity-group protocols (the reduction must be inert), and for
+  full-symmetric protocols the same safe/unsafe verdict with a
+  counterexample that replays — through the unreduced explorer — to a
+  violating configuration;
+* the reduction is *superlinear* on anonymous protocols: the visited
+  configuration ratio unreduced/reduced grows with n (toward n!), it is
+  not a constant factor.
+"""
+
+import pytest
+
+from repro.analysis import (
+    ExplorationContext,
+    explore_prefix_range,
+    explore_protocol,
+    schedule_prefixes,
+)
+from repro.errors import ValidationError
+from repro.protocols import (
+    AnonymousSweepConsensus,
+    KSetAgreementTask,
+    MinSeen,
+    RacingConsensus,
+    TruncatedProtocol,
+)
+from repro.protocols.base import SYMMETRY_FULL, SYMMETRY_IDENTITY, Protocol
+from tests.analysis.test_explore import DiamondTrap, LastConfigBad
+
+CASES = [
+    (lambda: TruncatedProtocol(RacingConsensus(3), 1), [0, 1, 2],
+     KSetAgreementTask(1), dict(max_configs=100_000, max_steps=20)),
+    (lambda: RacingConsensus(2), [0, 1],
+     KSetAgreementTask(1), dict(max_configs=50_000, max_steps=14)),
+    (lambda: MinSeen(2), [0, 1],
+     KSetAgreementTask(2), dict(max_configs=100_000, max_steps=None)),
+    (lambda: DiamondTrap(), [0, 1],
+     KSetAgreementTask(1), dict(max_configs=200_000, max_steps=3)),
+    (lambda: DiamondTrap(), [0, 1],
+     KSetAgreementTask(1), dict(max_configs=200_000, max_steps=2)),
+    (lambda: LastConfigBad(), [0],
+     KSetAgreementTask(1), dict(max_configs=2, max_steps=None)),
+    (lambda: AnonymousSweepConsensus(2, m=2), [0, 1],
+     KSetAgreementTask(1), dict(max_configs=100_000, max_steps=10)),
+    (lambda: AnonymousSweepConsensus(2, m=2, decision_round=1), [0, 1],
+     KSetAgreementTask(1), dict(max_configs=100_000, max_steps=12)),
+]
+
+
+def assert_reports_identical(a, b):
+    assert a == b
+    assert repr(a) == repr(b)
+    assert a.summary() == b.summary()
+
+
+class TestSymmetryDeclarations:
+    def test_default_group_is_identity(self):
+        assert Protocol().symmetry() == SYMMETRY_IDENTITY
+        assert RacingConsensus(2).symmetry() == SYMMETRY_IDENTITY
+
+    def test_anonymous_declares_full(self):
+        assert AnonymousSweepConsensus(3).symmetry() == SYMMETRY_FULL
+
+    def test_symmetry_requires_packed(self):
+        with pytest.raises(ValidationError):
+            ExplorationContext(
+                RacingConsensus(2), [0, 1], KSetAgreementTask(1),
+                packed=False, symmetry=True,
+            )
+
+    def test_unknown_group_rejected(self):
+        class Weird(RacingConsensus):
+            def symmetry(self):
+                return "dihedral"
+
+        with pytest.raises(ValidationError):
+            ExplorationContext(
+                Weird(2), [0, 1], KSetAgreementTask(1), symmetry=True
+            )
+
+    def test_identity_group_never_activates_reduction(self):
+        ctx = ExplorationContext(
+            RacingConsensus(2), [0, 1], KSetAgreementTask(1), symmetry=True
+        )
+        assert ctx.symmetry_requested and not ctx.symmetry
+
+    def test_context_mode_mismatch_rejected(self):
+        protocol, inputs, task = RacingConsensus(2), [0, 1], KSetAgreementTask(1)
+        ctx = ExplorationContext(protocol, inputs, task)
+        prefixes = schedule_prefixes(protocol, inputs, 1, context=ctx)
+        with pytest.raises(ValidationError):
+            explore_prefix_range(
+                protocol, inputs, task, prefixes, 0, len(prefixes),
+                context=ctx, packed=False,
+            )
+
+
+class TestCanonicalKey:
+    def test_permuted_configurations_share_a_key(self):
+        protocol = AnonymousSweepConsensus(2, m=2)
+        ctx = ExplorationContext(
+            protocol, [0, 1], KSetAgreementTask(1), symmetry=True
+        )
+        # Intern the exact process permutation of a reachable
+        # configuration: a distinct node (different states tuple) that
+        # must share its canonical key.
+        a = ctx.child(ctx.child(ctx.root, 0), 1)
+        states = ctx.states_of(a)
+        b = ctx._intern_scan((states[1], states[0]), ctx.memory_of(a))
+        assert states != ctx.states_of(b)
+        assert a is not b
+        assert ctx.canon_key(a) == ctx.canon_key(b)
+
+    def test_distinct_memory_distinct_key(self):
+        protocol = AnonymousSweepConsensus(2, m=2)
+        ctx = ExplorationContext(
+            protocol, [0, 1], KSetAgreementTask(1), symmetry=True
+        )
+        fresh = ctx.root
+        # scan then write for process 0 changes memory; its canonical
+        # key must differ from the untouched root's.
+        written = ctx.child(ctx.child(fresh, 0), 0)
+        assert ctx.canon_key(written) != ctx.canon_key(fresh)
+
+
+class TestPackedDifferential:
+    """packed=False vs packed=True: byte-identical, serial and sharded."""
+
+    @pytest.mark.parametrize("case", range(len(CASES)))
+    @pytest.mark.parametrize("stop_first", [True, False])
+    def test_serial(self, case, stop_first):
+        factory, inputs, task, bounds = CASES[case]
+        packed = explore_protocol(
+            factory(), inputs, task,
+            stop_at_first_violation=stop_first, **bounds,
+        )
+        unpacked = explore_protocol(
+            factory(), inputs, task,
+            stop_at_first_violation=stop_first, packed=False, **bounds,
+        )
+        assert_reports_identical(packed, unpacked)
+
+    @pytest.mark.parametrize("case", range(len(CASES)))
+    def test_sharded_halves(self, case):
+        factory, inputs, task, bounds = CASES[case]
+        protocol = factory()
+        depth = 2 if bounds["max_steps"] is None else min(
+            2, bounds["max_steps"]
+        )
+        prefixes = schedule_prefixes(protocol, inputs, depth)
+        mid = len(prefixes) // 2
+        merged = {}
+        for packed in (True, False):
+            left = explore_prefix_range(
+                protocol, inputs, task, prefixes, 0, mid,
+                packed=packed, **bounds,
+            )
+            right = explore_prefix_range(
+                protocol, inputs, task, prefixes, mid, len(prefixes),
+                packed=packed, **bounds,
+            )
+            merged[packed] = left.merge(right)
+        assert_reports_identical(merged[True], merged[False])
+
+
+class TestSymmetryDifferential:
+    """Reduced vs unreduced across the corpus (the tentpole contract)."""
+
+    @pytest.mark.parametrize("case", range(len(CASES)))
+    @pytest.mark.parametrize("stop_first", [True, False])
+    def test_contract(self, case, stop_first):
+        factory, inputs, task, bounds = CASES[case]
+        protocol = factory()
+        unreduced = explore_protocol(
+            protocol, inputs, task,
+            stop_at_first_violation=stop_first, **bounds,
+        )
+        reduced = explore_protocol(
+            factory(), inputs, task,
+            stop_at_first_violation=stop_first, symmetry=True, **bounds,
+        )
+        if protocol.symmetry() == SYMMETRY_IDENTITY:
+            # Identity group: the reduction must be inert.
+            assert_reports_identical(unreduced, reduced)
+            return
+        assert reduced.safe == unreduced.safe
+        assert reduced.configurations <= unreduced.configurations
+        if not unreduced.safe:
+            assert reduced.violations
+            assert reduced.counterexample is not None
+            # The reduced counterexample is a genuine schedule: it must
+            # replay to a violating configuration through an unreduced
+            # context.
+            ctx = ExplorationContext(protocol, inputs, task)
+            final = ctx.replay(reduced.counterexample)
+            assert ctx.check(final)
+
+    @pytest.mark.parametrize("case", range(len(CASES)))
+    def test_serial_equals_sharded(self, case):
+        """Serial == sharded must hold in symmetry mode too."""
+        factory, inputs, task, bounds = CASES[case]
+        protocol = factory()
+        depth = 2 if bounds["max_steps"] is None else min(
+            2, bounds["max_steps"]
+        )
+        prefixes = schedule_prefixes(protocol, inputs, depth)
+        serial = explore_prefix_range(
+            protocol, inputs, task, prefixes, 0, len(prefixes),
+            symmetry=True, **bounds,
+        )
+        mid = len(prefixes) // 2
+        left = explore_prefix_range(
+            factory(), inputs, task, prefixes, 0, mid,
+            symmetry=True, **bounds,
+        )
+        right = explore_prefix_range(
+            factory(), inputs, task, prefixes, mid, len(prefixes),
+            symmetry=True, **bounds,
+        )
+        assert_reports_identical(serial, left.merge(right))
+
+
+class TestSuperlinearReduction:
+    def test_ratio_grows_with_n(self):
+        """The visited-configuration reduction grows with n — it is a
+        state-space collapse (toward n!), not a constant factor."""
+        ratios = []
+        for n in (2, 3):
+            protocol = AnonymousSweepConsensus(n, m=2)
+            inputs = [0] + [1] * (n - 1)
+            task = KSetAgreementTask(1)
+            bounds = dict(max_configs=10**7, max_steps=9)
+            full = explore_protocol(protocol, inputs, task, **bounds)
+            reduced = explore_protocol(
+                protocol, inputs, task, symmetry=True, **bounds
+            )
+            # Budget is effectively unbounded; both runs stop at the
+            # same depth horizon, so the comparison is apples-to-apples.
+            assert full.safe == reduced.safe
+            ratios.append(full.configurations / reduced.configurations)
+        assert ratios[1] > ratios[0] > 1.0
+        # n=3 collapses identical-state process pairs aggressively:
+        # well beyond any fixed small constant.
+        assert ratios[1] > 2.0

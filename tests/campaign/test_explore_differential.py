@@ -15,6 +15,7 @@ import pytest
 from repro.analysis import explore_protocol
 from repro.campaign import ExploreJob, explore_campaign, run_campaign
 from repro.protocols import (
+    AnonymousSweepConsensus,
     KSetAgreementTask,
     MinSeen,
     RacingConsensus,
@@ -110,3 +111,68 @@ class TestExploreDifferential:
         )
         result = run_campaign(job, workers=2, chunk_size=2)
         assert_reports_identical(result.report, serial)
+
+
+class TestModeDifferential:
+    """serial == sharded must survive the encoding and symmetry modes:
+    the campaign engine threads ``packed``/``symmetry`` through
+    :class:`~repro.campaign.jobs.ExploreJob` into every worker, and the
+    merged report must stay byte-identical to a serial run in the same
+    mode — and, for ``packed``, to the default mode too."""
+
+    @pytest.mark.parametrize("case", range(len(EXPLORE_CASES)))
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_unpacked_sharded_matches_packed_serial(self, case, workers):
+        make, inputs, task, bounds, _ = EXPLORE_CASES[case]
+        serial = explore_protocol(
+            make(), inputs, task, prefix_depth=2, **bounds
+        )
+        result = explore_campaign(
+            make(), inputs, task, prefix_depth=2, workers=workers,
+            chunk_size=2, packed=False, **bounds
+        )
+        assert_reports_identical(result.report, serial)
+
+    @pytest.mark.parametrize("workers", WORKER_GRID)
+    def test_symmetry_sharded_matches_symmetry_serial(self, workers):
+        protocol = AnonymousSweepConsensus(3, m=2)
+        inputs, task = [0, 1, 1], KSetAgreementTask(1)
+        bounds = dict(max_configs=300_000, max_steps=12)
+        serial = explore_protocol(
+            protocol, inputs, task, prefix_depth=2, symmetry=True,
+            **bounds
+        )
+        result = explore_campaign(
+            protocol, inputs, task, prefix_depth=2, workers=workers,
+            chunk_size=2, symmetry=True, **bounds
+        )
+        assert_reports_identical(result.report, serial)
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_symmetry_on_identity_protocol_is_inert_sharded(self, workers):
+        make, inputs, task, bounds, _ = EXPLORE_CASES[1]
+        plain = explore_campaign(
+            make(), inputs, task, prefix_depth=2, workers=workers,
+            chunk_size=2, **bounds
+        )
+        requested = explore_campaign(
+            make(), inputs, task, prefix_depth=2, workers=workers,
+            chunk_size=2, symmetry=True, **bounds
+        )
+        assert_reports_identical(requested.report, plain.report)
+
+    def test_explore_job_carries_modes_into_checkpoint_fingerprint(self):
+        from repro.campaign.checkpoint import job_fingerprint
+
+        make, inputs, task, bounds, _ = EXPLORE_CASES[1]
+        jobs = [
+            ExploreJob(protocol=make(), inputs=tuple(inputs), task=task,
+                       prefix_depth=2, **bounds),
+            ExploreJob(protocol=make(), inputs=tuple(inputs), task=task,
+                       prefix_depth=2, packed=False, **bounds),
+            ExploreJob(protocol=make(), inputs=tuple(inputs), task=task,
+                       prefix_depth=2, symmetry=True, **bounds),
+        ]
+        prints = {job_fingerprint(job, 4, 1) for job in jobs}
+        # A checkpoint written in one mode must not resume in another.
+        assert len(prints) == 3

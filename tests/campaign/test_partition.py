@@ -1,0 +1,74 @@
+"""auto_workers sizes worker pools from the *usable* CPUs.
+
+Regression suite for the affinity bug: ``os.cpu_count()`` reports every
+core in the machine, but under cgroup CPU sets / container pinning /
+``taskset`` the process may only run on a subset, and sizing a process
+pool at the machine count oversubscribes the allowed cores.  The fix
+prefers ``len(os.sched_getaffinity(0))`` and only falls back to
+``os.cpu_count()`` on platforms without affinity (macOS, Windows) or
+when the affinity call itself fails.
+"""
+
+import os
+
+import pytest
+
+from repro.campaign.partition import auto_workers, plan_chunks
+
+
+class TestAutoWorkersAffinity:
+    def test_prefers_affinity_mask_over_machine_cpu_count(self, monkeypatch):
+        """Pinned to 2 cores on a 64-core box: 2 workers, not 64."""
+        monkeypatch.setattr(os, "sched_getaffinity", lambda pid: {3, 7}, raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 64)
+        assert auto_workers(1_000) == 2
+
+    def test_affinity_wider_than_units_still_bounded_by_units(self, monkeypatch):
+        monkeypatch.setattr(os, "sched_getaffinity", lambda pid: set(range(16)), raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 16)
+        assert auto_workers(3) == 3
+
+    def test_platform_without_affinity_falls_back_to_cpu_count(self, monkeypatch):
+        monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 5)
+        assert auto_workers(1_000) == 5
+
+    def test_affinity_oserror_falls_back_to_cpu_count(self, monkeypatch):
+        def broken(pid):
+            raise OSError("cgroup went away")
+
+        monkeypatch.setattr(os, "sched_getaffinity", broken, raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 4)
+        assert auto_workers(1_000) == 4
+
+    def test_degenerate_probes_still_yield_one_worker(self, monkeypatch):
+        """Empty affinity set or cpu_count() == None must never size a
+        pool at zero."""
+        monkeypatch.setattr(os, "sched_getaffinity", lambda pid: set(), raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: None)
+        assert auto_workers(10) == 1
+        monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+        assert auto_workers(10) == 1
+
+    def test_zero_units_is_one_worker(self, monkeypatch):
+        monkeypatch.setattr(os, "sched_getaffinity", lambda pid: set(range(8)), raising=False)
+        assert auto_workers(0) == 1
+
+    @pytest.mark.skipif(
+        not hasattr(os, "sched_getaffinity"),
+        reason="platform has no sched_getaffinity",
+    )
+    def test_live_probe_matches_current_affinity(self):
+        usable = len(os.sched_getaffinity(0))
+        assert auto_workers(10**9) == max(1, usable)
+
+
+class TestPlanChunksAgainstAutoWorkers:
+    def test_chunks_cover_units_for_auto_sized_pools(self, monkeypatch):
+        monkeypatch.setattr(os, "sched_getaffinity", lambda pid: {0, 1, 2}, raising=False)
+        workers = auto_workers(10)
+        chunks = plan_chunks(10, workers)
+        covered = [
+            unit for start, stop in chunks for unit in range(start, stop)
+        ]
+        assert covered == list(range(10))

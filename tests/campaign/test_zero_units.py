@@ -1,0 +1,78 @@
+"""Zero-unit campaigns: the degenerate case is a first-class result.
+
+A campaign over an empty seed list (``--seeds 0`` at the CLI, an empty
+sweep grid programmatically) has nothing to do — and "nothing to do"
+must mean *complete success with the merge identity*, not a crash, a
+hang, or a silently absent checkpoint:
+
+* the merged report is exactly ``job.empty_report()`` (finalized);
+* ``complete`` is ``True`` and ``strict=True`` does not raise;
+* a checkpoint path still gets a valid header-only journal (written at
+  :class:`~repro.campaign.checkpoint.CheckpointWriter` construction,
+  so even a zero-chunk campaign leaves a resumable artifact);
+* resuming from that journal replays to the same empty result, and a
+  *different* job is still rejected on the fingerprint.
+"""
+
+import pytest
+
+from repro.campaign import run_campaign
+from repro.campaign.checkpoint import job_fingerprint, load_checkpoint
+from repro.campaign.jobs import SweepProtocolJob
+from repro.errors import CheckpointError
+from repro.protocols import KSetAgreementTask, MinSeen
+
+
+def zero_unit_job():
+    return SweepProtocolJob(
+        protocol=MinSeen(3, rounds=2), inputs=(4, 1, 9),
+        seeds=(), task=KSetAgreementTask(3),
+    )
+
+
+class TestZeroUnitCampaign:
+    def test_completes_with_the_merge_identity(self):
+        job = zero_unit_job()
+        result = run_campaign(job, workers=4, chunk_size=3)
+        assert result.complete
+        assert result.missing == ()
+        assert result.report == job.finalize(job.empty_report())
+        assert result.report.runs == 0
+
+    def test_strict_mode_does_not_raise(self):
+        result = run_campaign(zero_unit_job(), strict=True)
+        assert result.complete
+
+    def test_summary_renders_without_partial_banner(self):
+        result = run_campaign(zero_unit_job())
+        assert "PARTIAL RESULT" not in result.summary()
+
+    def test_checkpoint_writes_header_only_journal(self, tmp_path):
+        path = tmp_path / "zero.ckpt"
+        job = zero_unit_job()
+        run_campaign(job, checkpoint=str(path))
+        assert path.exists()
+        state = load_checkpoint(str(path))
+        assert state.total_units == 0
+        assert state.records == {}
+        assert state.fingerprint == job_fingerprint(job, 0, 1)
+
+    def test_resume_from_zero_unit_checkpoint(self, tmp_path):
+        path = tmp_path / "zero.ckpt"
+        job = zero_unit_job()
+        first = run_campaign(job, checkpoint=str(path))
+        resumed = run_campaign(
+            job, checkpoint=str(path), resume=True, strict=True
+        )
+        assert resumed.complete
+        assert resumed.report == first.report
+
+    def test_resume_rejects_a_different_job(self, tmp_path):
+        path = tmp_path / "zero.ckpt"
+        run_campaign(zero_unit_job(), checkpoint=str(path))
+        other = SweepProtocolJob(
+            protocol=MinSeen(3, rounds=2), inputs=(4, 1, 9),
+            seeds=(0,), task=KSetAgreementTask(3),
+        )
+        with pytest.raises(CheckpointError):
+            run_campaign(other, checkpoint=str(path), resume=True)

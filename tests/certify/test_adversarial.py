@@ -20,7 +20,11 @@ from repro.analysis.linearizability import (
     certified_linearization,
 )
 from repro.certify.canonical import canonical_json
-from repro.certify.certificates import make_certificate, to_json
+from repro.certify.certificates import (
+    KIND_SWEEP_RUN,
+    make_certificate,
+    to_json,
+)
 from repro.certify.emit import SOURCE_FUZZ_SHRINK
 from repro.certify.verify import (
     REASON_CHECKSUM,
@@ -293,3 +297,93 @@ class TestOtherKindMutations:
         verdict = verify(forged, deep=True)
         assert not verdict.accepted
         assert verdict.reason == REASON_RUN_MISMATCH, verdict
+
+
+class TestCanonicalEdgeCases:
+    """Scalar edge cases a dishonest (or merely sloppy) emitter could
+    exploit to mint two spellings of one claim — or one spelling of two
+    different claims."""
+
+    def test_negative_zero_and_zero_mint_equal_certificates(self):
+        """-0.0 == 0.0, so the claims are equal and must hash equal;
+        before normalization json.dumps spelled them "-0.0" vs "0.0"."""
+        neg = make_certificate(
+            KIND_SWEEP_RUN, {"seed": 1, "rate": -0.0}
+        )
+        pos = make_certificate(
+            KIND_SWEEP_RUN, {"seed": 1, "rate": 0.0}
+        )
+        assert neg.checksum == pos.checksum
+        assert to_json(neg) == to_json(pos)
+        assert "-0.0" not in to_json(neg)
+
+    def test_negative_zero_normalized_in_nested_containers(self):
+        nested_neg = make_certificate(
+            KIND_SWEEP_RUN,
+            {"grid": [[-0.0, 1.5], {"x": -0.0}], "tag": "a"},
+        )
+        nested_pos = make_certificate(
+            KIND_SWEEP_RUN,
+            {"grid": [[0.0, 1.5], {"x": 0.0}], "tag": "a"},
+        )
+        assert nested_neg.checksum == nested_pos.checksum
+
+    def test_checksum_helper_agrees_on_negative_zero(self):
+        """content_checksum serializes single-pass (bypassing
+        canonical_payload) and needs its own -0.0 fold; it must agree
+        with make_certificate byte-for-byte."""
+        from repro.certify.canonical import content_checksum
+        from repro.certify.certificates import (
+            CERTIFICATE_SCHEMA_VERSION,
+        )
+
+        payload = {"values": [-0.0, 2.0]}
+        minted = make_certificate(KIND_SWEEP_RUN, payload)
+        assert minted.checksum == content_checksum(
+            KIND_SWEEP_RUN, CERTIFICATE_SCHEMA_VERSION, payload
+        )
+        assert minted.checksum == content_checksum(
+            KIND_SWEEP_RUN, CERTIFICATE_SCHEMA_VERSION,
+            {"values": [0.0, 2.0]},
+        )
+
+    def test_string_containing_minus_zero_spelling_is_untouched(self):
+        """The "-0.0" fold must not rewrite string *values* that merely
+        contain the spelling."""
+        certificate = make_certificate(
+            KIND_SWEEP_RUN, {"note": "rate was -0.0 exactly"}
+        )
+        assert certificate.payload["note"] == "rate was -0.0 exactly"
+        assert "-0.0" in to_json(certificate)
+
+    def test_bool_and_int_values_are_distinct_claims(self):
+        """True == 1 in Python but "true" != "1" in JSON: the claims
+        are distinguishable on disk, so they must hash apart — a
+        verifier comparing payloads sees different claims."""
+        as_bool = make_certificate(KIND_SWEEP_RUN, {"flag": True})
+        as_int = make_certificate(KIND_SWEEP_RUN, {"flag": 1})
+        assert as_bool.checksum != as_int.checksum
+        assert as_bool.payload["flag"] is True
+        assert as_int.payload["flag"] == 1
+        assert as_int.payload["flag"] is not True
+
+    def test_bool_dict_key_rejected_not_coerced(self):
+        """json.dumps would silently coerce True → "true" as a key;
+        emit must refuse instead of minting an ambiguous claim."""
+        import pytest
+
+        from repro.errors import CertificateError
+
+        with pytest.raises(CertificateError):
+            make_certificate(KIND_SWEEP_RUN, {True: 1})
+        with pytest.raises(CertificateError):
+            make_certificate(KIND_SWEEP_RUN, {"ok": {1: "x"}})
+
+    def test_non_finite_floats_rejected(self):
+        import pytest
+
+        from repro.errors import CertificateError
+
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(CertificateError):
+                make_certificate(KIND_SWEEP_RUN, {"rate": bad})

@@ -186,3 +186,96 @@ class TestBenchCli:
             "--out", str(tmp_path),
         ]) == 2
         assert "unknown experiment" in capsys.readouterr().err
+
+
+class TestCliModes:
+    """--symmetry / --packed wiring and the anonymous scenario."""
+
+    def test_explore_anonymous_scenario_finds_the_m_lt_n_attack(self, capsys):
+        assert main([
+            "explore", "--scenario", "anonymous", "--workers", "2",
+            "--verify-serial",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "anonymous-sweep" in out
+        assert "violation" in out
+        assert "counterexample schedule" in out
+        assert "serial verification: sharded report identical" in out
+
+    def test_explore_symmetry_reduces_and_agrees(self, capsys):
+        assert main([
+            "explore", "--scenario", "anonymous", "--workers", "2",
+            "--symmetry", "--verify-serial",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "symmetry-reduced" in out
+        assert "violation" in out
+        assert "serial verification: sharded report identical" in out
+
+    def test_explore_no_packed_matches_default(self, capsys):
+        results = {}
+        for flags in ([], ["--no-packed"]):
+            assert main([
+                "explore", "--scenario", "racing", "--workers", "2",
+                "--verify-serial", *flags,
+            ]) == 0
+            out = capsys.readouterr().out
+            assert "serial verification: sharded report identical" in out
+            # The scientific summary line must not depend on the
+            # encoding; strip the telemetry (timing) lines.
+            results[tuple(flags)] = [
+                line for line in out.splitlines()
+                if "configurations explored" in line
+            ]
+        assert results[()] == results[("--no-packed",)]
+        assert main(["explore", "--scenario", "racing", "--no-packed",
+                     "--symmetry"]) == 2
+        assert "symmetry" in capsys.readouterr().err
+
+    def test_campaign_zero_seeds_zero_fuzz_completes(self, capsys):
+        """The zero-unit degenerate campaign is complete success, and
+        the must-violate fuzz expectation is vacuous at 0 runs."""
+        assert main([
+            "campaign", "--seeds", "0", "--fuzz-runs", "0",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "campaign complete: all expectations held" in out
+
+
+class TestConsoleScript:
+    """`prog` and the packaged `repro` entry point are one name."""
+
+    def test_help_text_uses_the_repro_program_name(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("usage: repro")
+        assert "python -m repro" not in out.split("\n\n")[0]
+
+    def test_subcommand_usage_lines_use_repro(self, capsys):
+        assert main(["explore", "--workers", "0"]) == 2
+        capsys.readouterr()
+        with pytest.raises(SystemExit):
+            main(["explore", "--scenario", "bogus"])
+        err = capsys.readouterr().err
+        assert "usage: repro explore" in err
+
+    def test_setup_cfg_entry_point_targets_cli_main(self):
+        import configparser
+        import importlib
+        import os
+
+        config = configparser.ConfigParser()
+        config.read(os.path.join(
+            os.path.dirname(__file__), os.pardir, "setup.cfg"
+        ))
+        scripts = config["options.entry_points"]["console_scripts"]
+        entries = dict(
+            line.replace(" ", "").split("=", 1)
+            for line in scripts.strip().splitlines()
+        )
+        assert "repro" in entries
+        module_name, function_name = entries["repro"].split(":")
+        module = importlib.import_module(module_name)
+        assert getattr(module, function_name) is main
