@@ -16,6 +16,7 @@ same entry point).  Usage::
                   [--checkpoint PATH] [--resume [PATH]] [--strict]
     repro certify emit [--scenario falsify] --out DIR
     repro certify verify [PATH ...] [--dir DIR] [--deep]
+    repro serve --state DIR [--port 8765] [--workers N]
     repro bench run [--quick] [--experiments E13,E14]
     repro bench compare [--baseline baselines/]
 
@@ -42,7 +43,9 @@ rejecting worker chunks whose certificates fail to replay;
 ``bench`` measures the EXPERIMENTS.md
 experiments (E1–E16), writes schema-versioned ``BENCH_*.json`` artifacts,
 and regression-gates them against a committed baseline (see
-docs/BENCHMARKS.md).
+docs/BENCHMARKS.md); ``serve`` runs the campaign engine as a long-lived
+multi-tenant job service — submit sweeps over HTTP, stream progress,
+kill and restart the server without losing work (docs/SERVICE.md).
 
 Both campaign commands are fault tolerant: failed or hung chunks are
 retried with backoff (``--max-retries``), completed chunks are journaled
@@ -57,6 +60,7 @@ from __future__ import annotations
 
 import argparse
 import math
+import os
 import sys
 
 
@@ -213,6 +217,21 @@ def _resolve_fault_tolerance(args):
     return checkpoint, resume, RetryPolicy(max_retries=args.max_retries)
 
 
+def _notice_fresh_resume(checkpoint, resume) -> None:
+    """Announce a ``--resume`` whose journal doesn't exist yet.
+
+    First boots of scripted runs (``repro campaign --checkpoint P
+    --resume``) hit this path before any journal has been written; the
+    engine starts fresh and creates the journal (and any missing parent
+    directories) rather than failing, and this notice says so — silence
+    here would look like chunks were being skipped.
+    """
+    if resume and checkpoint and not os.path.exists(checkpoint):
+        print(f"notice: no checkpoint found at {checkpoint}; starting "
+              f"fresh (the journal will be created there)",
+              file=sys.stderr)
+
+
 def cmd_campaign(args) -> int:
     from repro.campaign import (
         fuzz_campaign,
@@ -246,6 +265,7 @@ def cmd_campaign(args) -> int:
         checkpoint = (
             f"{base_checkpoint}.{name}" if base_checkpoint else None
         )
+        _notice_fresh_resume(checkpoint, resume)
         return dict(checkpoint=checkpoint, resume=resume, retry=retry)
 
     seeds = range(args.seeds)
@@ -361,6 +381,7 @@ def cmd_explore(args) -> int:
     if isinstance(resolved, int):
         return resolved
     checkpoint, resume, retry = resolved
+    _notice_fresh_resume(checkpoint, resume)
 
     scenarios = {
         # name: (protocol, inputs, task, expect_safe)
@@ -429,6 +450,12 @@ def cmd_explore(args) -> int:
             print(f"      sharded: {result.report!r}")
             print(f"      serial:  {serial!r}")
     return 0 if failures == 0 else 1
+
+
+def cmd_serve(args) -> int:
+    from repro.serve.service import serve_main
+
+    return serve_main(args)
 
 
 def _add_fault_tolerance_args(subparser) -> None:
@@ -551,6 +578,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     from repro.bench.cli import add_bench_parser
     from repro.certify.cli import add_certify_parser
+    from repro.serve.service import add_serve_arguments
+
+    serve = sub.add_parser(
+        "serve", help="run the campaign job service (docs/SERVICE.md)"
+    )
+    add_serve_arguments(serve)
+    serve.set_defaults(func=cmd_serve)
 
     add_bench_parser(sub)
     add_certify_parser(sub)

@@ -27,6 +27,11 @@ deterministic makes recovery exact.
   per-oracle wrappers (:func:`sweep_simulation_campaign`,
   :func:`sweep_protocol_campaign`, :func:`fuzz_campaign`,
   :func:`explore_campaign`);
+* :mod:`repro.campaign.pump` — the chunk-granular campaign pump
+  (:class:`~repro.campaign.pump.CampaignPump`): setup, per-chunk
+  dispatch, and the merge fold as separable steps, so a long-lived
+  scheduler (:mod:`repro.serve`) can interleave many campaigns over
+  one shared pool;
 * :mod:`repro.campaign.jobs` — picklable job descriptions workers run;
 * :mod:`repro.campaign.partition` — workers/chunk-size policy;
 * :mod:`repro.campaign.telemetry` — per-chunk timing, retries, and
@@ -77,6 +82,14 @@ from repro.campaign.partition import (
     auto_workers,
     plan_chunks,
 )
+from repro.campaign.pump import (
+    CampaignPump,
+    ChunkTask,
+    PreparedCampaign,
+    execute_chunk,
+    merge_campaign,
+    prepare_campaign,
+)
 from repro.campaign.telemetry import (
     CampaignTelemetry,
     ChunkFailure,
@@ -85,6 +98,12 @@ from repro.campaign.telemetry import (
 
 __all__ = [
     "CampaignResult",
+    "CampaignPump",
+    "ChunkTask",
+    "PreparedCampaign",
+    "execute_chunk",
+    "merge_campaign",
+    "prepare_campaign",
     "run_campaign",
     "sweep_simulation_campaign",
     "sweep_protocol_campaign",

@@ -261,8 +261,14 @@ class CheckpointWriter:
         self._recorded.add(index)
 
     def _flush(self) -> None:
-        """Write the journal image to tmp, fsync, and rename into place."""
+        """Write the journal image to tmp, fsync, and rename into place.
+
+        Creates missing parent directories on the way: a first-boot
+        ``--resume state/run.ckpt`` (the natural service path) starts
+        fresh and creates the journal instead of failing.
+        """
         directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
         fd, tmp_path = tempfile.mkstemp(
             prefix=os.path.basename(self.path) + ".", suffix=".tmp",
             dir=directory,

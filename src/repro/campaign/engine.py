@@ -43,7 +43,6 @@ from __future__ import annotations
 
 import heapq
 import multiprocessing
-import os
 import pickle
 import time
 from concurrent.futures import (
@@ -55,20 +54,13 @@ from concurrent.futures import (
 from dataclasses import dataclass
 from typing import (
     Any,
-    Callable,
     Dict,
     List,
     Optional,
     Sequence,
-    Set,
     Tuple,
 )
 
-from repro.campaign.checkpoint import (
-    CheckpointWriter,
-    job_fingerprint,
-    load_checkpoint,
-)
 from repro.campaign.faults import (
     CampaignKilled,
     ChunkTimeout,
@@ -83,13 +75,18 @@ from repro.campaign.jobs import (
     SweepProtocolJob,
     SweepSimulationJob,
 )
-from repro.campaign.partition import ShardingPolicy, plan_chunks
+from repro.campaign.pump import (
+    _ChunkOutcomes,
+    _tag_mode,
+    execute_chunk,
+    merge_campaign,
+    prepare_campaign,
+)
 from repro.campaign.telemetry import (
     CampaignTelemetry,
     ChunkFailure,
-    ChunkStats,
 )
-from repro.errors import CampaignError, CertificateError, CheckpointError
+from repro.errors import CampaignError
 
 
 @dataclass
@@ -130,38 +127,6 @@ class CampaignResult:
         return "\n".join(lines)
 
 
-def _execute_chunk(
-    job: Any,
-    index: int,
-    start: int,
-    stop: int,
-    attempt: int = 0,
-    faults: Optional[FaultPlan] = None,
-    clock: Optional[Clock] = None,
-) -> Tuple[int, Any, ChunkStats]:
-    """Run one chunk attempt, timing its body; executes in worker or parent.
-
-    Fault injection happens here — inside the worker on the pooled
-    path, on the calling thread in-process — so both modes observe
-    identical faults for the same ``(index, attempt)``.
-    """
-    wall_start = time.perf_counter()
-    cpu_start = time.process_time()
-    if faults is not None:
-        faults.apply(index, attempt, clock)
-    report = job.run_range(start, stop)
-    stats = ChunkStats(
-        index=index,
-        start=start,
-        stop=stop,
-        wall_seconds=time.perf_counter() - wall_start,
-        cpu_seconds=time.process_time() - cpu_start,
-        worker=f"pid:{os.getpid()}",
-        attempts=attempt + 1,
-    )
-    return index, report, stats
-
-
 def _pool_context() -> "multiprocessing.context.BaseContext":
     """The multiprocessing context to use: fork when the platform has it.
 
@@ -173,79 +138,6 @@ def _pool_context() -> "multiprocessing.context.BaseContext":
     if "fork" in methods:
         return multiprocessing.get_context("fork")
     return multiprocessing.get_context()
-
-
-class _ChunkOutcomes:
-    """Mutable accumulator shared by both execution paths.
-
-    Collects successful chunk results, permanent failures, the retry
-    count, and the set of failure-cause type names (used to tag
-    ``telemetry.mode``).
-    """
-
-    def __init__(
-        self,
-        chunks: Sequence[Tuple[int, int]],
-        retry: RetryPolicy,
-        record: Callable[[int, Any], None],
-        verify_certificates: bool = False,
-    ):
-        self.chunks = chunks
-        self.retry = retry
-        self.record = record
-        self.verify_certificates = verify_certificates
-        self.certificates_verified = 0
-        self.results: Dict[int, Tuple[Any, ChunkStats]] = {}
-        self.failures: Dict[int, ChunkFailure] = {}
-        self.retries = 0
-        self.causes: Set[str] = set()
-
-    def verify_chunk(self, report: Any) -> None:
-        """Re-check a chunk report's certificates before accepting it.
-
-        The verifier is independent of the searchers, so a worker
-        cannot vouch for its own result; a rejected certificate is a
-        :class:`~repro.errors.CertificateError`, which both execution
-        paths treat as an ordinary (retryable) chunk failure.
-        """
-        if not self.verify_certificates:
-            return
-        certificates = getattr(report, "certificates", None) or []
-        if not certificates:
-            return
-        from repro.certify.verify import verify_certificates as check
-
-        verdict = check(certificates)
-        if not verdict.accepted:
-            raise CertificateError(
-                f"chunk certificate rejected ({verdict.reason}): "
-                f"{verdict.detail}"
-            )
-        self.certificates_verified += len(certificates)
-
-    def succeed(self, index: int, report: Any, stats: ChunkStats) -> None:
-        """Accept a chunk result and journal it to the checkpoint."""
-        self.results[index] = (report, stats)
-        self.record(index, report)
-
-    def fail(self, index: int, attempt: int, error: BaseException) -> bool:
-        """Register a failed attempt.
-
-        Returns ``True`` when the chunk should be retried (and counts
-        the retry); records a permanent :class:`ChunkFailure` and
-        returns ``False`` once the retry budget is spent.
-        """
-        self.causes.add(type(error).__name__)
-        if attempt + 1 < self.retry.max_attempts:
-            self.retries += 1
-            return True
-        start, stop = self.chunks[index]
-        kind = "timeout" if isinstance(error, ChunkTimeout) else "error"
-        self.failures[index] = ChunkFailure(
-            index=index, start=start, stop=stop, attempts=attempt + 1,
-            error=f"{type(error).__name__}: {error}", kind=kind,
-        )
-        return False
 
 
 def _run_chunks_pooled(
@@ -278,7 +170,7 @@ def _run_chunks_pooled(
         def submit(index: int, attempt: int) -> None:
             start, stop = chunks[index]
             future = pool.submit(
-                _execute_chunk, job, index, start, stop, attempt, faults
+                execute_chunk, job, index, start, stop, attempt, faults
             )
             deadline = (
                 clock.now() + retry.timeout
@@ -380,7 +272,7 @@ def _run_chunks_inprocess(
         attempt = 0
         while True:
             try:
-                _index, report, stats = _execute_chunk(
+                _index, report, stats = execute_chunk(
                     job, index, start, stop, attempt, faults, clock
                 )
                 outcomes.verify_chunk(report)
@@ -394,20 +286,6 @@ def _run_chunks_inprocess(
             else:
                 outcomes.succeed(index, report, stats)
                 break
-
-
-def _tag_mode(
-    mode: str, retries: int, failures: int, causes: Set[str]
-) -> str:
-    """Annotate the telemetry mode with retry/failure causes, if any."""
-    notes = []
-    if retries:
-        notes.append(f"retries: {retries}")
-    if failures:
-        notes.append(f"failed chunks: {failures}")
-    if notes and causes:
-        notes.append("causes: " + ",".join(sorted(causes)))
-    return f"{mode} ({'; '.join(notes)})" if notes else mode
 
 
 #: Exception types that mean "the pool itself is unusable" — the
@@ -473,88 +351,20 @@ def run_campaign(
       and therefore the checkpoint fingerprint — so a campaign must be
       resumed with the same setting it started with.
     """
-    total = job.total_units()
     retry = RetryPolicy() if retry is None else retry
     clock = SystemClock() if clock is None else clock
-    if verify_certificates:
-        with_certificates = getattr(job, "with_certificates", None)
-        if with_certificates is not None:
-            job = with_certificates(True)
-
-    state = None
-    if checkpoint is not None and resume and os.path.exists(checkpoint):
-        state = load_checkpoint(checkpoint)
-        if chunk_size is not None and chunk_size != state.chunk_size:
-            raise CheckpointError(
-                f"checkpoint {checkpoint!r} was written with "
-                f"chunk_size={state.chunk_size}, but chunk_size="
-                f"{chunk_size} was requested; resume must reuse the "
-                f"original chunk geometry"
-            )
-        chunk_size = state.chunk_size
-
-    policy = ShardingPolicy.resolve(total, workers, chunk_size)
-    chunks = plan_chunks(total, policy.chunk_size)
-    fingerprint = job_fingerprint(job, total, policy.chunk_size)
-
-    completed: Dict[int, Any] = {}
-    if state is not None:
-        if state.total_units != total:
-            raise CheckpointError(
-                f"checkpoint {checkpoint!r} covers {state.total_units} "
-                f"units, but this campaign has {total}"
-            )
-        if state.fingerprint != fingerprint:
-            raise CheckpointError(
-                f"checkpoint {checkpoint!r} fingerprint "
-                f"{state.fingerprint} does not match this campaign "
-                f"({fingerprint}); refusing to merge reports from a "
-                f"different job"
-            )
-        for index, chunk_record in state.records.items():
-            if index >= len(chunks) or (
-                chunk_record.start, chunk_record.stop
-            ) != chunks[index]:
-                raise CheckpointError(
-                    f"checkpoint {checkpoint!r} chunk {index} range "
-                    f"({chunk_record.start}, {chunk_record.stop}) does "
-                    f"not match the campaign's chunk plan"
-                )
-            completed[index] = chunk_record.report
-
-    resumed_certificates = 0
-    if verify_certificates and completed:
-        # Resumed chunks came from a journal a (possibly different)
-        # worker wrote; re-verify them and re-run any that fail rather
-        # than merging an unvouched-for report.
-        from repro.certify.verify import verify_certificates as check
-
-        for index in sorted(completed):
-            certificates = getattr(
-                completed[index], "certificates", None
-            ) or []
-            if not certificates:
-                continue
-            if check(certificates).accepted:
-                resumed_certificates += len(certificates)
-            else:
-                del completed[index]
-
-    writer = None
-    if checkpoint is not None:
-        writer = CheckpointWriter(
-            checkpoint, fingerprint, total, policy.chunk_size,
-            state=state,
-        )
-
-    def record(index: int, report: Any) -> None:
-        if writer is not None:
-            start, stop = chunks[index]
-            writer.record_chunk(index, start, stop, report)
-
-    remaining = [i for i in range(len(chunks)) if i not in completed]
+    prepared = prepare_campaign(
+        job, workers, chunk_size, checkpoint=checkpoint, resume=resume,
+        verify_certificates=verify_certificates,
+    )
+    job = prepared.job
+    policy = prepared.policy
+    chunks = prepared.chunks
+    completed = prepared.completed
+    remaining = prepared.remaining
     outcomes = _ChunkOutcomes(
-        chunks, retry, record, verify_certificates=verify_certificates
+        chunks, retry, prepared.record,
+        verify_certificates=verify_certificates,
     )
 
     wall_start = time.perf_counter()
@@ -603,32 +413,12 @@ def run_campaign(
         )
     wall_seconds = time.perf_counter() - wall_start
 
-    report = job.empty_report()
-    stats_in_order: List[ChunkStats] = []
-    missing: List[str] = []
-    for index in range(len(chunks)):
-        if index in completed:
-            report = report.merge(completed[index])
-        elif index in outcomes.results:
-            chunk_report, stats = outcomes.results[index]
-            report = report.merge(chunk_report)
-            stats_in_order.append(stats)
-        else:
-            failure = outcomes.failures[index]
-            missing.append(
-                f"{job.describe_range(failure.start, failure.stop)} "
-                f"(chunk {failure.index} failed after "
-                f"{failure.attempts} attempt"
-                f"{'s' if failure.attempts != 1 else ''}: "
-                f"{failure.error})"
-            )
-    report = job.finalize(report)
-    # The finalized report may carry certificates no chunk ever did —
-    # sweeps mint at finalize, fuzz re-derives its shrink certificate —
-    # so the gate audits the merged result as well.  A rejection here
-    # is not a retryable chunk failure; it propagates as a
-    # CertificateError because the coordinator itself minted the lie.
-    outcomes.verify_chunk(report)
+    # The ascending merge fold (and the coordinator-level certificate
+    # audit) is shared with the chunk-granular pump, so the service
+    # path and this blocking path cannot drift.
+    report, stats_in_order, missing = merge_campaign(
+        job, chunks, completed, outcomes
+    )
 
     telemetry = CampaignTelemetry(
         workers=policy.workers,
@@ -648,7 +438,8 @@ def run_campaign(
             chunks[i][1] - chunks[i][0] for i in completed
         ),
         certificates_verified=(
-            outcomes.certificates_verified + resumed_certificates
+            outcomes.certificates_verified
+            + prepared.resumed_certificates
         ),
     )
     result = CampaignResult(

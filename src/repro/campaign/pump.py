@@ -1,0 +1,610 @@
+"""Chunk-granular campaign execution: the pump behind the engine.
+
+:func:`~repro.campaign.engine.run_campaign` drives a campaign from
+start to finish on one call stack, which is the right shape for a CLI
+— but a long-lived service (:mod:`repro.serve`) must interleave chunks
+from *many* campaigns over one shared worker pool.  This module is the
+refactor that makes both possible from the same pieces:
+
+* :func:`prepare_campaign` — everything that happens before the first
+  chunk runs: resolve the sharding policy, plan chunks, validate and
+  replay a resume journal (re-verifying resumed certificates under the
+  untrusted-worker gate), and open the checkpoint writer.
+* :func:`execute_chunk` — run one chunk attempt (in a pool worker or on
+  the calling thread) and time it.
+* :func:`merge_campaign` — the ascending, deterministic merge fold that
+  turns chunk reports back into one report, naming missing ranges.
+* :class:`CampaignPump` — a non-blocking state machine over the three:
+  hand out :class:`ChunkTask`\\ s one at a time (honoring retry backoff
+  deadlines), accept completions/failures, and finalize into the same
+  :class:`~repro.campaign.engine.CampaignResult` a blocking run would
+  produce.  A scheduler that round-robins ``next_chunk()`` across many
+  pumps gets fair multiplexing with every per-campaign invariant —
+  byte-identical merged reports, crash-safe journals, certificate
+  gating — intact.
+
+The blocking engine delegates its setup and merge phases here, so the
+service path and the CLI path cannot drift.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+import time
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.campaign.checkpoint import (
+    CheckpointWriter,
+    job_fingerprint,
+    load_checkpoint,
+)
+from repro.campaign.faults import (
+    ChunkTimeout,
+    Clock,
+    FaultPlan,
+    RetryPolicy,
+    SystemClock,
+)
+from repro.campaign.partition import ShardingPolicy, plan_chunks
+from repro.campaign.telemetry import (
+    CampaignTelemetry,
+    ChunkFailure,
+    ChunkStats,
+)
+from repro.errors import CampaignError, CertificateError, CheckpointError
+
+
+def execute_chunk(
+    job: Any,
+    index: int,
+    start: int,
+    stop: int,
+    attempt: int = 0,
+    faults: Optional[FaultPlan] = None,
+    clock: Optional[Clock] = None,
+) -> Tuple[int, Any, ChunkStats]:
+    """Run one chunk attempt, timing its body; executes in worker or parent.
+
+    Fault injection happens here — inside the worker on the pooled
+    path, on the calling thread in-process — so both modes observe
+    identical faults for the same ``(index, attempt)``.
+    """
+    wall_start = time.perf_counter()
+    cpu_start = time.process_time()
+    if faults is not None:
+        faults.apply(index, attempt, clock)
+    report = job.run_range(start, stop)
+    stats = ChunkStats(
+        index=index,
+        start=start,
+        stop=stop,
+        wall_seconds=time.perf_counter() - wall_start,
+        cpu_seconds=time.process_time() - cpu_start,
+        worker=f"pid:{os.getpid()}",
+        attempts=attempt + 1,
+    )
+    return index, report, stats
+
+
+class _ChunkOutcomes:
+    """Mutable accumulator shared by both execution paths.
+
+    Collects successful chunk results, permanent failures, the retry
+    count, and the set of failure-cause type names (used to tag
+    ``telemetry.mode``).
+    """
+
+    def __init__(
+        self,
+        chunks: Sequence[Tuple[int, int]],
+        retry: RetryPolicy,
+        record: Callable[[int, Any], None],
+        verify_certificates: bool = False,
+    ):
+        self.chunks = chunks
+        self.retry = retry
+        self.record = record
+        self.verify_certificates = verify_certificates
+        self.certificates_verified = 0
+        self.results: Dict[int, Tuple[Any, ChunkStats]] = {}
+        self.failures: Dict[int, ChunkFailure] = {}
+        self.retries = 0
+        self.causes: Set[str] = set()
+
+    def verify_chunk(self, report: Any) -> None:
+        """Re-check a chunk report's certificates before accepting it.
+
+        The verifier is independent of the searchers, so a worker
+        cannot vouch for its own result; a rejected certificate is a
+        :class:`~repro.errors.CertificateError`, which both execution
+        paths treat as an ordinary (retryable) chunk failure.
+        """
+        if not self.verify_certificates:
+            return
+        certificates = getattr(report, "certificates", None) or []
+        if not certificates:
+            return
+        from repro.certify.verify import verify_certificates as check
+
+        verdict = check(certificates)
+        if not verdict.accepted:
+            raise CertificateError(
+                f"chunk certificate rejected ({verdict.reason}): "
+                f"{verdict.detail}"
+            )
+        self.certificates_verified += len(certificates)
+
+    def succeed(self, index: int, report: Any, stats: ChunkStats) -> None:
+        """Accept a chunk result and journal it to the checkpoint."""
+        self.results[index] = (report, stats)
+        self.record(index, report)
+
+    def fail(self, index: int, attempt: int, error: BaseException) -> bool:
+        """Register a failed attempt.
+
+        Returns ``True`` when the chunk should be retried (and counts
+        the retry); records a permanent :class:`ChunkFailure` and
+        returns ``False`` once the retry budget is spent.
+        """
+        self.causes.add(type(error).__name__)
+        if attempt + 1 < self.retry.max_attempts:
+            self.retries += 1
+            return True
+        start, stop = self.chunks[index]
+        kind = "timeout" if isinstance(error, ChunkTimeout) else "error"
+        self.failures[index] = ChunkFailure(
+            index=index, start=start, stop=stop, attempts=attempt + 1,
+            error=f"{type(error).__name__}: {error}", kind=kind,
+        )
+        return False
+
+
+@dataclass(frozen=True)
+class ChunkTask:
+    """One dispatchable unit of campaign work: a chunk attempt.
+
+    ``attempt`` counts from 0 (the first try); a retry of the same
+    chunk is a fresh task with ``attempt + 1``.
+    """
+
+    index: int
+    start: int
+    stop: int
+    attempt: int = 0
+
+    @property
+    def units(self) -> int:
+        """Number of campaign units this chunk covers."""
+        return self.stop - self.start
+
+
+@dataclass
+class PreparedCampaign:
+    """A campaign after setup, before any chunk has run.
+
+    Holds the (possibly certificate-flipped) job, the resolved
+    sharding policy and chunk plan, the chunks replayed from a resume
+    journal, and the open checkpoint writer.  Both the blocking engine
+    and :class:`CampaignPump` start from one of these, so setup
+    semantics — validation errors included — are identical.
+    """
+
+    job: Any
+    total_units: int
+    policy: ShardingPolicy
+    chunks: List[Tuple[int, int]]
+    fingerprint: str
+    completed: Dict[int, Any]
+    writer: Optional[CheckpointWriter]
+    resumed_certificates: int = 0
+
+    @property
+    def remaining(self) -> List[int]:
+        """Chunk indices still to run, ascending."""
+        return [
+            index for index in range(len(self.chunks))
+            if index not in self.completed
+        ]
+
+    def record(self, index: int, report: Any) -> None:
+        """Journal one completed chunk to the checkpoint, if one is open."""
+        if self.writer is not None:
+            start, stop = self.chunks[index]
+            self.writer.record_chunk(index, start, stop, report)
+
+
+def prepare_campaign(
+    job: Any,
+    workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+    *,
+    checkpoint: Optional[str] = None,
+    resume: bool = False,
+    verify_certificates: bool = False,
+) -> PreparedCampaign:
+    """Resolve policy, plan chunks, replay a resume journal, open a writer.
+
+    This is the setup phase :func:`~repro.campaign.engine.run_campaign`
+    performs before executing chunks, factored out so a chunk-granular
+    caller (:class:`CampaignPump`) observes the exact same contract:
+
+    * ``verify_certificates=True`` flips the job into
+      certificate-emitting mode via its ``with_certificates`` hook;
+    * a resume journal must match this campaign's fingerprint, unit
+      count, and chunk geometry (``chunk_size=None`` adopts the
+      journal's), else :class:`~repro.errors.CheckpointError`;
+    * resumed chunk reports are re-verified under the untrusted-worker
+      gate, and chunks whose certificates no longer replay are re-run
+      instead of merged;
+    * a missing journal file starts fresh — the writer creates the
+      file (and any missing parent directories) on the first flush.
+    """
+    total = job.total_units()
+    if verify_certificates:
+        with_certificates = getattr(job, "with_certificates", None)
+        if with_certificates is not None:
+            job = with_certificates(True)
+
+    state = None
+    if checkpoint is not None and resume and os.path.exists(checkpoint):
+        state = load_checkpoint(checkpoint)
+        if chunk_size is not None and chunk_size != state.chunk_size:
+            raise CheckpointError(
+                f"checkpoint {checkpoint!r} was written with "
+                f"chunk_size={state.chunk_size}, but chunk_size="
+                f"{chunk_size} was requested; resume must reuse the "
+                f"original chunk geometry"
+            )
+        chunk_size = state.chunk_size
+
+    policy = ShardingPolicy.resolve(total, workers, chunk_size)
+    chunks = plan_chunks(total, policy.chunk_size)
+    fingerprint = job_fingerprint(job, total, policy.chunk_size)
+
+    completed: Dict[int, Any] = {}
+    if state is not None:
+        if state.total_units != total:
+            raise CheckpointError(
+                f"checkpoint {checkpoint!r} covers {state.total_units} "
+                f"units, but this campaign has {total}"
+            )
+        if state.fingerprint != fingerprint:
+            raise CheckpointError(
+                f"checkpoint {checkpoint!r} fingerprint "
+                f"{state.fingerprint} does not match this campaign "
+                f"({fingerprint}); refusing to merge reports from a "
+                f"different job"
+            )
+        for index, chunk_record in state.records.items():
+            if index >= len(chunks) or (
+                chunk_record.start, chunk_record.stop
+            ) != chunks[index]:
+                raise CheckpointError(
+                    f"checkpoint {checkpoint!r} chunk {index} range "
+                    f"({chunk_record.start}, {chunk_record.stop}) does "
+                    f"not match the campaign's chunk plan"
+                )
+            completed[index] = chunk_record.report
+
+    resumed_certificates = 0
+    if verify_certificates and completed:
+        # Resumed chunks came from a journal a (possibly different)
+        # worker wrote; re-verify them and re-run any that fail rather
+        # than merging an unvouched-for report.
+        from repro.certify.verify import verify_certificates as check
+
+        for index in sorted(completed):
+            certificates = getattr(
+                completed[index], "certificates", None
+            ) or []
+            if not certificates:
+                continue
+            if check(certificates).accepted:
+                resumed_certificates += len(certificates)
+            else:
+                del completed[index]
+
+    writer = None
+    if checkpoint is not None:
+        writer = CheckpointWriter(
+            checkpoint, fingerprint, total, policy.chunk_size,
+            state=state,
+        )
+    return PreparedCampaign(
+        job=job, total_units=total, policy=policy, chunks=chunks,
+        fingerprint=fingerprint, completed=completed, writer=writer,
+        resumed_certificates=resumed_certificates,
+    )
+
+
+def merge_campaign(
+    job: Any,
+    chunks: Sequence[Tuple[int, int]],
+    completed: Dict[int, Any],
+    outcomes: _ChunkOutcomes,
+) -> Tuple[Any, List[ChunkStats], List[str]]:
+    """Fold chunk reports into one, in ascending chunk order.
+
+    Returns ``(finalized_report, stats_in_order, missing)`` where
+    ``missing`` names the unit ranges of permanently failed chunks.
+    The ascending fold is what makes the merged report byte-identical
+    across worker counts, completion orders, and resume boundaries.
+    The finalized report's certificates are re-verified under the
+    untrusted-worker gate (a rejection here is a
+    :class:`~repro.errors.CertificateError` — the coordinator itself
+    minted the lie, so it is not retryable).
+    """
+    report = job.empty_report()
+    stats_in_order: List[ChunkStats] = []
+    missing: List[str] = []
+    for index in range(len(chunks)):
+        if index in completed:
+            report = report.merge(completed[index])
+        elif index in outcomes.results:
+            chunk_report, stats = outcomes.results[index]
+            report = report.merge(chunk_report)
+            stats_in_order.append(stats)
+        else:
+            failure = outcomes.failures[index]
+            missing.append(
+                f"{job.describe_range(failure.start, failure.stop)} "
+                f"(chunk {failure.index} failed after "
+                f"{failure.attempts} attempt"
+                f"{'s' if failure.attempts != 1 else ''}: "
+                f"{failure.error})"
+            )
+    report = job.finalize(report)
+    # The finalized report may carry certificates no chunk ever did —
+    # sweeps mint at finalize, fuzz re-derives its shrink certificate —
+    # so the gate audits the merged result as well.
+    outcomes.verify_chunk(report)
+    return report, stats_in_order, missing
+
+
+def _tag_mode(
+    mode: str, retries: int, failures: int, causes: Set[str]
+) -> str:
+    """Annotate the telemetry mode with retry/failure causes, if any."""
+    notes = []
+    if retries:
+        notes.append(f"retries: {retries}")
+    if failures:
+        notes.append(f"failed chunks: {failures}")
+    if notes and causes:
+        notes.append("causes: " + ",".join(sorted(causes)))
+    return f"{mode} ({'; '.join(notes)})" if notes else mode
+
+
+class CampaignPump:
+    """A non-blocking, chunk-granular view of one campaign.
+
+    Where :func:`~repro.campaign.engine.run_campaign` owns its worker
+    pool and blocks until the campaign settles, a pump owns *no*
+    execution resources: a scheduler asks for work with
+    :meth:`next_chunk`, runs the returned :class:`ChunkTask` wherever
+    it likes (process pool, thread, inline), and reports back with
+    :meth:`complete` or :meth:`fail`.  Interleaving calls across many
+    pumps multiplexes many campaigns over one shared pool — the shape
+    :mod:`repro.serve` serves — while every per-campaign invariant
+    holds:
+
+    * completed chunks are journaled crash-safely the moment they are
+      accepted, so a killed-and-restarted owner resumes by building a
+      fresh pump with ``resume=True`` and merges to an ``==``-identical
+      report;
+    * failed attempts requeue with the same deterministic backoff
+      schedule the blocking engine uses (deadlines via ``clock.now()``);
+    * under ``verify_certificates=True`` a chunk whose certificates
+      fail independent replay is rejected and retried, never merged.
+
+    :meth:`finalize` produces the same
+    :class:`~repro.campaign.engine.CampaignResult` a blocking run
+    would, with ``telemetry.mode`` tagged ``mode`` (default
+    ``"pump"``).
+    """
+
+    def __init__(
+        self,
+        job: Any,
+        workers: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+        *,
+        retry: Optional[RetryPolicy] = None,
+        checkpoint: Optional[str] = None,
+        resume: bool = False,
+        strict: bool = False,
+        verify_certificates: bool = False,
+        clock: Optional[Clock] = None,
+    ):
+        self.clock = SystemClock() if clock is None else clock
+        self.retry = RetryPolicy() if retry is None else retry
+        self.strict = strict
+        self.prepared = prepare_campaign(
+            job, workers, chunk_size, checkpoint=checkpoint,
+            resume=resume, verify_certificates=verify_certificates,
+        )
+        self.job = self.prepared.job
+        self.outcomes = _ChunkOutcomes(
+            self.prepared.chunks, self.retry, self.prepared.record,
+            verify_certificates=verify_certificates,
+        )
+        # Ready queue: (not-before time, chunk index, attempt).  First
+        # attempts are ready immediately; retries carry their backoff
+        # deadline.
+        self._ready: List[Tuple[float, int, int]] = [
+            (0.0, index, 0) for index in self.prepared.remaining
+        ]
+        heapq.heapify(self._ready)
+        self._in_flight: Set[int] = set()
+        self._wall_start = time.perf_counter()
+
+    # ------------------------------------------------------------------
+    # Introspection
+
+    @property
+    def total_chunks(self) -> int:
+        """Chunks in the campaign's plan (including resumed ones)."""
+        return len(self.prepared.chunks)
+
+    @property
+    def completed_chunks(self) -> int:
+        """Chunks settled successfully so far (resumed + this run)."""
+        return len(self.prepared.completed) + len(self.outcomes.results)
+
+    @property
+    def failed_chunks(self) -> int:
+        """Chunks that exhausted their retry budget."""
+        return len(self.outcomes.failures)
+
+    @property
+    def total_units(self) -> int:
+        """Campaign units across all chunks."""
+        return self.prepared.total_units
+
+    @property
+    def completed_units(self) -> int:
+        """Units inside successfully settled chunks."""
+        chunks = self.prepared.chunks
+        done = set(self.prepared.completed) | set(self.outcomes.results)
+        return sum(chunks[i][1] - chunks[i][0] for i in done)
+
+    @property
+    def in_flight(self) -> int:
+        """Chunks currently handed out and not yet reported back."""
+        return len(self._in_flight)
+
+    @property
+    def done(self) -> bool:
+        """True when every chunk has settled (succeeded or failed)."""
+        return not self._ready and not self._in_flight
+
+    # ------------------------------------------------------------------
+    # The pump
+
+    def next_chunk(self, now: Optional[float] = None) -> Optional[ChunkTask]:
+        """Hand out the next ready chunk attempt, or ``None``.
+
+        ``None`` means either nothing is ready *yet* (a retry is
+        waiting out its backoff — see :meth:`next_ready_at`) or the
+        campaign has no undispatched work left.  The returned task is
+        tracked as in-flight until :meth:`complete` or :meth:`fail`.
+        """
+        if not self._ready:
+            return None
+        now = self.clock.now() if now is None else now
+        not_before, index, attempt = self._ready[0]
+        if not_before > now:
+            return None
+        heapq.heappop(self._ready)
+        self._in_flight.add(index)
+        start, stop = self.prepared.chunks[index]
+        return ChunkTask(index=index, start=start, stop=stop,
+                         attempt=attempt)
+
+    def next_ready_at(self) -> Optional[float]:
+        """Clock time when the earliest queued chunk becomes ready."""
+        if not self._ready:
+            return None
+        return self._ready[0][0]
+
+    def complete(
+        self, task: ChunkTask, report: Any, stats: ChunkStats
+    ) -> bool:
+        """Accept a finished chunk attempt's report.
+
+        Verifies certificates first when the untrusted-worker gate is
+        on; a rejected report is routed through :meth:`fail` (and so
+        retried) instead of merged.  Returns ``True`` when the report
+        was accepted and journaled, ``False`` when it was rejected.
+        """
+        try:
+            self.outcomes.verify_chunk(report)
+        except CertificateError as error:
+            self.fail(task, error)
+            return False
+        self._in_flight.discard(task.index)
+        self.outcomes.succeed(task.index, report, stats)
+        return True
+
+    def fail(self, task: ChunkTask, error: BaseException) -> Optional[float]:
+        """Record a failed chunk attempt.
+
+        Returns the clock time at which the retry becomes ready, or
+        ``None`` when the chunk's budget is spent and it was recorded
+        as a permanent :class:`~repro.campaign.telemetry.ChunkFailure`.
+        """
+        self._in_flight.discard(task.index)
+        if not self.outcomes.fail(task.index, task.attempt, error):
+            return None
+        ready_at = self.clock.now() + self.retry.delay_before(
+            task.index, task.attempt + 1
+        )
+        heapq.heappush(
+            self._ready, (ready_at, task.index, task.attempt + 1)
+        )
+        return ready_at
+
+    def finalize(self, mode: str = "pump"):
+        """Merge all settled chunks into a CampaignResult.
+
+        Must only be called once :attr:`done` is true.  Identical
+        merge fold, telemetry accounting, and ``strict`` behavior as
+        the blocking engine — a pump-driven campaign's report is
+        ``==``-identical to a ``run_campaign`` of the same job.
+        """
+        from repro.campaign.engine import CampaignResult
+
+        if not self.done:
+            raise CampaignError(
+                f"cannot finalize: {len(self._ready)} chunk(s) queued "
+                f"and {len(self._in_flight)} in flight"
+            )
+        prepared = self.prepared
+        report, stats_in_order, missing = merge_campaign(
+            self.job, prepared.chunks, prepared.completed, self.outcomes
+        )
+        telemetry = CampaignTelemetry(
+            workers=prepared.policy.workers,
+            chunk_size=prepared.policy.chunk_size,
+            mode=_tag_mode(
+                mode, self.outcomes.retries, len(self.outcomes.failures),
+                self.outcomes.causes,
+            ),
+            wall_seconds=time.perf_counter() - self._wall_start,
+            chunks=stats_in_order,
+            failures=[
+                self.outcomes.failures[i]
+                for i in sorted(self.outcomes.failures)
+            ],
+            retries=self.outcomes.retries,
+            skipped_chunks=len(prepared.completed),
+            skipped_units=sum(
+                prepared.chunks[i][1] - prepared.chunks[i][0]
+                for i in prepared.completed
+            ),
+            certificates_verified=(
+                self.outcomes.certificates_verified
+                + prepared.resumed_certificates
+            ),
+        )
+        result = CampaignResult(
+            report=report, telemetry=telemetry, missing=tuple(missing)
+        )
+        if self.strict and not result.complete:
+            raise CampaignError(
+                "strict campaign incomplete — missing "
+                + "; ".join(missing),
+                result=result,
+            )
+        return result

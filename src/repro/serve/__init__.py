@@ -1,0 +1,47 @@
+"""Campaign-as-a-service: a long-lived async job API over the pool.
+
+The campaign engine runs one batch per CLI invocation; this package
+turns it into a durable, multi-tenant service.  An asyncio HTTP/JSON
+API (:mod:`repro.serve.service`) accepts sweep/fuzz/explore jobs
+(:mod:`repro.serve.jobspec` — the same experiments the CLI runs),
+multiplexes many concurrent campaigns over one shared worker pool with
+fair round-robin chunk interleaving and per-tenant quotas
+(:mod:`repro.serve.scheduler`, built on
+:class:`~repro.campaign.pump.CampaignPump`), streams incremental
+per-chunk progress as NDJSON, and persists every job crash-safely
+(:mod:`repro.serve.store`): job metadata in atomically-replaced status
+files, chunk reports in the PR 5 checkpoint journal.  Killing the
+server at any instant and restarting it against the same state
+directory resumes all unfinished jobs and serves final reports
+``==``-identical to uninterrupted runs — the resume contract promoted
+to a service invariant (docs/SERVICE.md).
+
+* :mod:`repro.serve.jobspec` — validated job submissions → campaign jobs;
+* :mod:`repro.serve.store` — durable job state machine + event log;
+* :mod:`repro.serve.scheduler` — fair multiplexing over the shared pool;
+* :mod:`repro.serve.http` — the minimal stdlib HTTP/1.1 layer;
+* :mod:`repro.serve.service` — routes, wiring, and ``repro serve``;
+* :mod:`repro.serve.client` — a stdlib client for tests and drills.
+"""
+
+from repro.serve.client import ServeClient, ServeClientError
+from repro.serve.jobspec import JobSpec, JobSpecError, build_job
+from repro.serve.scheduler import QuotaExceeded, Scheduler, TenantQuotas
+from repro.serve.service import ServeApp, serve_main
+from repro.serve.store import JOB_STATES, JobStore, ServeJob
+
+__all__ = [
+    "JobSpec",
+    "JobSpecError",
+    "build_job",
+    "Scheduler",
+    "TenantQuotas",
+    "QuotaExceeded",
+    "ServeApp",
+    "serve_main",
+    "ServeClient",
+    "ServeClientError",
+    "JobStore",
+    "ServeJob",
+    "JOB_STATES",
+]

@@ -1,0 +1,180 @@
+"""A stdlib HTTP client for the campaign service.
+
+Used by the test suite, the CI drill, and ``tools/serve_client.py``;
+kept in the package (rather than only in ``tools/``) so anything that
+imports :mod:`repro.serve` can talk to a server without hand-rolling
+``http.client`` calls.  Every method maps 1:1 onto a route; non-2xx
+responses raise :class:`ServeClientError` carrying the server's status
+and error message.
+"""
+
+from __future__ import annotations
+
+import base64
+import http.client
+import json
+import pickle
+import time
+import urllib.parse
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.errors import ReproError
+from repro.serve.jobspec import JobSpec
+
+
+class ServeClientError(ReproError):
+    """A request failed; carries the HTTP status the server sent."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+
+
+class ServeClient:
+    """Talks to one campaign server at ``http://host:port``."""
+
+    def __init__(self, host: str, port: int, *,
+                 api_key: Optional[str] = None, timeout: float = 30.0):
+        self.host = host
+        self.port = port
+        self.api_key = api_key
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Plumbing
+
+    def _headers(self) -> Dict[str, str]:
+        """Common request headers (tenant key if configured)."""
+        headers = {"Accept": "application/json"}
+        if self.api_key is not None:
+            headers["X-Api-Key"] = self.api_key
+        return headers
+
+    def _request(self, method: str, path: str,
+                 body: Optional[Any] = None) -> Any:
+        """One request/response cycle, JSON in and out."""
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            headers = self._headers()
+            payload = None
+            if body is not None:
+                payload = json.dumps(body).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=payload,
+                               headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+            try:
+                data = json.loads(raw.decode("utf-8")) if raw else None
+            except ValueError:
+                data = None
+            if response.status >= 400:
+                message = (
+                    data.get("error") if isinstance(data, dict)
+                    else raw.decode("utf-8", "replace")
+                )
+                raise ServeClientError(response.status, str(message))
+            return data
+        finally:
+            connection.close()
+
+    # ------------------------------------------------------------------
+    # Routes
+
+    def health(self) -> Dict[str, Any]:
+        """GET /healthz."""
+        return self._request("GET", "/healthz")
+
+    def submit(self, spec: Any) -> Dict[str, Any]:
+        """POST /jobs — ``spec`` is a :class:`JobSpec` or a dict."""
+        if isinstance(spec, JobSpec):
+            spec = spec.to_dict()
+        return self._request("POST", "/jobs", body=spec)
+
+    def list_jobs(self, tenant: Optional[str] = None) -> List[Dict[str, Any]]:
+        """GET /jobs (optionally filtered to one tenant)."""
+        path = "/jobs"
+        if tenant is not None:
+            path += "?" + urllib.parse.urlencode({"tenant": tenant})
+        return self._request("GET", path)["jobs"]
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        """GET /jobs/<id>."""
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        """POST /jobs/<id>/cancel."""
+        return self._request("POST", f"/jobs/{job_id}/cancel")
+
+    def result(self, job_id: str,
+               with_pickle: bool = False) -> Dict[str, Any]:
+        """GET /jobs/<id>/report (optionally with the pickle payload)."""
+        suffix = "" if with_pickle else "?pickle=0"
+        return self._request("GET", f"/jobs/{job_id}/report{suffix}")
+
+    def report(self, job_id: str) -> Any:
+        """The finalized report object, unpickled from the server."""
+        payload = self.result(job_id, with_pickle=True)
+        raw = payload.get("report_pickle_base64")
+        if raw is None:
+            raise ServeClientError(
+                500, f"job {job_id} served no report pickle"
+            )
+        return pickle.loads(base64.b64decode(raw))
+
+    def events(self, job_id: str, *, since: int = 0,
+               follow: bool = False) -> Iterator[Dict[str, Any]]:
+        """GET /jobs/<id>/events — yield events as they stream in."""
+        query = urllib.parse.urlencode({
+            "since": since, "follow": "1" if follow else "0",
+        })
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            connection.request(
+                "GET", f"/jobs/{job_id}/events?{query}",
+                headers=self._headers(),
+            )
+            response = connection.getresponse()
+            if response.status >= 400:
+                raw = response.read()
+                try:
+                    message = json.loads(raw)["error"]
+                except (ValueError, KeyError, TypeError):
+                    message = raw.decode("utf-8", "replace")
+                raise ServeClientError(response.status, str(message))
+            for line in response:
+                line = line.strip()
+                if not line:
+                    continue  # keepalive blank line
+                yield json.loads(line.decode("utf-8"))
+        finally:
+            connection.close()
+
+    def wait(self, job_id: str, *, timeout: float = 300.0,
+             poll: float = 0.2) -> Dict[str, Any]:
+        """Poll until the job is terminal; returns its final status."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.status(job_id)
+            if status["state"] in ("done", "failed", "cancelled"):
+                return status
+            if time.monotonic() >= deadline:
+                raise ServeClientError(
+                    408,
+                    f"job {job_id} still {status['state']} after "
+                    f"{timeout:.0f}s",
+                )
+            time.sleep(poll)
+
+
+def read_server_address(state_dir: str) -> Dict[str, Any]:
+    """Read ``server.json`` from a server state directory."""
+    import os
+
+    path = os.path.join(state_dir, "server.json")
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)

@@ -1,0 +1,158 @@
+"""A minimal HTTP/1.1 layer over asyncio streams, stdlib only.
+
+The service needs exactly four HTTP behaviors: parse a request line +
+headers + optional body, send a JSON response, stream NDJSON until the
+connection closes, and map errors to status codes.  That is small
+enough that a hand-rolled parser over ``asyncio.StreamReader`` beats
+dragging in a framework — and the repo's no-new-dependencies rule makes
+the choice for us anyway.
+
+Deliberate simplifications, safe because the service speaks
+``Connection: close`` on every response: no keep-alive, no chunked
+*request* bodies (``Content-Length`` only), and NDJSON streams are
+delimited by connection close rather than chunked transfer encoding.
+Request bodies are capped (:data:`MAX_BODY_BYTES`) so a misbehaving
+client cannot balloon server memory.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import urllib.parse
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+#: Upper bound on request body size (job specs are tiny).
+MAX_BODY_BYTES = 1 << 20
+
+#: Upper bound on the request line + headers block.
+MAX_HEADER_BYTES = 1 << 16
+
+#: Reason phrases for the statuses the service emits.
+STATUS_PHRASES = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+}
+
+
+class HttpError(Exception):
+    """An error with an HTTP status; handlers raise, the server maps."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: Dict[str, str] = field(default_factory=dict)
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self) -> Any:
+        """The body parsed as JSON (400 on syntax errors)."""
+        if not self.body:
+            raise HttpError(400, "request body must be a JSON object")
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise HttpError(400, f"invalid JSON body: {exc}") from exc
+
+
+async def read_request(
+    reader: "asyncio.StreamReader",
+) -> Optional[Request]:
+    """Parse one request from the stream; ``None`` on a clean EOF."""
+    try:
+        header_block = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise HttpError(400, "truncated request") from exc
+    except asyncio.LimitOverrunError as exc:
+        raise HttpError(413, "request headers too large") from exc
+    if len(header_block) > MAX_HEADER_BYTES:
+        raise HttpError(413, "request headers too large")
+    lines = header_block.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3:
+        raise HttpError(400, f"malformed request line: {lines[0]!r}")
+    method, target, _version = parts
+    parsed = urllib.parse.urlsplit(target)
+    query = {
+        key: values[-1]
+        for key, values in urllib.parse.parse_qs(
+            parsed.query, keep_blank_values=True
+        ).items()
+    }
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        if ":" not in line:
+            raise HttpError(400, f"malformed header line: {line!r}")
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError as exc:
+            raise HttpError(400, "invalid Content-Length") from exc
+        if length < 0 or length > MAX_BODY_BYTES:
+            raise HttpError(413, "request body too large")
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError as exc:
+            raise HttpError(400, "truncated request body") from exc
+    return Request(
+        method=method.upper(),
+        path=urllib.parse.unquote(parsed.path) or "/",
+        query=query,
+        headers=headers,
+        body=body,
+    )
+
+
+def _head(status: int, content_type: str,
+          content_length: Optional[int]) -> bytes:
+    """Build a response status line + header block."""
+    phrase = STATUS_PHRASES.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {phrase}",
+        f"Content-Type: {content_type}",
+        "Connection: close",
+    ]
+    if content_length is not None:
+        lines.append(f"Content-Length: {content_length}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+
+def json_response(status: int, payload: Any) -> bytes:
+    """A complete JSON response as bytes."""
+    body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+    return _head(status, "application/json", len(body)) + body
+
+
+def error_response(status: int, message: str) -> bytes:
+    """A complete JSON error response as bytes."""
+    return json_response(status, {"error": message, "status": status})
+
+
+def stream_head(status: int = 200,
+                content_type: str = "application/x-ndjson") -> bytes:
+    """Response head for a close-delimited stream (no Content-Length)."""
+    return _head(status, content_type, None)

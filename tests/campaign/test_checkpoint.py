@@ -329,3 +329,39 @@ class TestAtomicity:
         assert path.read_text() == before
         state = load_checkpoint(str(path))
         assert state.completed_indices == [0]
+
+
+class TestFreshResume:
+    def test_resume_with_missing_journal_starts_fresh(self, tmp_path):
+        """``resume=True`` against a journal that doesn't exist yet must
+        start fresh and create it — the first boot of every scripted
+        ``--checkpoint P --resume`` loop hits this path."""
+        path = tmp_path / "fresh.ckpt"
+        job = make_job()
+        result = run_campaign(
+            job, workers=1, chunk_size=3,
+            checkpoint=str(path), resume=True,
+        )
+        assert result.complete
+        assert result.telemetry.skipped_chunks == 0
+        state = load_checkpoint(str(path))
+        assert state.completed_indices == [0, 1, 2, 3]
+
+    def test_resume_creates_missing_parent_directories(self, tmp_path):
+        """The journal's parent directory may not exist on first boot
+        either (e.g. ``--checkpoint state/run/journal.ckpt``); the
+        writer creates the whole path rather than failing the first
+        flush."""
+        path = tmp_path / "state" / "run" / "journal.ckpt"
+        job = make_job()
+        first = run_campaign(
+            job, workers=1, chunk_size=3,
+            checkpoint=str(path), resume=True,
+        )
+        assert path.exists()
+        resumed = run_campaign(
+            job, workers=1, chunk_size=3,
+            checkpoint=str(path), resume=True,
+        )
+        assert resumed.telemetry.skipped_chunks == 4
+        assert resumed.report == first.report

@@ -1,0 +1,1 @@
+"""Tests for the campaign service (:mod:`repro.serve`)."""

@@ -1,0 +1,67 @@
+"""Shared helpers for the serve test suite.
+
+The tests drive a real :class:`~repro.serve.service.ServeApp` bound to
+an ephemeral port, with the scheduler's ``thread`` executor so chunk
+bodies run in-process (no fork-from-test surprises, fast startup).
+There is no pytest-asyncio in the toolchain, so each test owns its loop
+via ``asyncio.run`` and the helpers here keep that terse:
+
+* :func:`running_app` — async context manager yielding a started
+  ``(app, client)`` pair and tearing both down;
+* :func:`call` — run one *blocking* client method on a worker thread so
+  it cannot deadlock against the server sharing the test's event loop.
+"""
+
+import asyncio
+import contextlib
+import functools
+
+from repro.serve import (
+    JobStore,
+    Scheduler,
+    ServeApp,
+    ServeClient,
+    TenantQuotas,
+)
+
+
+async def call(fn, *args, **kwargs):
+    """Run a blocking client call without blocking the server's loop."""
+    loop = asyncio.get_running_loop()
+    return await loop.run_in_executor(
+        None, functools.partial(fn, *args, **kwargs)
+    )
+
+
+@contextlib.asynccontextmanager
+async def running_app(state_dir, *, workers=2, quotas=None,
+                      api_key=None):
+    """A started service over ``state_dir`` and a client pointed at it."""
+    store = JobStore(str(state_dir))
+    scheduler = Scheduler(
+        store, workers=workers, executor="thread",
+        quotas=quotas or TenantQuotas(),
+    )
+    app = ServeApp(store, scheduler)
+    port = await app.start(port=0)
+    client = ServeClient("127.0.0.1", port, api_key=api_key)
+    try:
+        yield app, client
+    finally:
+        await app.stop()
+
+
+async def wait_state(client, job_id, states, timeout=120.0):
+    """Poll (off-loop) until the job reaches one of ``states``."""
+    loop = asyncio.get_running_loop()
+    deadline = loop.time() + timeout
+    while True:
+        status = await call(client.status, job_id)
+        if status["state"] in states:
+            return status
+        if loop.time() > deadline:
+            raise AssertionError(
+                f"job {job_id} stuck in {status['state']!r}; wanted "
+                f"{states}"
+            )
+        await asyncio.sleep(0.02)

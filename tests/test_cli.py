@@ -114,6 +114,42 @@ class TestCli:
         assert main(["campaign", "--resume"]) == 2
         assert "--resume needs a path" in capsys.readouterr().err
 
+    def test_resume_with_missing_journal_notices_and_starts_fresh(
+        self, tmp_path, capsys
+    ):
+        """``--resume`` pointing at a journal that doesn't exist yet (in
+        a directory that doesn't exist yet either) starts fresh with a
+        notice instead of failing — the first boot of a scripted
+        checkpoint-and-resume loop."""
+        ckpt = str(tmp_path / "state" / "run" / "campaign.ckpt")
+        args = [
+            "campaign", "--seeds", "6", "--workers", "1",
+            "--experiment", "protocol", "--checkpoint", ckpt,
+            "--resume",
+        ]
+        assert main(args) == 0
+        captured = capsys.readouterr()
+        assert "notice: no checkpoint found at" in captured.err
+        assert "starting fresh" in captured.err
+        assert "campaign complete: all expectations held" in captured.out
+        # Second boot finds the journal: resumes silently, no notice.
+        assert main(args) == 0
+        captured = capsys.readouterr()
+        assert "notice: no checkpoint found" not in captured.err
+        assert "resumed past 3 checkpointed chunks" in captured.out
+
+    def test_explore_resume_with_missing_journal_notices(
+        self, tmp_path, capsys
+    ):
+        ckpt = str(tmp_path / "missing-dir" / "explore.ckpt")
+        assert main([
+            "explore", "--scenario", "racing", "--workers", "1",
+            "--max-configs", "20000", "--resume", ckpt,
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "notice: no checkpoint found at" in captured.err
+        assert "safe" in captured.out
+
     def test_campaign_rejects_negative_max_retries(self, capsys):
         assert main(["campaign", "--max-retries", "-1"]) == 2
         assert "--max-retries must be >= 0" in capsys.readouterr().err

@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""A thin command-line client for the campaign service.
+
+Talks to a server started with ``repro serve``; the server's address
+comes from ``--host``/``--port`` or (more conveniently) from the
+``server.json`` a server writes into its state directory::
+
+    python tools/serve_client.py --state state/ health
+    python tools/serve_client.py --state state/ submit \\
+        '{"experiment": "fuzz", "runs": 200}' --api-key alice
+    python tools/serve_client.py --state state/ status <job-id>
+    python tools/serve_client.py --state state/ events <job-id> --follow
+    python tools/serve_client.py --state state/ wait <job-id>
+    python tools/serve_client.py --state state/ report <job-id>
+    python tools/serve_client.py --state state/ cancel <job-id>
+    python tools/serve_client.py --state state/ list [--tenant alice]
+
+All output is JSON (one object per line for ``events``), so the tool
+composes with ``jq`` and shell pipelines.
+"""
+
+import argparse
+import json
+import sys
+
+from repro.serve.client import (
+    ServeClient,
+    ServeClientError,
+    read_server_address,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The client's argument parser."""
+    parser = argparse.ArgumentParser(
+        description="Command-line client for the repro campaign service.",
+    )
+    parser.add_argument("--host", default=None,
+                        help="server host (default: from server.json)")
+    parser.add_argument("--port", type=int, default=None,
+                        help="server port (default: from server.json)")
+    parser.add_argument("--state", default=None,
+                        help="server state dir holding server.json")
+    parser.add_argument("--api-key", default=None,
+                        help="tenant key sent as X-Api-Key")
+    parser.add_argument("--timeout", type=float, default=600.0,
+                        help="wait timeout in seconds (default 600)")
+    sub = parser.add_subparsers(dest="action", required=True)
+    sub.add_parser("health", help="GET /healthz")
+    submit = sub.add_parser("submit", help="POST /jobs")
+    submit.add_argument("spec", help="job spec as a JSON object")
+    listing = sub.add_parser("list", help="GET /jobs")
+    listing.add_argument("--tenant", default=None,
+                         help="only this tenant's jobs")
+    for action, extra in (
+        ("status", ()), ("wait", ()), ("report", ()), ("cancel", ()),
+        ("events", ("--follow",)),
+    ):
+        command = sub.add_parser(action, help=f"{action} one job")
+        command.add_argument("job_id")
+        for flag in extra:
+            command.add_argument(flag, action="store_true")
+    return parser
+
+
+def main(argv=None) -> int:
+    """Run one client action and print its JSON result."""
+    args = build_parser().parse_args(argv)
+    host, port = args.host, args.port
+    if (host is None or port is None) and args.state is not None:
+        address = read_server_address(args.state)
+        host = host or address["host"]
+        port = port or address["port"]
+    if host is None or port is None:
+        print("error: give --host/--port or --state", file=sys.stderr)
+        return 2
+    client = ServeClient(host, port, api_key=args.api_key)
+
+    try:
+        if args.action == "health":
+            print(json.dumps(client.health(), sort_keys=True))
+        elif args.action == "submit":
+            spec = json.loads(args.spec)
+            print(json.dumps(client.submit(spec), sort_keys=True))
+        elif args.action == "list":
+            print(json.dumps(client.list_jobs(args.tenant),
+                             sort_keys=True))
+        elif args.action == "status":
+            print(json.dumps(client.status(args.job_id), sort_keys=True))
+        elif args.action == "wait":
+            status = client.wait(args.job_id, timeout=args.timeout)
+            print(json.dumps(status, sort_keys=True))
+            return 0 if status["state"] == "done" else 1
+        elif args.action == "report":
+            print(json.dumps(client.result(args.job_id), sort_keys=True))
+        elif args.action == "cancel":
+            print(json.dumps(client.cancel(args.job_id), sort_keys=True))
+        elif args.action == "events":
+            for event in client.events(args.job_id, follow=args.follow):
+                print(json.dumps(event, sort_keys=True), flush=True)
+    except ServeClientError as error:
+        print(f"error ({error.status}): {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,176 @@
+#!/usr/bin/env python
+"""CI serve drill: kill the job server mid-run, restart it, demand identity.
+
+The end-to-end exercise of the service durability contract
+(docs/SERVICE.md):
+
+1. compute baseline reports for two campaigns with the batch engine;
+2. start ``repro serve`` as a real subprocess against a fresh state
+   directory and submit both campaigns as jobs under two different
+   tenants (one with the certificate gate on);
+3. wait until both jobs are mid-run (chunks completed, job not done),
+   then SIGKILL the server — no warning, no drain;
+4. restart the server against the same state directory and wait for
+   both jobs to finish;
+5. fetch both final reports over HTTP and exit non-zero unless each is
+   ``==``- and ``repr``-identical to its uninterrupted baseline.
+
+A pass means a server crash costs at most the chunks in flight: every
+submitted job survives, resumes, and produces exactly the result an
+uncrashed server would have served.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+from repro.campaign import run_campaign
+from repro.serve.client import ServeClient, read_server_address
+from repro.serve.jobspec import JobSpec, build_job
+
+#: Two tenants, two campaigns; B runs under the certificate gate.
+SPEC_A = {"experiment": "protocol", "protocol": "racing",
+          "seeds": 400, "chunk_size": 4}
+SPEC_B = {"experiment": "fuzz", "runs": 240, "chunk_size": 20,
+          "verify_certificates": True}
+
+START_TIMEOUT = 60.0
+JOB_TIMEOUT = 600.0
+
+
+def start_server(state: str):
+    """Start ``repro serve`` on a free port; return (process, client)."""
+    marker = os.path.join(state, "server.json")
+    if os.path.exists(marker):
+        os.unlink(marker)
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--state", state,
+         "--port", "0", "--workers", "2"],
+        env=dict(os.environ),
+    )
+    deadline = time.monotonic() + START_TIMEOUT
+    while not os.path.exists(marker):
+        if process.poll() is not None:
+            raise RuntimeError(
+                f"server exited early with {process.returncode}"
+            )
+        if time.monotonic() > deadline:
+            process.kill()
+            raise RuntimeError("server did not write server.json")
+        time.sleep(0.05)
+    address = read_server_address(state)
+    client = ServeClient(address["host"], address["port"], timeout=30.0)
+    deadline = time.monotonic() + START_TIMEOUT
+    while True:
+        try:
+            client.health()
+            return process, client
+        except Exception:
+            if time.monotonic() > deadline:
+                process.kill()
+                raise
+            time.sleep(0.05)
+
+
+def wait_mid_run(client: ServeClient, job_ids) -> None:
+    """Block until every job is running with >= 1 chunk done, none done."""
+    deadline = time.monotonic() + JOB_TIMEOUT
+    while time.monotonic() < deadline:
+        statuses = [client.status(job_id) for job_id in job_ids]
+        if any(status["state"] in ("failed", "cancelled")
+               for status in statuses):
+            raise RuntimeError(f"job failed before the kill: {statuses}")
+        if all(
+            status["state"] == "done"
+            or status.get("progress", {}).get("completed_chunks", 0) >= 1
+            for status in statuses
+        ):
+            if any(status["state"] != "done" for status in statuses):
+                return
+            raise RuntimeError(
+                "both jobs finished before the kill; grow the specs"
+            )
+        time.sleep(0.05)
+    raise RuntimeError("jobs made no progress before the kill deadline")
+
+
+def main() -> int:
+    print("computing uninterrupted baselines with the batch engine ...")
+    baselines = {}
+    for name, spec in (("A", SPEC_A), ("B", SPEC_B)):
+        parsed = JobSpec.from_dict(spec)
+        baselines[name] = run_campaign(
+            build_job(parsed), workers=2, chunk_size=parsed.chunk_size,
+            verify_certificates=parsed.verify_certificates,
+        ).report
+        print(f"  baseline {name}: {baselines[name].summary()}")
+
+    with tempfile.TemporaryDirectory(prefix="repro-serve-drill-") as state:
+        process, client = start_server(state)
+        try:
+            job_a = ServeClient(
+                client.host, client.port, api_key="tenant-a"
+            ).submit(SPEC_A)["id"]
+            job_b = ServeClient(
+                client.host, client.port, api_key="tenant-b"
+            ).submit(SPEC_B)["id"]
+            print(f"submitted job A={job_a} (tenant-a), "
+                  f"B={job_b} (tenant-b)")
+
+            wait_mid_run(client, [job_a, job_b])
+            print("both jobs mid-run; SIGKILL the server")
+        except BaseException:
+            process.kill()
+            raise
+        os.kill(process.pid, signal.SIGKILL)
+        process.wait(timeout=60)
+
+        process, client = start_server(state)
+        try:
+            print("server restarted against the same state directory")
+            failures = 0
+            for name, job_id in (("A", job_a), ("B", job_b)):
+                status = client.wait(job_id, timeout=JOB_TIMEOUT)
+                if status["state"] != "done":
+                    print(f"FAIL: job {name} ended {status['state']}: "
+                          f"{status.get('error')}", file=sys.stderr)
+                    failures += 1
+                    continue
+                report = client.report(job_id)
+                identical = (
+                    report == baselines[name]
+                    and repr(report) == repr(baselines[name])
+                )
+                skipped = status.get("progress", {})
+                print(f"  job {name}: {report.summary()}")
+                print(f"    progress: {json.dumps(skipped, sort_keys=True)}")
+                if identical:
+                    print(f"    report identical to baseline {name}")
+                else:
+                    print(f"FAIL: job {name} report differs from its "
+                          f"uninterrupted baseline", file=sys.stderr)
+                    print(f"  served:   {report!r}", file=sys.stderr)
+                    print(f"  baseline: {baselines[name]!r}",
+                          file=sys.stderr)
+                    failures += 1
+        finally:
+            process.send_signal(signal.SIGTERM)
+            try:
+                process.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                process.kill()
+
+        if failures:
+            print(f"serve drill FAILED ({failures} check(s))",
+                  file=sys.stderr)
+            return 1
+    print("serve drill passed: kill + restart lost nothing")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
