@@ -9,10 +9,12 @@ same entry point).  Usage::
     repro approx [--m 2] [--eps-exp 16]
     repro check [--seed 0]
     repro campaign [--seeds 50] [--workers N] [--chunk-size C]
-                   [--checkpoint PATH] [--resume [PATH]] [--strict]
+                   [--base-object swap] [--checkpoint PATH]
+                   [--resume [PATH]] [--strict]
                    [--verify-certificates] [--certificates-dir DIR]
-    repro explore [--scenario truncated] [--workers N] [--symmetry]
-                  [--packed/--no-packed]
+    repro explore [--scenario truncated | --base-object swap]
+                  [--workers N] [--symmetry] [--packed/--no-packed]
+                  [--verify-certificates]
                   [--checkpoint PATH] [--resume [PATH]] [--strict]
     repro certify emit [--scenario falsify] --out DIR
     repro certify verify [PATH ...] [--dir DIR] [--deep]
@@ -34,14 +36,17 @@ checker sharded over schedule-prefix subtrees, optionally verifying the
 sharded report against a serial run (``--symmetry`` reduces
 full-symmetric protocols under process permutation, ``--no-packed``
 falls back to the object-tuple configuration encoding — see
-docs/PERFORMANCE.md); ``certify`` emits and verifies the
+docs/PERFORMANCE.md); ``--base-object`` selects the memory primitive
+the scenario is built from (register / swap / test-and-set /
+compare-and-swap / the large-register emulation — see
+EXPERIMENTS.md E17); ``certify`` emits and verifies the
 witness certificates of :mod:`repro.certify` (docs/CERTIFICATES.md) —
 machine-checkable claims that an independent verifier replays without
 trusting the searcher that produced them; ``campaign
 --verify-certificates`` applies the same gate inside the engine,
 rejecting worker chunks whose certificates fail to replay;
 ``bench`` measures the EXPERIMENTS.md
-experiments (E1–E16), writes schema-versioned ``BENCH_*.json`` artifacts,
+experiments (E1–E17), writes schema-versioned ``BENCH_*.json`` artifacts,
 and regression-gates them against a committed baseline (see
 docs/BENCHMARKS.md); ``serve`` runs the campaign engine as a long-lived
 multi-tenant job service — submit sweeps over HTTP, stream progress,
@@ -62,6 +67,19 @@ import argparse
 import math
 import os
 import sys
+
+#: ``--base-object`` spelling -> the canonical explore scenario built on
+#: that memory primitive.  ``register`` names the racing-consensus
+#: scenario (the paper's read/write normal form); the rest name the
+#: multi-primitive families of :mod:`repro.protocols.rmw` and
+#: :mod:`repro.protocols.largereg`.
+BASE_OBJECT_SCENARIOS = {
+    "register": "racing",
+    "swap": "swap",
+    "tas": "tas",
+    "cas": "cas",
+    "large-register": "large-register",
+}
 
 
 def cmd_bounds(args) -> int:
@@ -240,9 +258,12 @@ def cmd_campaign(args) -> int:
     )
     from repro.core import kset_space_lower_bound
     from repro.protocols import (
+        CASConsensus,
         KSetAgreementTask,
         MinSeen,
         RacingConsensus,
+        SwapConsensus,
+        TASConsensus,
         TruncatedProtocol,
     )
 
@@ -306,11 +327,27 @@ def cmd_campaign(args) -> int:
         print(f"   first violating seed: "
               f"{result.report.first_violating_seed}")
 
-    if args.experiment in ("protocol", "all"):
-        for protocol, inputs, task in (
+    # Per-base-object protocol sweeps: each entry is the safe instance
+    # of the family built on that primitive (expected clean under every
+    # schedule the sweep draws).
+    protocol_sweeps = {
+        "register": (
             (RacingConsensus(3), [0, 1, 1], KSetAgreementTask(1)),
             (MinSeen(3, rounds=2), [4, 1, 9], KSetAgreementTask(3)),
-        ):
+        ),
+        "swap": (
+            (SwapConsensus(2), [0, 1], KSetAgreementTask(1)),
+        ),
+        "tas": (
+            (TASConsensus(2), [0, 1], KSetAgreementTask(1)),
+        ),
+        "cas": (
+            (CASConsensus(3), [0, 1, 2], KSetAgreementTask(1)),
+        ),
+    }
+
+    if args.experiment in ("protocol", "all"):
+        for protocol, inputs, task in protocol_sweeps[args.base_object]:
             result = sweep_protocol_campaign(
                 protocol, inputs, seeds, task=task, **options,
                 **fault_options(f"protocol-{protocol.name}"),
@@ -357,9 +394,14 @@ def cmd_explore(args) -> int:
     from repro.campaign import explore_campaign
     from repro.protocols import (
         AnonymousSweepConsensus,
+        CASConsensus,
         KSetAgreementTask,
+        LargeRegisterEmulation,
         MinSeen,
         RacingConsensus,
+        RegularRegisterTask,
+        SwapConsensus,
+        TASConsensus,
         TruncatedProtocol,
     )
 
@@ -402,8 +444,36 @@ def cmd_explore(args) -> int:
             AnonymousSweepConsensus(3, m=2), [0, 1, 1],
             KSetAgreementTask(1), False,
         ),
+        # Base-object scenarios: a single swap cell solves consensus for
+        # n=2 but not n=3 (the third process can adopt a chained-out
+        # value); one test-and-set bit plus posted proposals likewise
+        # break at n=3; compare-and-swap has infinite consensus number,
+        # so its scenario is expected safe.
+        "swap": (
+            SwapConsensus(3), [0, 1, 2], KSetAgreementTask(1), False,
+        ),
+        "cas": (
+            CASConsensus(3), [0, 1, 2], KSetAgreementTask(1), True,
+        ),
+        "tas": (
+            TASConsensus(3), [0, 1, 2], KSetAgreementTask(1), False,
+        ),
+        # The deliberately broken clear-then-set sweep order: some
+        # reader/writer interleaving sees no set bit at all.
+        "large-register": (
+            LargeRegisterEmulation(3, (2,), safe=False), [0, 0],
+            RegularRegisterTask(3, (2,)), False,
+        ),
     }
-    protocol, inputs, task, expect_safe = scenarios[args.scenario]
+    if args.base_object is not None:
+        if args.scenario is not None:
+            print("error: give --scenario or --base-object, not both",
+                  file=sys.stderr)
+            return 2
+        scenario = BASE_OBJECT_SCENARIOS[args.base_object]
+    else:
+        scenario = args.scenario or "truncated"
+    protocol, inputs, task, expect_safe = scenarios[scenario]
 
     result = explore_campaign(
         protocol, inputs, task,
@@ -413,10 +483,13 @@ def cmd_explore(args) -> int:
         workers=args.workers, chunk_size=args.chunk_size,
         checkpoint=checkpoint, resume=resume, retry=retry,
         packed=args.packed, symmetry=args.symmetry,
+        verify_certificates=args.verify_certificates,
     )
     mode = "" if args.packed else ", unpacked"
     if args.symmetry:
         mode += ", symmetry-reduced"
+    if args.verify_certificates:
+        mode += ", certificate-gated"
     print(f"exploring {protocol.name} on inputs {inputs} "
           f"(prefix depth {args.prefix_depth}{mode}):")
     print(f"   {result.report.summary()}")
@@ -528,6 +601,13 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["falsify", "protocol", "fuzz", "all"],
         default="all",
     )
+    campaign.add_argument(
+        "--base-object",
+        choices=["register", "swap", "tas", "cas"],
+        default="register",
+        help="memory primitive for the protocol-safety sweeps "
+             "(default: register)",
+    )
     campaign.add_argument("--fuzz-runs", type=int, default=200)
     campaign.add_argument("--seed", type=int, default=0)
     campaign.add_argument(
@@ -547,8 +627,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     explore.add_argument(
         "--scenario",
-        choices=["truncated", "racing", "minseen", "anonymous"],
-        default="truncated",
+        choices=[
+            "truncated", "racing", "minseen", "anonymous",
+            "swap", "cas", "tas", "large-register",
+        ],
+        default=None,
+        help="named scenario to explore (default: truncated)",
+    )
+    explore.add_argument(
+        "--base-object",
+        choices=sorted(BASE_OBJECT_SCENARIOS),
+        default=None,
+        help="pick the canonical scenario for a memory primitive "
+             "(mutually exclusive with --scenario)",
     )
     explore.add_argument("--max-configs", type=int, default=200_000)
     explore.add_argument("--max-steps", type=int, default=30)
@@ -572,6 +663,11 @@ def build_parser() -> argparse.ArgumentParser:
     explore.add_argument(
         "--verify-serial", action="store_true",
         help="re-run serially and assert the sharded report is identical",
+    )
+    explore.add_argument(
+        "--verify-certificates", action="store_true",
+        help="make workers emit witness certificates and reject any "
+             "chunk whose certificates fail independent replay",
     )
     _add_fault_tolerance_args(explore)
     explore.set_defaults(func=cmd_explore)

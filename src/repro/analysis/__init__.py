@@ -34,12 +34,17 @@ from repro.analysis.fuzz import (
     schedule_for_run,
 )
 from repro.analysis.linearizability import (
+    BASE_OBJECT_SPECS,
+    CompareAndSwapSpec,
     CompletedOperation,
     RegisterSpec,
     SnapshotSpec,
+    SwapSpec,
+    TestAndSetSpec,
     certified_linearization,
     check_linearizable,
     crossing_pairs,
+    spec_for_base_object,
 )
 from repro.analysis.shrink import (
     ShrinkResult,
@@ -49,6 +54,7 @@ from repro.analysis.shrink import (
 )
 from repro.analysis.space import (
     SpaceReport,
+    base_object_profile,
     components_written,
     measure_protocol_space,
     measure_system_registers,
@@ -65,6 +71,11 @@ __all__ = [
     "CompletedOperation",
     "RegisterSpec",
     "SnapshotSpec",
+    "SwapSpec",
+    "TestAndSetSpec",
+    "CompareAndSwapSpec",
+    "BASE_OBJECT_SPECS",
+    "spec_for_base_object",
     "certified_linearization",
     "check_linearizable",
     "crossing_pairs",
@@ -78,6 +89,7 @@ __all__ = [
     "replay_schedule",
     "violates",
     "SpaceReport",
+    "base_object_profile",
     "components_written",
     "measure_protocol_space",
     "measure_system_registers",

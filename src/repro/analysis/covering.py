@@ -23,7 +23,8 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ValidationError
-from repro.protocols.base import DECIDE, SCAN, UPDATE, Protocol
+from repro.memory.rmw import apply_rmw
+from repro.protocols.base import DECIDE, RMW, SCAN, UPDATE, Protocol
 
 
 @dataclass
@@ -45,11 +46,11 @@ class CoveringReport:
     memory: Tuple = ()
     steps_used: int = 0
     #: process index -> the reserving execution that drove it here: the
-    #: exact steps it took, each ``("scan",)`` or ``("update", j, v)``
-    #: for a write that *landed* (the frozen write is withheld and lives
-    #: in ``poised_values``).  Derived data for certificates; excluded
-    #: from equality and repr so recording it never changes report
-    #: comparisons.
+    #: exact steps it took, each ``("scan",)``, ``("update", j, v)`` or
+    #: ``("rmw", j, op, args)`` for a write that *landed* (the frozen
+    #: write is withheld and lives in ``poised_values``).  Derived data
+    #: for certificates; excluded from equality and repr so recording it
+    #: never changes report comparisons.
     executions: Dict[int, Tuple[Tuple, ...]] = field(
         default_factory=dict, compare=False, repr=False
     )
@@ -113,6 +114,20 @@ def build_covering(
             if kind == SCAN:
                 log.append((SCAN,))
                 state = protocol.advance(state, tuple(memory))
+            elif kind == RMW:
+                # An RMW covers its component like an update does; the
+                # withheld value is the one determined by the contents
+                # at freeze time (for swap and test-and-set it is
+                # contents-independent anyway).
+                component, op, args = payload
+                new_value, result = apply_rmw(op, memory[component], args)
+                if component not in report.covered:
+                    report.covered[component] = index
+                    report.poised_values[index] = (component, new_value)
+                    break  # freeze here: the write is withheld
+                log.append((RMW, component, op, tuple(args)))
+                memory[component] = new_value
+                state = protocol.advance(state, result)
             else:
                 component, written = payload
                 if component not in report.covered:

@@ -72,8 +72,10 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import DivergenceError, ValidationError
+from repro.memory.rmw import apply_rmw
 from repro.protocols.base import (
     DECIDE,
+    RMW,
     SCAN,
     SYMMETRY_FULL,
     SYMMETRY_IDENTITY,
@@ -319,6 +321,11 @@ class ExplorationContext:
         #: ``state -> (new state, component, value)``.  A context lives
         #: in one mode, so the key shapes never share a table instance.
         self._update_succ: Dict[Any, Tuple[Any, int, Any]] = {}
+        #: RMW successors depend on the component's *current* contents
+        #: (an RMW reads what it overwrites), so the key carries it:
+        #: packed ``(sid, old mid) -> (new sid, new value mid)``;
+        #: unpacked ``(state, old value) -> (new state, new value)``.
+        self._rmw_succ: Dict[Tuple[Any, Any], Tuple[Any, Any]] = {}
         self._configs: Dict[Tuple, _Config] = {}
         #: state/value -> slot id for the packed encoding.  States and
         #: memory values share one table; ids are assigned in first-seen
@@ -476,6 +483,21 @@ class ExplorationContext:
                 new_state = self.protocol.advance(state, memory)
                 self._scan_succ[scan_key] = new_state
             new_memory = memory
+        elif kind == RMW:
+            component, op, args = payload
+            old_value = memory[component]
+            # op/args are functions of the state, so (state, old value)
+            # determines both the written value and the advanced state.
+            rmw_key = (state, old_value)
+            entry = self._rmw_succ.get(rmw_key)
+            if entry is None:
+                new_value, result = apply_rmw(op, old_value, args)
+                entry = (self.protocol.advance(state, result), new_value)
+                self._rmw_succ[rmw_key] = entry
+            new_state, new_value = entry
+            new_memory = (
+                memory[:component] + (new_value,) + memory[component + 1:]
+            )
         else:
             entry = self._update_succ.get(state)
             if entry is None:
@@ -538,6 +560,29 @@ class ExplorationContext:
                     self._values[sid], self.memory_of(parent)
                 ))
                 by_memory[mkey] = new_sid
+        elif kind == RMW:
+            component, op, args = payload
+            old_mid = mids[component]
+            entry = self._rmw_succ.get((sid, old_mid))
+            if entry is None:
+                new_value, result = apply_rmw(
+                    op, self._values[old_mid], args
+                )
+                entry = (
+                    self._id(self.protocol.advance(
+                        self._values[sid], result
+                    )),
+                    self._id(new_value),
+                )
+                self._rmw_succ[(sid, old_mid)] = entry
+            new_sid, new_mid = entry
+            if new_mid != old_mid:
+                mkey = mkey + (
+                    (new_mid - old_mid) << (component * _SLOT_BITS)
+                )
+                mids = (
+                    mids[:component] + (new_mid,) + mids[component + 1:]
+                )
         else:
             entry = self._update_succ.get(sid)
             if entry is None:

@@ -56,6 +56,8 @@ class CompletedOperation:
 class SnapshotSpec:
     """Sequential specification of an m-component atomic snapshot."""
 
+    kind = "snapshot"
+
     def __init__(self, components: int, initial: Any = None) -> None:
         self.m = components
         self.initial = initial
@@ -78,6 +80,8 @@ class SnapshotSpec:
 class RegisterSpec:
     """Sequential specification of a single read/write register."""
 
+    kind = "register"
+
     def __init__(self, initial: Any = None) -> None:
         self.initial = initial
 
@@ -93,6 +97,104 @@ class RegisterSpec:
             (value,) = args
             return value, value
         raise ValidationError(f"register spec has no operation {op!r}")
+
+
+class SwapSpec:
+    """Sequential specification of a swap object."""
+
+    kind = "swap"
+
+    def __init__(self, initial: Any = None) -> None:
+        self.initial = initial
+
+    def initial_state(self) -> Any:
+        """The cell holds its initial value."""
+        return self.initial
+
+    def apply(self, state: Any, op: str, args: Tuple) -> Tuple[Any, Any]:
+        """Sequentially apply read/swap; returns (state, result)."""
+        if op == "read":
+            return state, state
+        if op == "swap":
+            (value,) = args
+            return value, state
+        raise ValidationError(f"swap spec has no operation {op!r}")
+
+
+class TestAndSetSpec:
+    """Sequential specification of a (resettable) test-and-set bit."""
+
+    kind = "test-and-set"
+
+    def __init__(self, initial: Any = 0) -> None:
+        self.initial = initial
+
+    def initial_state(self) -> Any:
+        """The bit holds its initial value."""
+        return self.initial
+
+    def apply(self, state: Any, op: str, args: Tuple) -> Tuple[Any, Any]:
+        """Sequentially apply read/test_and_set/reset."""
+        if op == "read":
+            return state, state
+        if op == "test_and_set":
+            return 1, state
+        if op == "reset":
+            return self.initial, self.initial
+        raise ValidationError(f"test-and-set spec has no operation {op!r}")
+
+
+class CompareAndSwapSpec:
+    """Sequential specification of a compare-and-swap object."""
+
+    kind = "compare-and-swap"
+
+    def __init__(self, initial: Any = None) -> None:
+        self.initial = initial
+
+    def initial_state(self) -> Any:
+        """The cell holds its initial value."""
+        return self.initial
+
+    def apply(self, state: Any, op: str, args: Tuple) -> Tuple[Any, Any]:
+        """Sequentially apply read/compare_and_swap."""
+        if op == "read":
+            return state, state
+        if op == "compare_and_swap":
+            expected, new = args
+            if state == expected:
+                return new, state
+            return state, state
+        raise ValidationError(f"CAS spec has no operation {op!r}")
+
+
+#: Base-object kind -> sequential spec class, for parameterizing the
+#: checker (and the certificate descriptors) over the primitive type.
+BASE_OBJECT_SPECS = {
+    "register": RegisterSpec,
+    "swap": SwapSpec,
+    "test-and-set": TestAndSetSpec,
+    "compare-and-swap": CompareAndSwapSpec,
+}
+
+
+def spec_for_base_object(kind: str, initial: Any = None):
+    """The sequential spec for a one-word base object of ``kind``.
+
+    ``kind`` is one of ``register`` / ``swap`` / ``test-and-set`` /
+    ``compare-and-swap``; ``initial`` seeds the object's initial value
+    (defaulting to 0 for test-and-set, whose unset value is 0).
+    """
+    try:
+        cls = BASE_OBJECT_SPECS[kind]
+    except KeyError:
+        raise ValidationError(
+            f"unknown base-object kind {kind!r} (expected one of "
+            f"{sorted(BASE_OBJECT_SPECS)})"
+        ) from None
+    if kind == "test-and-set" and initial is None:
+        return cls()
+    return cls(initial)
 
 
 def crossing_pairs(history: Sequence[CompletedOperation]) -> int:

@@ -22,7 +22,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Sequence, Set
 
-from repro.protocols.base import DECIDE, SCAN, Protocol
+from repro.memory.rmw import apply_rmw
+from repro.protocols.base import DECIDE, RMW, SCAN, Protocol
 from repro.runtime.system import System
 
 
@@ -59,12 +60,55 @@ def components_written(
             continue
         if kind == SCAN:
             states[index] = protocol.advance(states[index], tuple(memory))
+        elif kind == RMW:
+            # An RMW writes its component, so it counts against the
+            # space measure exactly like an update.
+            component, op, args = payload
+            new_value, result = apply_rmw(op, memory[component], args)
+            written.add(component)
+            memory[component] = new_value
+            states[index] = protocol.advance(states[index], result)
         else:
             component, value = payload
             written.add(component)
             memory[component] = value
             states[index] = protocol.advance(states[index], None)
     return written
+
+
+def base_object_profile(
+    protocol: Protocol, inputs: Sequence[Any], schedule: Sequence[int]
+) -> Dict[str, int]:
+    """Step counts by base-object operation when replaying ``schedule``.
+
+    The space falsifier's companion measure for the multi-primitive
+    substrate: how many scan, update, and read-modify-write steps (the
+    latter split per operation — ``swap`` / ``test_and_set`` /
+    ``compare_and_swap``) the schedule performs.  Steps by decided
+    processes are no-ops, matching replay semantics everywhere else.
+    """
+    states = [protocol.initial_state(i, v) for i, v in enumerate(inputs)]
+    memory: List[Any] = [None] * protocol.m
+    profile: Dict[str, int] = {}
+    for index in schedule:
+        kind, payload = protocol.poised(states[index])
+        if kind == DECIDE:
+            continue
+        if kind == SCAN:
+            profile["scan"] = profile.get("scan", 0) + 1
+            states[index] = protocol.advance(states[index], tuple(memory))
+        elif kind == RMW:
+            component, op, args = payload
+            new_value, result = apply_rmw(op, memory[component], args)
+            profile[op] = profile.get(op, 0) + 1
+            memory[component] = new_value
+            states[index] = protocol.advance(states[index], result)
+        else:
+            component, value = payload
+            profile["update"] = profile.get("update", 0) + 1
+            memory[component] = value
+            states[index] = protocol.advance(states[index], None)
+    return profile
 
 
 def measure_protocol_space(

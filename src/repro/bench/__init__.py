@@ -1,6 +1,6 @@
 """The benchmark harness: measured experiments as first-class artifacts.
 
-The 14 experiments of EXPERIMENTS.md (E1–E14) back every empirical claim
+The experiments of EXPERIMENTS.md (E1–E17) back every empirical claim
 in this reproduction, but as pytest-benchmark tests their numbers lived
 only in transient stdout.  This package turns them into the repo's
 perf-regression backbone:

@@ -1,4 +1,4 @@
-"""Discovery registry for the measurable experiments (E1–E16).
+"""Discovery registry for the measurable experiments (E1–E17).
 
 Each :class:`Experiment` binds an experiment id to a *payload*: a
 callable taking ``quick`` (bool) and returning a :class:`PayloadResult`
@@ -7,7 +7,7 @@ metrics.  ``quick`` selects a CI-sized parameterisation of the same
 workload; ``full`` matches the EXPERIMENTS.md tables.  The runner times
 payload calls from the outside — payloads only do work.
 
-Campaign-backed experiments (E4, E13–E16) run through
+Campaign-backed experiments (E4, E13–E17) run through
 :mod:`repro.campaign` and surface the engine's telemetry (mode, worker
 count, utilization) in their metrics, so a ``BENCH_*.json`` records not
 just *how fast* but *which execution path* produced the number.
@@ -367,4 +367,35 @@ def run_e16(quick: bool) -> PayloadResult:
     metrics["symmetry"] = True
     return PayloadResult(
         units=result.report.configurations, metrics=metrics
+    )
+
+
+@_register("E17", "base_objects",
+           "Multi-primitive exploration: swap/TAS/CAS and large-register",
+           campaign_backed=True)
+def run_e17(quick: bool) -> PayloadResult:
+    """E17 payload: certified full enumeration of the base-object zoo.
+
+    Units are reachable configurations summed over the four families
+    (swap / test-and-set / compare-and-swap consensus and the safe
+    large-register emulation), explored with the untrusted-worker
+    certificate gate on — so the number prices the certified path, not
+    the trusting one.
+    """
+    from repro.bench.workloads import explore_base_objects
+
+    results = explore_base_objects(
+        workers=None, n=3 if quick else 4, domain=3 if quick else 5,
+    )
+    metrics = _campaign_metrics(results[-1])
+    metrics["families"] = len(results)
+    metrics["certificates_verified"] = sum(
+        r.telemetry.certificates_verified for r in results
+    )
+    metrics["violating_families"] = sum(
+        1 for r in results if not r.report.safe
+    )
+    return PayloadResult(
+        units=sum(r.report.configurations for r in results),
+        metrics=metrics,
     )

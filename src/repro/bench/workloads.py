@@ -1,6 +1,6 @@
 """The experiment workloads, as plain callables.
 
-Every experiment of EXPERIMENTS.md (E1–E16) used to live only inside a
+Every experiment of EXPERIMENTS.md (E1–E17) used to live only inside a
 pytest-benchmark test; this module lifts each one's core workload into a
 library function so the same code path serves three callers:
 
@@ -13,7 +13,7 @@ library function so the same code path serves three callers:
 Functions here *run work and return data*; they never print, never time
 themselves, and raise :class:`AssertionError` if the experiment's
 correctness expectations fail (a benchmark number for a broken run is
-worse than no number).  Campaign-backed workloads (E4, E13–E16) route
+worse than no number).  Campaign-backed workloads (E4, E13–E17) route
 through :mod:`repro.campaign` so their numbers exercise the same engine
 and telemetry as ``repro campaign`` / ``repro explore``.
 """
@@ -421,3 +421,54 @@ def explore_symmetry(symmetry: bool, workers: Optional[int] = None,
     )
     assert result.report.safe
     return result
+
+
+def explore_base_objects(workers: Optional[int] = None, n: int = 3,
+                         domain: int = 3,
+                         verify_certificates: bool = True):
+    """E17 core: full-enumeration sweep over the base-object families.
+
+    Explores each multi-primitive scenario — swap / test-and-set /
+    compare-and-swap consensus plus the safe large-register emulation —
+    through the campaign engine with ``stop_at_first_violation=False``
+    (units are *all* reachable configurations, not configurations until
+    the first counterexample) and, by default, the untrusted-worker
+    certificate gate enabled, so the measured path is the certified one.
+    Asserts each family's known verdict (swap and test-and-set solve
+    consensus only for two processes; compare-and-swap for any number;
+    the set-then-clear sweep order never invents a value).  Returns the
+    list of :class:`~repro.campaign.engine.CampaignResult`.
+    """
+    from repro.campaign import explore_campaign
+    from repro.protocols import (
+        CASConsensus,
+        KSetAgreementTask,
+        LargeRegisterEmulation,
+        RegularRegisterTask,
+        SwapConsensus,
+        TASConsensus,
+    )
+
+    inputs = list(range(n))
+    consensus = KSetAgreementTask(1)
+    writes = (domain - 1, 0)
+    scenarios = (
+        (SwapConsensus(n), inputs, consensus, n <= 2),
+        (TASConsensus(n), inputs, consensus, n <= 2),
+        (CASConsensus(n), inputs, consensus, True),
+        (
+            LargeRegisterEmulation(domain, writes, safe=True), [0, 0],
+            RegularRegisterTask(domain, writes), True,
+        ),
+    )
+    results = []
+    for protocol, protocol_inputs, task, expect_safe in scenarios:
+        result = explore_campaign(
+            protocol, protocol_inputs, task,
+            stop_at_first_violation=False, workers=workers,
+            verify_certificates=verify_certificates,
+        )
+        assert result.complete
+        assert result.report.safe == expect_safe
+        results.append(result)
+    return results

@@ -61,12 +61,17 @@ def _register_builtins() -> None:
         ApproxAgreementTask,
         AveragingApprox,
         BisectionApprox,
+        CASConsensus,
         GroupedKSet,
         ImmediateDecide,
         KSetAgreementTask,
+        LargeRegisterEmulation,
         MinSeen,
         RacingConsensus,
+        RegularRegisterTask,
         RotatingWrites,
+        SwapConsensus,
+        TASConsensus,
         TruncatedProtocol,
     )
 
@@ -114,6 +119,32 @@ def _register_builtins() -> None:
         lambda p: {"epsilon": p.epsilon},
         lambda d: BisectionApprox(d["epsilon"]),
     )
+    register_protocol(
+        "swap-consensus", SwapConsensus,
+        lambda p: {"n": p.n},
+        lambda d: SwapConsensus(d["n"]),
+    )
+    register_protocol(
+        "cas-consensus", CASConsensus,
+        lambda p: {"n": p.n},
+        lambda d: CASConsensus(d["n"]),
+    )
+    register_protocol(
+        "tas-consensus", TASConsensus,
+        lambda p: {"n": p.n},
+        lambda d: TASConsensus(d["n"]),
+    )
+    register_protocol(
+        "large-register", LargeRegisterEmulation,
+        lambda p: {
+            "domain": p.domain, "writes": list(p.writes),
+            "initial": p.initial, "safe": p.safe,
+        },
+        lambda d: LargeRegisterEmulation(
+            d["domain"], tuple(d["writes"]),
+            initial=d["initial"], safe=d["safe"],
+        ),
+    )
 
     register_task(
         "kset-agreement", KSetAgreementTask,
@@ -124,6 +155,16 @@ def _register_builtins() -> None:
         "approx-agreement", ApproxAgreementTask,
         lambda t: {"epsilon": t.epsilon},
         lambda d: ApproxAgreementTask(d["epsilon"]),
+    )
+    register_task(
+        "regular-register", RegularRegisterTask,
+        lambda t: {
+            "domain": t.domain, "writes": list(t.writes),
+            "initial": t.initial,
+        },
+        lambda d: RegularRegisterTask(
+            d["domain"], tuple(d["writes"]), initial=d["initial"]
+        ),
     )
 
 
@@ -186,22 +227,31 @@ def build_task(descriptor: Dict[str, Any]) -> Any:
     return _build(descriptor, _TASKS, "task")
 
 
+#: One-word spec families: descriptor carries only the initial value.
+_CELL_SPEC_FAMILIES = ("register", "swap", "test-and-set", "compare-and-swap")
+
+
 def describe_spec(spec: Any) -> Dict[str, Any]:
     """The JSON descriptor naming a sequential object specification.
 
-    Accepts any object shaped like the linearizability specs — an
-    m-component snapshot (``.m``/``.initial``) or a single register
-    (``.initial``) — including the verifier's own independent
-    reimplementations (:mod:`repro.certify.replay`).
+    Specs name their family via a ``kind`` attribute (``snapshot`` /
+    ``register`` / ``swap`` / ``test-and-set`` / ``compare-and-swap``);
+    both the analysis-side specs and the verifier's independent
+    reimplementations (:mod:`repro.certify.replay`) carry it.  Objects
+    without a ``kind`` are sniffed by shape for backward compatibility:
+    an m-component snapshot (``.m``/``.initial``) or a single register
+    (``.initial``).
     """
-    components = getattr(spec, "m", None)
-    if components is not None:
+    kind = getattr(spec, "kind", None)
+    if kind == "snapshot" or (kind is None and getattr(spec, "m", None) is not None):
         return {
             "family": "snapshot",
-            "components": components,
+            "components": spec.m,
             "initial": spec.initial,
         }
-    if hasattr(spec, "initial"):
+    if kind in _CELL_SPEC_FAMILIES:
+        return {"family": kind, "initial": spec.initial}
+    if kind is None and hasattr(spec, "initial"):
         return {"family": "register", "initial": spec.initial}
     raise CertificateError(
         f"no certificate descriptor for spec {type(spec).__name__}"
@@ -211,8 +261,11 @@ def describe_spec(spec: Any) -> Dict[str, Any]:
 def build_spec(descriptor: Dict[str, Any]) -> Any:
     """Rebuild a spec as the verifier's *independent* implementation."""
     from repro.certify.replay import (
+        SequentialCompareAndSwap,
         SequentialRegister,
         SequentialSnapshot,
+        SequentialSwap,
+        SequentialTestAndSet,
     )
 
     if not isinstance(descriptor, dict) or "family" not in descriptor:
@@ -226,6 +279,12 @@ def build_spec(descriptor: Dict[str, Any]) -> Any:
         )
     if family == "register":
         return SequentialRegister(descriptor.get("initial"))
+    if family == "swap":
+        return SequentialSwap(descriptor.get("initial"))
+    if family == "test-and-set":
+        return SequentialTestAndSet(descriptor.get("initial", 0))
+    if family == "compare-and-swap":
+        return SequentialCompareAndSwap(descriptor.get("initial"))
     raise CertificateError(
         f"unknown spec family {family!r} in certificate"
     )

@@ -10,7 +10,12 @@ execution semantics a verifier needs:
   a scheduled step by an already-decided process is a no-op, and
   ``None`` decision payloads are "undecided" to a task checker;
 * sequential object specs (:class:`SequentialSnapshot`,
-  :class:`SequentialRegister`) for re-checking linearization orders.
+  :class:`SequentialRegister`, :class:`SequentialSwap`,
+  :class:`SequentialTestAndSet`, :class:`SequentialCompareAndSwap`) for
+  re-checking linearization orders;
+* its own read-modify-write semantics (:func:`verifier_rmw`) for
+  replaying RMW poised steps — re-derived from the operations'
+  definitions, not imported from the substrate the claims are about.
 
 It deliberately imports nothing from :mod:`repro.analysis`: the module
 graph of :mod:`repro.certify.verify` is the trust boundary that makes
@@ -22,7 +27,34 @@ from __future__ import annotations
 from typing import Any, Dict, List, Sequence, Tuple
 
 from repro.errors import CertificateError
-from repro.protocols.base import DECIDE, SCAN, UPDATE, Protocol
+from repro.protocols.base import DECIDE, RMW, SCAN, UPDATE, Protocol
+
+
+def verifier_rmw(
+    op: str, current: Any, args: Sequence[Any]
+) -> Tuple[Any, Any]:
+    """The verifier's own read-modify-write semantics.
+
+    Returns ``(new_value, result)``; every operation returns the old
+    value.  This mirrors :func:`repro.memory.rmw.apply_rmw` by
+    *definition* (swap installs its argument; test-and-set installs 1;
+    compare-and-swap installs ``new`` iff the old value equals
+    ``expected``) rather than by import, keeping the replay independent
+    of the substrate under test.
+    """
+    if op == "swap":
+        (value,) = args
+        return value, current
+    if op == "test_and_set":
+        if args:
+            raise CertificateError("test_and_set takes no arguments")
+        return 1, current
+    if op == "compare_and_swap":
+        expected, new = args
+        if current == expected:
+            return new, current
+        return current, current
+    raise CertificateError(f"unknown read-modify-write operation {op!r}")
 
 
 def initial_configuration(
@@ -62,6 +94,17 @@ def step_process(
         new_state = protocol.advance(state, None)
         new_memory = (
             memory[:component] + (value,) + memory[component + 1:]
+        )
+    elif kind == RMW:
+        component, op, args = payload
+        if not 0 <= component < len(memory):
+            raise CertificateError(
+                f"{protocol.name}: RMW component {component} out of range"
+            )
+        new_value, result = verifier_rmw(op, memory[component], args)
+        new_state = protocol.advance(state, result)
+        new_memory = (
+            memory[:component] + (new_value,) + memory[component + 1:]
         )
     else:
         raise CertificateError(
@@ -106,6 +149,8 @@ class SequentialSnapshot:
     ``initial_state``, ``apply``) but owned by the verifier.
     """
 
+    kind = "snapshot"
+
     def __init__(self, components: int, initial: Any = None) -> None:
         self.m = components
         self.initial = initial
@@ -138,6 +183,8 @@ class SequentialSnapshot:
 class SequentialRegister:
     """Independent sequential spec of a single read/write register."""
 
+    kind = "register"
+
     def __init__(self, initial: Any = None) -> None:
         self.initial = initial
 
@@ -156,6 +203,86 @@ class SequentialRegister:
             (value,) = args
             return value, value
         raise CertificateError(f"register spec has no operation {op!r}")
+
+
+class SequentialSwap:
+    """Independent sequential spec of a swap object."""
+
+    kind = "swap"
+
+    def __init__(self, initial: Any = None) -> None:
+        self.initial = initial
+
+    def initial_state(self) -> Any:
+        """The cell's initial value."""
+        return self.initial
+
+    def apply(
+        self, state: Any, op: str, args: Sequence[Any]
+    ) -> Tuple[Any, Any]:
+        """Apply ``read`` or ``swap`` to a state; returns
+        ``(new_state, result)``."""
+        if op == "read":
+            return state, state
+        if op == "swap":
+            (value,) = args
+            return value, state
+        raise CertificateError(f"swap spec has no operation {op!r}")
+
+
+class SequentialTestAndSet:
+    """Independent sequential spec of a (resettable) test-and-set bit."""
+
+    kind = "test-and-set"
+
+    def __init__(self, initial: Any = 0) -> None:
+        self.initial = initial
+
+    def initial_state(self) -> Any:
+        """The bit's initial value."""
+        return self.initial
+
+    def apply(
+        self, state: Any, op: str, args: Sequence[Any]
+    ) -> Tuple[Any, Any]:
+        """Apply ``read``, ``test_and_set`` or ``reset`` to a state;
+        returns ``(new_state, result)``."""
+        if op == "read":
+            return state, state
+        if op == "test_and_set":
+            return 1, state
+        if op == "reset":
+            return self.initial, self.initial
+        raise CertificateError(
+            f"test-and-set spec has no operation {op!r}"
+        )
+
+
+class SequentialCompareAndSwap:
+    """Independent sequential spec of a compare-and-swap object."""
+
+    kind = "compare-and-swap"
+
+    def __init__(self, initial: Any = None) -> None:
+        self.initial = initial
+
+    def initial_state(self) -> Any:
+        """The cell's initial value."""
+        return self.initial
+
+    def apply(
+        self, state: Any, op: str, args: Sequence[Any]
+    ) -> Tuple[Any, Any]:
+        """Apply ``read`` or ``compare_and_swap`` to a state; returns
+        ``(new_state, result)``."""
+        if op == "read":
+            return state, state
+        if op == "compare_and_swap":
+            expected, new = args
+            if state == expected:
+                return new, state
+            return state, state
+        raise CertificateError(f"CAS spec has no operation {op!r}")
 
 
 def apply_sequentially(

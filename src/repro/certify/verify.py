@@ -46,9 +46,10 @@ from repro.certify.replay import (
     decisions_of,
     replay_configuration,
     step_process,
+    verifier_rmw,
 )
 from repro.errors import CertificateError, ReproError
-from repro.protocols.base import DECIDE, SCAN, UPDATE
+from repro.protocols.base import DECIDE, RMW, SCAN, UPDATE
 
 #: The certificate's claim re-checked out as stated.
 REASON_OK = "ok"
@@ -355,6 +356,32 @@ def _check_covering(payload: Dict[str, Any], deep: bool) -> None:
                     )
                 memory[step[1]] = observed[1]
                 state = protocol.advance(state, None)
+            elif step[0] == RMW:
+                if len(step) != 4:
+                    raise _Reject(
+                        REASON_MALFORMED,
+                        "rmw steps must be [kind, component, op, args]",
+                    )
+                if kind != RMW or observed[0] != step[1] or (
+                    observed[1] != step[2]
+                ) or not _equal(step[3], list(observed[2])):
+                    raise _Reject(
+                        REASON_COVERING_INVALID,
+                        f"process {index} logged rmw {step[1:]} "
+                        f"while poised to {kind} {observed!r}",
+                    )
+                if step[1] not in covering:
+                    raise _Reject(
+                        REASON_COVERING_INVALID,
+                        f"process {index} let an rmw land on "
+                        f"component {step[1]}, which no earlier "
+                        f"process covers",
+                    )
+                new_value, result = verifier_rmw(
+                    observed[1], memory[step[1]], observed[2]
+                )
+                memory[step[1]] = new_value
+                state = protocol.advance(state, result)
             else:
                 raise _Reject(
                     REASON_MALFORMED,
@@ -363,12 +390,24 @@ def _check_covering(payload: Dict[str, Any], deep: bool) -> None:
         kind, observed = protocol.poised(state)
         if index in poised_by_index:
             component, value = poised_by_index[index]
-            if kind != UPDATE or observed[0] != component or (
-                not _equal(value, observed[1])
-            ):
+            if kind == UPDATE:
+                poised_component, poised_value = observed
+            elif kind == RMW:
+                # The withheld write of an RMW is determined by the
+                # memory at freeze time, which is exactly what the
+                # verifier's replay holds here.
+                poised_component = observed[0]
+                poised_value, _result = verifier_rmw(
+                    observed[1], memory[observed[0]], observed[2]
+                )
+            else:
+                poised_component = poised_value = None
+            if kind not in (UPDATE, RMW) or (
+                poised_component != component
+            ) or not _equal(value, poised_value):
                 raise _Reject(
                     REASON_COVERING_INVALID,
-                    f"process {index} is not poised to update "
+                    f"process {index} is not poised to write "
                     f"component {component} with {value!r} "
                     f"(poised: {kind} {observed!r})",
                 )

@@ -11,7 +11,16 @@ assumption.
 """
 
 from repro.memory.afek import AfekSnapshot
+from repro.memory.large import LargeRegister
 from repro.memory.registers import Register, RegisterArray
+from repro.memory.rmw import (
+    RMW_OPS,
+    CompareAndSwap,
+    RMWSnapshot,
+    Swap,
+    TestAndSet,
+    apply_rmw,
+)
 from repro.memory.snapshot import AtomicSnapshot, SingleWriterSnapshot
 
 __all__ = [
@@ -20,4 +29,11 @@ __all__ = [
     "AtomicSnapshot",
     "SingleWriterSnapshot",
     "AfekSnapshot",
+    "Swap",
+    "TestAndSet",
+    "CompareAndSwap",
+    "RMWSnapshot",
+    "LargeRegister",
+    "RMW_OPS",
+    "apply_rmw",
 ]

@@ -1,0 +1,189 @@
+"""Read-modify-write primitives: swap, test-and-set, compare-and-swap.
+
+The paper proves its lower bound for read/write registers, but the
+surrounding literature multiplies the question across base-object types:
+Ovens (2023) proves an Ω(√n) consensus space bound *from swap objects*,
+and the consensus hierarchy places test-and-set at level 2 and
+compare-and-swap at level ∞.  These primitives let the same falsifier
+machinery (exploration, covering, space measurement, certification) run
+over those scenario families.
+
+Each primitive applies one operation as a *single atomic step*, exactly
+like :class:`~repro.memory.registers.Register`; :func:`apply_rmw` is the
+shared pure semantics table, reused verbatim by the exploration core,
+the solo-run simulator, and the protocol runtime so the three can never
+disagree about what a swap returns.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple
+
+from repro.errors import ModelError
+from repro.memory.snapshot import AtomicSnapshot
+
+#: Operation names understood by :func:`apply_rmw` (and therefore by
+#: every RMW-capable object and by the ``RMW`` poised kind of
+#: :mod:`repro.protocols.base`).
+RMW_OPS = ("swap", "test_and_set", "compare_and_swap")
+
+
+def apply_rmw(op: str, current: Any, args: Tuple[Any, ...]) -> Tuple[Any, Any]:
+    """Pure semantics of one read-modify-write step.
+
+    Returns ``(new_value, result)`` where ``new_value`` is what the
+    component holds afterwards and ``result`` is what the invoking
+    process observes.  All three operations return the *old* value, the
+    standard convention:
+
+    * ``swap(v)``: new value ``v``, returns the old value.
+    * ``test_and_set()``: new value ``1``, returns the old value (a
+      process "wins" iff it sees the unset value).
+    * ``compare_and_swap(expected, new)``: new value ``new`` iff the old
+      value equals ``expected`` (else unchanged), returns the old value
+      (so success is ``result == expected``).
+    """
+    if op == "swap":
+        (value,) = args
+        return value, current
+    if op == "test_and_set":
+        if args:
+            raise ModelError("test_and_set takes no arguments")
+        return 1, current
+    if op == "compare_and_swap":
+        expected, new = args
+        if current == expected:
+            return new, current
+        return current, current
+    raise ModelError(f"unknown read-modify-write operation {op!r}")
+
+
+class _RMWCell:
+    """Shared machinery for one-word read-modify-write primitives.
+
+    Subclasses fix which of the :data:`RMW_OPS` the object exposes; all
+    of them also support ``read()`` (an RMW object is at least a
+    register for reading purposes, which the conformance harness and the
+    linearizability specs rely on).
+    """
+
+    #: Operations this object supports besides ``read``.
+    ops: Tuple[str, ...] = ()
+
+    def __init__(self, name: str, initial: Any = None) -> None:
+        self.name = name
+        self.initial = initial
+        self.value = initial
+        self.read_count = 0
+        self.rmw_count = 0
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r}, value={self.value!r})"
+
+    def apply(self, pid: int, op: str, args: Tuple[Any, ...]) -> Any:
+        """Atomically apply one supported operation as a single step."""
+        if op == "read":
+            self.read_count += 1
+            return self.value
+        if op in self.ops:
+            self.value, result = apply_rmw(op, self.value, args)
+            self.rmw_count += 1
+            return result
+        raise ModelError(
+            f"{type(self).__name__} {self.name} has no operation {op!r}"
+        )
+
+    def register_count(self) -> int:
+        """One base object occupies one cell of the space measure."""
+        return 1
+
+
+class Swap(_RMWCell):
+    """An atomic swap object.
+
+    Operations (via ``apply``):
+        * ``swap(v)`` -> atomically writes ``v`` and returns the old value.
+        * ``read()`` -> current contents.
+
+    This is the base object of Ovens (2023)'s Ω(√n) consensus bound: a
+    swap is a write that also tells the writer what it overwrote.
+    """
+
+    ops = ("swap",)
+
+
+class TestAndSet(_RMWCell):
+    """An atomic test-and-set bit.
+
+    Operations (via ``apply``):
+        * ``test_and_set()`` -> atomically sets the bit to 1 and returns
+          the old value; the caller "wins" iff it saw the initial value.
+        * ``read()`` -> current contents.
+        * ``reset()`` -> restores the initial value (the standard
+          resettable-TAS extension; returns the initial value).
+    """
+
+    ops = ("test_and_set",)
+
+    def __init__(self, name: str, initial: Any = 0) -> None:
+        super().__init__(name, initial)
+
+    def apply(self, pid: int, op: str, args: Tuple[Any, ...]) -> Any:
+        if op == "reset":
+            if args:
+                raise ModelError("reset takes no arguments")
+            self.value = self.initial
+            self.rmw_count += 1
+            return self.initial
+        return super().apply(pid, op, args)
+
+
+class CompareAndSwap(_RMWCell):
+    """An atomic compare-and-swap object.
+
+    Operations (via ``apply``):
+        * ``compare_and_swap(expected, new)`` -> atomically installs
+          ``new`` iff the current value equals ``expected``; returns the
+          old value either way (success iff the return equals
+          ``expected``).
+        * ``read()`` -> current contents.
+
+    Consensus number ∞: n processes solve consensus by CAS-ing their
+    input over the initial value and adopting whatever won.
+    """
+
+    ops = ("compare_and_swap",)
+
+
+class RMWSnapshot(AtomicSnapshot):
+    """An atomic snapshot whose components also support RMW steps.
+
+    This is the shared memory ``M`` of a protocol that uses swap /
+    test-and-set / compare-and-swap base objects: ``scan`` and ``update``
+    behave exactly as on :class:`~repro.memory.snapshot.AtomicSnapshot`,
+    and ``rmw(j, op, args)`` atomically applies one :func:`apply_rmw`
+    step to component ``j`` and returns its result.  Protocols that
+    never issue an ``rmw`` step see a plain snapshot, so this is a
+    drop-in replacement in :func:`~repro.protocols.base.run_protocol`.
+    """
+
+    def __init__(self, name: str, components: int, initial: Any = None) -> None:
+        super().__init__(name, components, initial)
+        self.rmw_count = 0
+
+    def __repr__(self) -> str:
+        return f"RMWSnapshot({self.name!r}, m={self.m})"
+
+    def apply(self, pid: int, op: str, args: Tuple[Any, ...]) -> Any:
+        """Atomically apply scan()/update(j, v)/rmw(j, op, args)."""
+        if op == "rmw":
+            component, rmw_op, rmw_args = args
+            self._check_index(component)
+            new_value, result = apply_rmw(
+                rmw_op, self.values[component], tuple(rmw_args)
+            )
+            self.values[component] = new_value
+            self._view = None
+            self.rmw_count += 1
+            return result
+        return super().apply(pid, op, args)

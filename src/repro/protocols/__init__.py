@@ -31,10 +31,17 @@ Concrete protocols:
   algorithm, kept as an exhaustively-falsified case study.
 * :mod:`repro.protocols.registers_runtime` — run any protocol on raw
   registers via the [AAD+93] multi-writer construction.
+* :mod:`repro.protocols.rmw` — consensus over read-modify-write base
+  objects (swap / test-and-set / compare-and-swap), the multi-primitive
+  scenario families.
+* :mod:`repro.protocols.largereg` — the Wei 2018-style
+  large-register-from-binary-registers emulation and its regularity
+  task.
 """
 
 from repro.protocols.base import (
     DECIDE,
+    RMW,
     SCAN,
     SYMMETRY_FULL,
     SYMMETRY_IDENTITY,
@@ -52,7 +59,12 @@ from repro.protocols.commit_adopt import (
     CommitAdoptTask,
 )
 from repro.protocols.kset import GroupedKSet, TruncatedProtocol
+from repro.protocols.largereg import (
+    LargeRegisterEmulation,
+    RegularRegisterTask,
+)
 from repro.protocols.racing import RacingConsensus
+from repro.protocols.rmw import CASConsensus, SwapConsensus, TASConsensus
 from repro.protocols.simple import ImmediateDecide, MinSeen, RotatingWrites
 from repro.protocols.tasks import ApproxAgreementTask, KSetAgreementTask
 
@@ -60,6 +72,7 @@ __all__ = [
     "Protocol",
     "SCAN",
     "UPDATE",
+    "RMW",
     "DECIDE",
     "SYMMETRY_FULL",
     "SYMMETRY_IDENTITY",
@@ -78,6 +91,11 @@ __all__ = [
     "CommitAdopt",
     "CommitAdoptConsensus",
     "CommitAdoptTask",
+    "SwapConsensus",
+    "CASConsensus",
+    "TASConsensus",
+    "LargeRegisterEmulation",
+    "RegularRegisterTask",
     "KSetAgreementTask",
     "ApproxAgreementTask",
 ]

@@ -6,9 +6,12 @@ machine over an ``m``-component snapshot ``M``:
 * :meth:`Protocol.initial_state` gives the state of process ``i`` on input
   ``v``;
 * :meth:`Protocol.poised` says what the process is poised to do in a state —
-  ``(SCAN, None)``, ``(UPDATE, (j, value))``, or ``(DECIDE, output)``;
+  ``(SCAN, None)``, ``(UPDATE, (j, value))``, ``(RMW, (j, op, args))``, or
+  ``(DECIDE, output)``;
 * :meth:`Protocol.advance` applies the step: for a scan, it absorbs the
-  returned view; for an update, it moves past the write.
+  returned view; for an update, it moves past the write; for a
+  read-modify-write, it absorbs the operation's return value (the old
+  contents of component ``j`` — see :func:`repro.memory.rmw.apply_rmw`).
 
 States must be *immutable and hashable* and transitions must be *pure*.
 This buys three guarantees the rest of the library depends on:
@@ -22,7 +25,12 @@ This buys three guarantees the rest of the library depends on:
 
 Protocols must also alternate: after a scan the machine must be poised to
 update or decide; after an update it must be poised to scan.  This is the
-paper's w.l.o.g. normal form and :func:`protocol_body` enforces it.
+paper's w.l.o.g. normal form and :func:`protocol_body` enforces it.  The
+normal form is stated for read/write memory; RMW steps are atomic
+read-*and*-write steps, so they are exempt from the alternation check,
+and protocols over non-read/write base objects (or emulation families
+whose readers take consecutive scans) may opt out entirely by overriding
+:meth:`Protocol.alternates`.
 """
 
 from __future__ import annotations
@@ -30,6 +38,7 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, Generator, List, Optional, Sequence, Tuple
 
 from repro.errors import DivergenceError, ProtocolError, ValidationError
+from repro.memory.rmw import RMWSnapshot, apply_rmw
 from repro.memory.snapshot import AtomicSnapshot
 from repro.runtime.events import Annotate, Invoke
 from repro.runtime.process import Process
@@ -38,6 +47,7 @@ from repro.runtime.system import ExecutionResult, System
 
 SCAN = "scan"
 UPDATE = "update"
+RMW = "rmw"
 DECIDE = "decide"
 
 #: Annotation tag recorded when a protocol process decides.
@@ -70,15 +80,17 @@ class Protocol:
 
     def poised(self, state: Any) -> Tuple[str, Any]:
         """What the process does next: ``(SCAN, None)``,
-        ``(UPDATE, (component, value))`` or ``(DECIDE, output)``."""
+        ``(UPDATE, (component, value))``, ``(RMW, (component, op, args))``
+        or ``(DECIDE, output)``."""
         raise NotImplementedError
 
     def advance(self, state: Any, observation: Any = None) -> Any:
         """The state after performing the poised step.
 
-        ``observation`` is the scan's returned view for SCAN steps and must
-        be ``None`` for UPDATE steps.  Calling this on a decided state is a
-        :class:`~repro.errors.ProtocolError`.
+        ``observation`` is the scan's returned view for SCAN steps, the
+        operation's return value (the component's old contents) for RMW
+        steps, and must be ``None`` for UPDATE steps.  Calling this on a
+        decided state is a :class:`~repro.errors.ProtocolError`.
         """
         raise NotImplementedError
 
@@ -113,6 +125,20 @@ class Protocol:
         """
         return SYMMETRY_IDENTITY
 
+    def alternates(self) -> bool:
+        """Whether the protocol promises scan/update alternation.
+
+        ``True`` (the default) asserts the paper's w.l.o.g. normal form
+        for the protocol's read/write steps, and :func:`protocol_body`
+        enforces it as a sanity check.  RMW steps are exempt either way
+        (an RMW is both the read and the write of its component).
+        Emulation families whose machines legitimately take consecutive
+        same-kind steps — e.g. the bit-probing reader of
+        :class:`~repro.protocols.largereg.LargeRegisterEmulation` —
+        override this to return ``False``.
+        """
+        return True
+
 
 def protocol_body(
     protocol: Protocol,
@@ -130,6 +156,8 @@ def protocol_body(
     """
     protocol.check_index(index)
 
+    check_alternation = protocol.alternates()
+
     def body(proc: Process) -> Generator:
         state = protocol.initial_state(index, value)
         taken = 0
@@ -142,7 +170,11 @@ def protocol_body(
                     {"protocol": protocol.name, "index": index, "value": payload},
                 )
                 return payload
-            if kind == previous_kind:
+            if (
+                check_alternation
+                and kind == previous_kind
+                and kind != RMW
+            ):
                 raise ProtocolError(
                     f"{protocol.name}: process {index} broke scan/update "
                     f"alternation (two consecutive {kind} steps)"
@@ -156,6 +188,10 @@ def protocol_body(
                 component, written = payload
                 yield Invoke(snapshot, "update", (component, written))
                 state = protocol.advance(state, None)
+            elif kind == RMW:
+                component, op, args = payload
+                result = yield Invoke(snapshot, "rmw", (component, op, args))
+                state = protocol.advance(state, result)
             else:
                 raise ProtocolError(
                     f"{protocol.name}: unknown poised kind {kind!r}"
@@ -185,7 +221,9 @@ def run_protocol(
             f"{len(inputs)} inputs"
         )
     system = System()
-    snapshot = AtomicSnapshot(snapshot_name, components=protocol.m)
+    # An RMWSnapshot behaves exactly like an AtomicSnapshot unless the
+    # protocol issues RMW steps, so every protocol gets one.
+    snapshot = RMWSnapshot(snapshot_name, components=protocol.m)
     for index, value in enumerate(inputs):
         system.add_process(
             protocol_body(protocol, index, value, snapshot),
@@ -246,6 +284,16 @@ def solo_run(
                 return state, tuple(local), (component, value), None
             local[component] = value
             state = protocol.advance(state, None)
+        elif kind == RMW:
+            component, op, args = payload
+            new_value, result = apply_rmw(op, local[component], args)
+            if allowed is not None and component not in allowed:
+                # An RMW writes its component, so it stops the run the
+                # same way an update does; the pending write's value is
+                # determined by the current contents.
+                return state, tuple(local), (component, new_value), None
+            local[component] = new_value
+            state = protocol.advance(state, result)
         else:
             raise ProtocolError(f"{protocol.name}: unknown poised kind {kind!r}")
     raise DivergenceError(
@@ -265,9 +313,10 @@ def solo_run_trace(
     """Like :func:`solo_run`, but also returns the step list.
 
     The extra element is the sequence of steps taken, each
-    ``("scan", view)`` or ``("update", component, value)`` — the hidden
-    execution ξ that the Lemma 28 correspondence checker splices into the
-    simulated execution.
+    ``("scan", view)``, ``("update", component, value)`` or
+    ``("rmw", component, op, args, result)`` — the hidden execution ξ
+    that the Lemma 28 correspondence checker splices into the simulated
+    execution.
     """
     local = list(contents)
     if len(local) != protocol.m:
@@ -294,6 +343,14 @@ def solo_run_trace(
             steps.append(("update", component, value))
             local[component] = value
             state = protocol.advance(state, None)
+        elif kind == RMW:
+            component, op, args = payload
+            new_value, result = apply_rmw(op, local[component], args)
+            if allowed is not None and component not in allowed:
+                return state, tuple(local), (component, new_value), None, steps
+            steps.append(("rmw", component, op, args, result))
+            local[component] = new_value
+            state = protocol.advance(state, result)
         else:
             raise ProtocolError(f"{protocol.name}: unknown poised kind {kind!r}")
     raise DivergenceError(

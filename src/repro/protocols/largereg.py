@@ -1,0 +1,190 @@
+"""Large-register-from-small-registers emulation (Wei 2018 style).
+
+:class:`~repro.memory.large.LargeRegister` is the runtime face of the
+classic unary construction — an ℓ-valued single-writer regular register
+from ℓ binary registers.  This module is its *bounded-exhaustive* face:
+the same sweeps, expressed as a two-process protocol in the scan/update
+normal form, so the falsifier can enumerate every interleaving of one
+writer against one reader and certify the construction's key safety
+property (a read never returns a value nobody wrote) — or, for the
+deliberately broken variant, exhibit the interleaving that invents a
+value out of thin air.
+
+Memory component ``j`` models bit ``A[j]``; the exploration core roots
+memory at all-``None``, so the pre-set initial bit is modelled lazily:
+the reader treats ``None`` at the initial value's component as set, and
+any landed write replaces the ``None``.
+
+The reader's upward probe reads *one bit per scan* (it looks only at
+its current probe component, modelling a single-bit read), which takes
+consecutive SCAN steps; the writer's sweeps take consecutive UPDATE
+steps.  Both are legitimate register programs that simply are not in
+the alternation normal form, so the family opts out via
+:meth:`~repro.protocols.base.Protocol.alternates`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.errors import ProtocolError, ValidationError
+from repro.protocols.base import DECIDE, SCAN, UPDATE, Protocol
+
+#: The reader's decision when its probe falls off the end of the bit
+#: array without seeing a set bit — the construction's failure mode,
+#: reachable only in the ``safe=False`` variant.
+BOTTOM = "bottom"
+
+#: The writer's decision once all its writes have landed.
+WRITER_DONE = "writer-done"
+
+
+class LargeRegisterEmulation(Protocol):
+    """Two-process emulation of the unary large-register construction.
+
+    Process 0 is the writer: it performs ``writes`` (a sequence of
+    values in ``0..domain-1``), each as "set bit ``v``, then clear bits
+    ``v-1 .. 0`` downward", then decides :data:`WRITER_DONE`.  With
+    ``safe=False`` the sweep is reversed to the broken
+    "clear-then-set" order.
+
+    Process 1 is the reader: it probes bits ``0, 1, ...`` upward, one
+    scan per bit, and decides the index of the first set bit — or
+    :data:`BOTTOM` if it falls off the end, which the safe sweep order
+    makes unreachable (the writer sets the new bit before clearing
+    lower ones, so an upward probe always crosses a set bit) and the
+    broken order exposes.
+
+    ``initial`` selects the pre-set bit (the register's initial value).
+    Inputs are ignored (the workload is baked into the instance), so
+    explore/fuzz this with ``inputs=[0, 0]``.
+    """
+
+    def __init__(
+        self,
+        domain: int,
+        writes: Sequence[int],
+        initial: int = 0,
+        safe: bool = True,
+    ) -> None:
+        if domain < 1:
+            raise ValidationError("domain must be at least 1")
+        if not 0 <= initial < domain:
+            raise ValidationError(
+                f"initial value {initial} outside domain 0..{domain - 1}"
+            )
+        for value in writes:
+            if not 0 <= value < domain:
+                raise ValidationError(
+                    f"write {value!r} outside domain 0..{domain - 1}"
+                )
+        self.n = 2
+        self.m = domain
+        self.domain = domain
+        self.writes = tuple(writes)
+        self.initial = initial
+        self.safe = bool(safe)
+        mode = "safe" if safe else "broken"
+        self.name = (
+            f"large-register(domain={domain}, writes={list(self.writes)}, "
+            f"initial={initial}, {mode})"
+        )
+
+    def alternates(self) -> bool:
+        """Sweeps take consecutive same-kind steps by design."""
+        return False
+
+    def _writer_steps(self) -> Tuple[Tuple[int, int], ...]:
+        """The writer's flat ``(component, bit)`` sweep sequence."""
+        steps: List[Tuple[int, int]] = []
+        for value in self.writes:
+            clears = [(j, 0) for j in range(value - 1, -1, -1)]
+            if self.safe:
+                steps.append((value, 1))
+                steps.extend(clears)
+            else:
+                steps.extend(clears)
+                steps.append((value, 1))
+        return tuple(steps)
+
+    def initial_state(self, index: int, value: Any) -> Tuple:
+        self.check_index(index)
+        if index == 0:
+            return ("write", self._writer_steps())
+        return ("probe", 0)
+
+    def poised(self, state: Any) -> Tuple[str, Any]:
+        phase, payload = state
+        if phase == "write":
+            if payload:
+                return (UPDATE, payload[0])
+            return (DECIDE, WRITER_DONE)
+        if phase == "probe":
+            return (SCAN, None)
+        return (DECIDE, payload)
+
+    def _bit_set(self, position: int, bit: Any) -> bool:
+        """Whether the probed bit reads as set (lazily pre-set initial)."""
+        return bit == 1 or (bit is None and position == self.initial)
+
+    def advance(self, state: Any, observation: Any = None) -> Any:
+        phase, payload = state
+        if phase == "write":
+            if not payload:
+                raise ProtocolError(f"{self.name}: advance on decided state")
+            return ("write", payload[1:])
+        if phase == "probe":
+            if self._bit_set(payload, observation[payload]):
+                return ("done", payload)
+            if payload + 1 < self.domain:
+                return ("probe", payload + 1)
+            return ("done", BOTTOM)
+        raise ProtocolError(f"{self.name}: advance on decided state")
+
+
+class RegularRegisterTask:
+    """Safety condition for the large-register emulation.
+
+    The reader (process 1) must return an actual value of the register:
+    never :data:`BOTTOM` (the probe must not fall off the end), never
+    ``None``, and always a member of ``{initial} ∪ writes`` (no value
+    out of thin air).  The writer (process 0) may only decide
+    :data:`WRITER_DONE`.  Full regularity (old-or-overlapping-write) is
+    checked on the runtime composed object by the regularity harness;
+    this checker judges what a decided-map can express.
+    """
+
+    def __init__(
+        self, domain: int, writes: Sequence[int], initial: int = 0
+    ) -> None:
+        self.domain = domain
+        self.writes = tuple(writes)
+        self.initial = initial
+        self.name = (
+            f"regular-register(domain={domain}, "
+            f"writes={list(self.writes)}, initial={initial})"
+        )
+
+    def check(self, inputs: Sequence[Any], outputs: Dict[int, Any]) -> List[str]:
+        """Return violations of the reader's value validity (empty = safe)."""
+        violations: List[str] = []
+        legal = {self.initial} | set(self.writes)
+        for pid, value in sorted(outputs.items()):
+            if pid == 0:
+                if value != WRITER_DONE:
+                    violations.append(
+                        f"writer decided {value!r}, expected "
+                        f"{WRITER_DONE!r}"
+                    )
+                continue
+            if value == BOTTOM or value is None:
+                violations.append(
+                    f"reader {pid} fell off the bit array (decided "
+                    f"{value!r}): some interleaving shows no set bit"
+                )
+            elif value not in legal:
+                violations.append(
+                    f"reader {pid} decided {value!r}, which was never "
+                    f"written (legal values: {sorted(legal)})"
+                )
+        return violations

@@ -1,0 +1,191 @@
+"""Consensus protocols over read-modify-write base objects.
+
+The paper's lower bound is for read/write registers; the surrounding
+hierarchy results change the base object and ask the same question.
+These families put the multi-primitive substrate to work:
+
+* :class:`SwapConsensus` — one swap object, "swap your input in, adopt
+  what you got back".  Correct for n = 2 (swap has consensus number 2)
+  and *incorrect* for n ≥ 3: the falsifier finds the classic chain
+  interleaving where the third process adopts the second's value.  This
+  is the executable face of Ovens (2023)'s setting, where consensus
+  from swap objects costs Ω(√n) space.
+* :class:`CASConsensus` — one compare-and-swap object, the textbook
+  consensus-number-∞ algorithm: CAS your input over the initial value
+  and decide whatever won.  Correct for every n, so exploration
+  certifies it safe at any instance size the budget affords.
+* :class:`TASConsensus` — a test-and-set flag plus n proposal
+  components.  Correct for n = 2 (test-and-set has consensus number 2)
+  and incorrect for n = 3: a late loser can adopt a proposal that is
+  neither its own nor the winner's.
+
+All three stay in the scan/update normal form extended with the RMW
+poised kind (:data:`repro.protocols.base.RMW`), so every analysis —
+exploration, covering, space measurement, certification — applies
+unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple
+
+from repro.errors import ProtocolError, ValidationError
+from repro.protocols.base import (
+    DECIDE,
+    RMW,
+    SCAN,
+    SYMMETRY_FULL,
+    UPDATE,
+    Protocol,
+)
+
+
+class SwapConsensus(Protocol):
+    """Consensus from one swap object: swap in, adopt what came out.
+
+    Each process swaps its input into the single component; a process
+    that got back the initial ``None`` was first and decides its own
+    input, anyone else decides the value it swapped out.  For n = 2
+    the second process always swaps out the first's input — agreement.
+    For n ≥ 3 the i-th swapper adopts the (i-1)-th's input, so three
+    processes can decide two different values; the falsifier exhibits
+    exactly that chain.
+
+    Anonymous (state never mentions the process index), so symmetry
+    reduction applies.  State: ``("swap", value)`` then
+    ``("done", decision)``.
+    """
+
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise ValidationError("n must be at least 1")
+        self.n = n
+        self.m = 1
+        self.name = f"swap-consensus(n={n})"
+
+    def initial_state(self, index: int, value: Any) -> Tuple:
+        self.check_index(index)
+        return ("swap", value)
+
+    def poised(self, state: Any) -> Tuple[str, Any]:
+        phase, value = state
+        if phase == "swap":
+            return (RMW, (0, "swap", (value,)))
+        return (DECIDE, value)
+
+    def advance(self, state: Any, observation: Any = None) -> Any:
+        phase, value = state
+        if phase == "swap":
+            # observation is the swapped-out value: None means we were
+            # first (keep our input), anything else is adopted.
+            return ("done", value if observation is None else observation)
+        raise ProtocolError(f"{self.name}: advance on decided state")
+
+    def symmetry(self) -> str:
+        return SYMMETRY_FULL
+
+
+class CASConsensus(Protocol):
+    """Consensus from one compare-and-swap object, for any n.
+
+    Each process CASes its input over the initial ``None``; the CAS
+    returns the old value, so a process that saw ``None`` won and
+    decides its own input, and every loser saw the winner's already-
+    installed input and decides that.  Safe for every n — exploration
+    certifies the absence of violations instead of finding one.
+
+    Anonymous; state: ``("cas", value)`` then ``("done", decision)``.
+    """
+
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise ValidationError("n must be at least 1")
+        self.n = n
+        self.m = 1
+        self.name = f"cas-consensus(n={n})"
+
+    def initial_state(self, index: int, value: Any) -> Tuple:
+        self.check_index(index)
+        return ("cas", value)
+
+    def poised(self, state: Any) -> Tuple[str, Any]:
+        phase, value = state
+        if phase == "cas":
+            return (RMW, (0, "compare_and_swap", (None, value)))
+        return (DECIDE, value)
+
+    def advance(self, state: Any, observation: Any = None) -> Any:
+        phase, value = state
+        if phase == "cas":
+            # observation is the pre-CAS contents: None means our CAS
+            # installed our input; otherwise it is the winner's input.
+            return ("done", value if observation is None else observation)
+        raise ProtocolError(f"{self.name}: advance on decided state")
+
+    def symmetry(self) -> str:
+        return SYMMETRY_FULL
+
+
+class TASConsensus(Protocol):
+    """Consensus from a test-and-set flag plus n proposal components.
+
+    Component 0 is the flag; component 1 + i holds process i's proposal.
+    Each process publishes its proposal, then plays test-and-set: the
+    winner (who saw the unset flag) decides its own input; a loser scans
+    and decides the lowest-indexed proposal *other than its own*.
+
+    For n = 2 the only other proposal a loser can see is the winner's
+    (the winner published before winning, and the loser scans after
+    losing), so this solves consensus.  For n = 3 it does not: if
+    process 1 wins after process 0 has published, a losing process 2
+    adopts process 0's proposal — the falsifier finds that schedule.
+
+    State: ``("propose", index, value)`` → ``("tas", index, value)`` →
+    (win: ``("done", value)`` | lose: ``("scan", index, value)``) →
+    ``("done", decision)``.
+    """
+
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise ValidationError("n must be at least 1")
+        self.n = n
+        self.m = n + 1
+        self.name = f"tas-consensus(n={n})"
+
+    def initial_state(self, index: int, value: Any) -> Tuple:
+        self.check_index(index)
+        return ("propose", index, value)
+
+    def poised(self, state: Any) -> Tuple[str, Any]:
+        phase = state[0]
+        if phase == "propose":
+            _phase, index, value = state
+            return (UPDATE, (1 + index, value))
+        if phase == "tas":
+            return (RMW, (0, "test_and_set", ()))
+        if phase == "scan":
+            return (SCAN, None)
+        return (DECIDE, state[1])
+
+    def advance(self, state: Any, observation: Any = None) -> Any:
+        phase = state[0]
+        if phase == "propose":
+            _phase, index, value = state
+            return ("tas", index, value)
+        if phase == "tas":
+            _phase, index, value = state
+            # observation is the flag's old value: unset (None on the
+            # exploration's fresh memory, 0 on a TestAndSet object)
+            # means we won.
+            if not observation:
+                return ("done", value)
+            return ("scan", index, value)
+        if phase == "scan":
+            _phase, index, value = state
+            others = [
+                proposal
+                for j, proposal in enumerate(observation[1:])
+                if proposal is not None and j != index
+            ]
+            return ("done", others[0] if others else value)
+        raise ProtocolError(f"{self.name}: advance on decided state")

@@ -21,11 +21,17 @@ from repro.analysis import (
     schedule_prefixes,
 )
 from repro.protocols import (
+    CASConsensus,
     KSetAgreementTask,
+    LargeRegisterEmulation,
     MinSeen,
     RacingConsensus,
+    RegularRegisterTask,
+    SwapConsensus,
+    TASConsensus,
     TruncatedProtocol,
 )
+from repro.protocols.base import DECIDE, RMW, SCAN, UPDATE, Protocol
 from tests.analysis.reference_explore import (
     reference_explore_prefix_range,
     reference_explore_protocol,
@@ -146,6 +152,123 @@ class TestUnpackedDifferential:
             stop_at_first_violation=stop_first, packed=False, **bounds,
         )
         assert_reports_identical(unpacked, reference)
+
+
+class SwapThenWrite(Protocol):
+    """Gadget mixing an RMW step with updates and scans.
+
+    Each process swaps its input through shared component 0 (so the
+    second swapper's RMW lands on an already-written component — the
+    cache-sensitive case for the explorer's RMW successor table), posts
+    what it got back to its own component, scans, and decides what it
+    sees in component 0.
+    """
+
+    def __init__(self, n: int = 2) -> None:
+        self.n = n
+        self.m = 1 + n
+        self.name = f"swap-then-write(n={n})"
+
+    def initial_state(self, index, value):
+        self.check_index(index)
+        return ("swap", index, value)
+
+    def poised(self, state):
+        phase, index, value = state
+        if phase == "swap":
+            return (RMW, (0, "swap", (value,)))
+        if phase == "write":
+            return (UPDATE, (1 + index, value))
+        if phase == "scan":
+            return (SCAN, None)
+        return (DECIDE, value)
+
+    def advance(self, state, observation=None):
+        phase, index, value = state
+        if phase == "swap":
+            taken = value if observation is None else observation
+            return ("write", index, taken)
+        if phase == "write":
+            return ("scan", index, value)
+        return ("done", index, observation[0])
+
+
+# The frozen reference explorer predates the RMW poised kind, so these
+# cases are differential between the *live* encodings and execution
+# layouts only: packed vs unpacked vs sharded must still agree
+# byte-for-byte on every base-object family.
+RMW_CASES = [
+    (lambda: SwapConsensus(3), [0, 1, 2],
+     KSetAgreementTask(1), dict(max_configs=100_000, max_steps=None)),
+    (lambda: CASConsensus(3), [0, 1, 2],
+     KSetAgreementTask(1), dict(max_configs=100_000, max_steps=None)),
+    (lambda: TASConsensus(3), [0, 1, 2],
+     KSetAgreementTask(1), dict(max_configs=100_000, max_steps=None)),
+    (lambda: SwapThenWrite(2), [3, 4],
+     KSetAgreementTask(2), dict(max_configs=100_000, max_steps=None)),
+    (lambda: LargeRegisterEmulation(3, (2,), safe=False), [0, 0],
+     RegularRegisterTask(3, (2,)), dict(max_configs=100_000,
+                                        max_steps=None)),
+]
+
+
+class TestBaseObjectEncodingDifferential:
+    """Packed vs unpacked vs sharded over the RMW protocol families."""
+
+    @pytest.mark.parametrize("case", range(len(RMW_CASES)))
+    @pytest.mark.parametrize("stop_first", [True, False])
+    def test_packed_equals_unpacked(self, case, stop_first):
+        factory, inputs, task, bounds = RMW_CASES[case]
+        packed = explore_protocol(
+            factory(), inputs, task,
+            stop_at_first_violation=stop_first, packed=True, **bounds,
+        )
+        unpacked = explore_protocol(
+            factory(), inputs, task,
+            stop_at_first_violation=stop_first, packed=False, **bounds,
+        )
+        assert_reports_identical(packed, unpacked)
+
+    @pytest.mark.parametrize("case", range(len(RMW_CASES)))
+    @pytest.mark.parametrize("packed", [True, False])
+    def test_halves_merge_to_serial(self, case, packed):
+        factory, inputs, task, bounds = RMW_CASES[case]
+        depth = 2
+        serial = explore_protocol(
+            factory(), inputs, task, prefix_depth=depth, packed=packed,
+            **bounds,
+        )
+        protocol = factory()
+        prefixes = schedule_prefixes(protocol, inputs, depth)
+        half = len(prefixes) // 2
+        left = explore_prefix_range(
+            protocol, inputs, task, prefixes, 0, half, packed=packed,
+            **bounds,
+        )
+        right = explore_prefix_range(
+            protocol, inputs, task, prefixes, half, len(prefixes),
+            packed=packed, **bounds,
+        )
+        assert_reports_identical(left.merge(right), serial)
+
+    @pytest.mark.parametrize("case", range(len(RMW_CASES)))
+    def test_shared_context_across_shards_is_pure(self, case):
+        """The RMW successor cache must not leak state between units."""
+        factory, inputs, task, bounds = RMW_CASES[case]
+        protocol = factory()
+        serial = explore_protocol(
+            protocol, inputs, task, prefix_depth=2, **bounds,
+        )
+        ctx = ExplorationContext(protocol, inputs, task)
+        prefixes = schedule_prefixes(protocol, inputs, 2, context=ctx)
+        merged = None
+        for unit in range(len(prefixes)):
+            shard = explore_prefix_range(
+                protocol, inputs, task, prefixes, unit, unit + 1,
+                context=ctx, **bounds,
+            )
+            merged = shard if merged is None else merged.merge(shard)
+        assert_reports_identical(merged, serial)
 
 
 class TestPrefixDecompositionDifferential:

@@ -25,15 +25,15 @@ def fake_experiment(calls, eid="E99", name="fake"):
 
 
 class TestRegistry:
-    def test_discovers_all_sixteen_in_order(self):
+    def test_discovers_all_seventeen_in_order(self):
         experiments = discover()
         assert [e.eid for e in experiments] == [
-            f"E{i}" for i in range(1, 17)
+            f"E{i}" for i in range(1, 18)
         ]
 
     def test_campaign_backed_experiments_flagged(self):
         flagged = {e.eid for e in discover() if e.campaign_backed}
-        assert flagged == {"E4", "E13", "E14", "E15", "E16"}
+        assert flagged == {"E4", "E13", "E14", "E15", "E16", "E17"}
 
     def test_resolve_by_id_name_and_stem(self):
         assert [e.eid for e in resolve(["E13"])] == ["E13"]

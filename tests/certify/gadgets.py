@@ -8,6 +8,7 @@ constructor call, exactly as it does for the built-in zoo.
 
 from repro.certify.registry import register_protocol
 from tests.analysis.test_explore import DiamondTrap
+from tests.analysis.test_reference_differential import SwapThenWrite
 
 
 def register_gadgets() -> None:
@@ -20,4 +21,9 @@ def register_gadgets() -> None:
         "diamond-trap", DiamondTrap,
         lambda p: {},
         lambda d: DiamondTrap(),
+    )
+    register_protocol(
+        "swap-then-write", SwapThenWrite,
+        lambda p: {"n": p.n},
+        lambda d: SwapThenWrite(d["n"]),
     )

@@ -1,0 +1,209 @@
+"""The multi-primitive protocol families, end to end.
+
+Each family's consensus power is a theorem of the literature — swap and
+test-and-set have consensus number 2, compare-and-swap has consensus
+number ∞ — and here each verdict is *machine-checked* by bounded
+exhaustion: the two-process instances are safe under every interleaving,
+the three-process swap/TAS instances yield a concrete counterexample
+schedule, and the compare-and-swap family stays safe as n grows.
+
+The same RMW poised kind must then agree across every execution layer:
+the real runtime (:func:`run_protocol` on an
+:class:`~repro.memory.RMWSnapshot`), the local simulator
+(:func:`solo_run`), the covering builder, and the space profiler.
+"""
+
+import pytest
+
+from repro.analysis import explore_protocol
+from repro.analysis.covering import build_covering
+from repro.analysis.space import base_object_profile, components_written
+from repro.errors import ValidationError
+from repro.protocols import (
+    CASConsensus,
+    KSetAgreementTask,
+    LargeRegisterEmulation,
+    RegularRegisterTask,
+    SwapConsensus,
+    TASConsensus,
+    run_protocol,
+    solo_run,
+)
+from repro.protocols.largereg import BOTTOM, WRITER_DONE
+from repro.runtime import RandomScheduler, RoundRobinScheduler
+
+CONSENSUS = KSetAgreementTask(1)
+
+
+def explore(protocol, inputs, task=CONSENSUS, **bounds):
+    bounds.setdefault("max_configs", 500_000)
+    return explore_protocol(protocol, inputs, task, **bounds)
+
+
+class TestConsensusPower:
+    """The consensus-hierarchy verdicts, by exhaustive enumeration."""
+
+    def test_swap_solves_two_process_consensus(self):
+        report = explore(SwapConsensus(2), [0, 1])
+        assert report.safe and report.fully_decided > 0
+
+    def test_swap_fails_three_process_consensus(self):
+        report = explore(SwapConsensus(3), [0, 1, 2])
+        assert not report.safe
+        assert report.counterexample is not None
+
+    def test_tas_solves_two_process_consensus(self):
+        report = explore(TASConsensus(2), [0, 1])
+        assert report.safe and report.fully_decided > 0
+
+    def test_tas_fails_three_process_consensus(self):
+        report = explore(TASConsensus(3), [0, 1, 2])
+        assert not report.safe
+
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_cas_solves_consensus_for_any_n(self, n):
+        report = explore(CASConsensus(n), list(range(n)))
+        assert report.safe and report.fully_decided > 0
+
+    def test_validity_not_just_agreement(self):
+        """Decisions are proposals, not invented values: with equal
+        inputs every reachable decision is that input."""
+        report = explore(
+            SwapConsensus(2), [7, 7],
+            stop_at_first_violation=False,
+        )
+        assert report.safe
+
+
+class TestRuntimeAgreesWithExploration:
+    """The RMW step through the real scheduler-driven runtime."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_cas_consensus_agreement_under_random_schedules(self, seed):
+        _system, result = run_protocol(
+            CASConsensus(3), [10, 20, 30], RandomScheduler(seed)
+        )
+        assert result.completed
+        decided = set(result.outputs.values())
+        assert len(decided) == 1
+        assert decided <= {10, 20, 30}
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_swap_two_process_agreement(self, seed):
+        _system, result = run_protocol(
+            SwapConsensus(2), [4, 9], RandomScheduler(seed)
+        )
+        assert set(result.outputs.values()) in ({4}, {9})
+
+    def test_counterexample_schedule_replays_in_runtime(self):
+        """The explorer's swap counterexample is real: replaying it
+        through the runtime produces the same disagreement."""
+        from repro.runtime import AdversarialScheduler
+
+        report = explore(SwapConsensus(3), [0, 1, 2])
+        _system, result = run_protocol(
+            SwapConsensus(3), [0, 1, 2],
+            AdversarialScheduler(
+                list(report.counterexample), skip_inactive=True
+            ),
+        )
+        assert len(set(result.outputs.values())) > 1
+
+    def test_rmw_count_on_shared_snapshot(self):
+        system, _result = run_protocol(
+            SwapConsensus(2), [4, 9], RoundRobinScheduler()
+        )
+        (snapshot,) = [
+            obj for obj in system.objects.values()
+            if hasattr(obj, "rmw_count")
+        ]
+        assert snapshot.rmw_count == 2
+
+
+class TestSoloRun:
+    def test_solo_swap_from_empty_memory_decides_own_input(self):
+        protocol = SwapConsensus(2)
+        _state, contents, _pending, decision = solo_run(
+            protocol, protocol.initial_state(0, 42), (None,),
+        )
+        assert decision == 42
+        assert contents == (42,)
+
+    def test_solo_swap_adopts_chained_value(self):
+        protocol = SwapConsensus(2)
+        _state, contents, _pending, decision = solo_run(
+            protocol, protocol.initial_state(1, 9), (4,),
+        )
+        assert decision == 4
+        assert contents == (9,)
+
+    def test_solo_rmw_outside_allowed_components_withheld(self):
+        protocol = SwapConsensus(2)
+        state, contents, pending, decision = solo_run(
+            protocol, protocol.initial_state(0, 5), (None,),
+            stop_before_update_outside=[],
+        )
+        assert decision is None
+        assert pending == (0, 5)
+        assert contents == (None,)
+
+
+class TestCoveringAndSpace:
+    def test_covering_freezes_poised_swap(self):
+        report = build_covering(SwapConsensus(3), [0, 1, 2], target=1)
+        assert report.size == 1
+        component, withheld = report.poised_values[report.covered[0]]
+        assert component == 0
+        # Swap's withheld value is its argument — the frozen process's
+        # proposal — independent of current contents.
+        assert withheld in (0, 1, 2)
+
+    def test_components_written_includes_rmw_targets(self):
+        protocol = TASConsensus(2)
+        # propose, propose, tas, tas
+        written = components_written(protocol, [5, 6], [0, 1, 0, 1])
+        assert written == {0, 1, 2}
+
+    def test_base_object_profile_counts_per_operation(self):
+        protocol = TASConsensus(2)
+        profile = base_object_profile(
+            protocol, [5, 6], [0, 1, 0, 1, 0, 1]
+        )
+        assert profile["update"] == 2
+        assert profile["test_and_set"] == 2
+        assert profile.get("scan", 0) >= 1
+
+    def test_swap_profile_has_no_updates(self):
+        profile = base_object_profile(SwapConsensus(2), [5, 6], [0, 1])
+        assert profile == {"swap": 2}
+
+
+class TestLargeRegisterEmulation:
+    def test_safe_sweep_order_is_safe(self):
+        protocol = LargeRegisterEmulation(3, (2, 1), safe=True)
+        report = explore(
+            protocol, [0, 0], RegularRegisterTask(3, (2, 1)),
+            stop_at_first_violation=False,
+        )
+        assert report.safe
+
+    def test_broken_sweep_order_loses_the_register(self):
+        protocol = LargeRegisterEmulation(3, (2,), safe=False)
+        report = explore(protocol, [0, 0], RegularRegisterTask(3, (2,)))
+        assert not report.safe
+        assert report.counterexample is not None
+
+    def test_checker_names_the_failure(self):
+        task = RegularRegisterTask(3, (2,))
+        violations = task.check([0, 0], {0: WRITER_DONE, 1: BOTTOM})
+        assert violations and "fell off" in violations[0]
+        assert task.check([0, 0], {0: WRITER_DONE, 1: 2}) == []
+        assert task.check([0, 0], {0: WRITER_DONE, 1: 1})  # never written
+
+    def test_domain_and_write_validation(self):
+        with pytest.raises(ValidationError):
+            LargeRegisterEmulation(0, ())
+        with pytest.raises(ValidationError):
+            LargeRegisterEmulation(3, (3,))
+        with pytest.raises(ValidationError):
+            LargeRegisterEmulation(3, (1,), initial=5)
